@@ -1,0 +1,31 @@
+//! F3 — per-query latency as the trajectory cardinality |P| grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uots_bench::{algorithms, make_queries, Scale};
+use uots_core::Database;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_cardinality");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for trips in [500usize, 1_000, 2_000] {
+        let ds = Scale::Bench.build(trips);
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
+            .with_keyword_index(&ds.keyword_index);
+        let queries = make_queries(&ds, 3, 4, 3, 0.5, 1, 0xf3);
+        for (name, algo) in algorithms(false) {
+            group.bench_with_input(BenchmarkId::new(&name, trips), &queries, |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        criterion::black_box(algo.run(&db, q).expect("query runs"));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

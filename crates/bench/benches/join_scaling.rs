@@ -1,0 +1,45 @@
+//! J1 — trajectory similarity self-join: wall time across θ and |P|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uots_bench::Scale;
+use uots_join::{ts_join, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("j1_join");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for trips in [100usize, 200] {
+        let ds = Scale::Bench.build(trips);
+        let tidx = ds.store.build_timestamp_index();
+        for theta in [0.85f64, 0.95] {
+            let cfg = JoinConfig {
+                theta,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("theta_{theta}"), trips),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        criterion::black_box(
+                            ts_join(
+                                &ds.network,
+                                &ds.store,
+                                &ds.vertex_index,
+                                &tidx,
+                                cfg,
+                                2,
+                            )
+                            .expect("join runs"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,388 @@
+//! Paper-style experiment harness.
+//!
+//! Regenerates every table and figure of the reconstructed UOTS evaluation
+//! (see `DESIGN.md` §5 for the inventory and `EXPERIMENTS.md` for recorded
+//! results):
+//!
+//! ```text
+//! experiments [--scale tiny|bench|brn|nrn] [--trips N] [--queries N]
+//!             [--only t1,t2,f1,...] [--json PATH]
+//! ```
+//!
+//! * `t1` dataset statistics            * `f4` effect of k
+//! * `t2` pruning effectiveness         * `f5` effect of #keywords
+//! * `f1` effect of #query locations    * `f6` effect of trajectory length
+//! * `f2` effect of λ                   * `f7` effect of thread count
+//! * `f3` effect of |P|                 * `f8` scheduler ablation
+//! *                                    * `f9` effect of vocabulary size
+//! *                                    * `f10` temporal channel cost
+//! * `j1` trajectory similarity self-join (extension)
+
+use std::collections::HashSet;
+use uots_bench::{algorithms, make_queries, measure, render_table, time, Row, Scale};
+use uots_core::algorithms::Expansion;
+use uots_core::{parallel, Database, QueryOptions, Scheduler, UotsQuery, Weights};
+use uots_datagen::{Dataset, DatasetConfig};
+
+struct Args {
+    scale: Scale,
+    trips: usize,
+    queries: usize,
+    only: Option<HashSet<String>>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut scale = Scale::Bench;
+    let mut trips = None;
+    let mut queries = 16usize;
+    let mut only = None;
+    let mut json = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Scale::parse(&argv[i]).unwrap_or_else(|| {
+                    eprintln!("unknown scale `{}`", argv[i]);
+                    std::process::exit(2);
+                });
+            }
+            "--trips" => {
+                i += 1;
+                trips = Some(argv[i].parse().expect("--trips N"));
+            }
+            "--queries" => {
+                i += 1;
+                queries = argv[i].parse().expect("--queries N");
+            }
+            "--only" => {
+                i += 1;
+                only = Some(argv[i].split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--json" => {
+                i += 1;
+                json = Some(argv[i].clone());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--scale tiny|bench|brn|nrn] [--trips N] \
+                     [--queries N] [--only t1,f2,...] [--json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let trips = trips.unwrap_or_else(|| scale.default_trips());
+    Args {
+        scale,
+        trips,
+        queries,
+        only,
+        json,
+    }
+}
+
+fn wants(args: &Args, id: &str) -> bool {
+    args.only.as_ref().map_or(true, |s| s.contains(id))
+}
+
+fn open<'a>(ds: &'a Dataset) -> Database<'a> {
+    Database::new(&ds.network, &ds.store, &ds.vertex_index).with_keyword_index(&ds.keyword_index)
+}
+
+/// Rebuilds a dataset identical to `cfg` but with `n` trips. Because the
+/// trip generator draws trips sequentially from one RNG stream, the smaller
+/// dataset is a prefix of the larger one — cardinality sweeps compare
+/// like-for-like data.
+fn with_trips(cfg: &DatasetConfig, n: usize) -> Dataset {
+    let mut cfg = cfg.clone();
+    cfg.trips.num_trips = n;
+    cfg.name = format!("{} @|P|={n}", cfg.name);
+    Dataset::build(&cfg).expect("sweep dataset builds")
+}
+
+fn main() {
+    let args = parse_args();
+    let mut all_rows: Vec<Row> = Vec::new();
+    println!(
+        "# UOTS experiments — scale {:?}, |P| = {}, {} queries/point",
+        args.scale, args.trips, args.queries
+    );
+
+    let base_cfg = args.scale.config(args.trips);
+    let ds = args.scale.build(args.trips);
+    let db = open(&ds);
+
+    // ---------------- T1: dataset statistics ----------------
+    if wants(&args, "t1") {
+        println!("\n## T1 — dataset statistics ({})", ds.name);
+        println!("{}", ds.stats());
+        println!(
+            "network             : {} vertices, {} edges, total {:.0} km",
+            ds.network.num_nodes(),
+            ds.network.num_edges(),
+            ds.network.total_length()
+        );
+    }
+
+    // ---------------- T2: pruning effectiveness ----------------
+    if wants(&args, "t2") {
+        let queries = make_queries(&ds, args.queries, 4, 3, 0.5, 1, 0x12);
+        let with_oracle = matches!(args.scale, Scale::Tiny | Scale::Bench);
+        let rows: Vec<Row> = algorithms(with_oracle)
+            .iter()
+            .map(|(n, a)| measure("t2", &ds, &db, n, a.as_ref(), &queries, "-", 0.0))
+            .collect();
+        print!("{}", render_table("T2 — pruning effectiveness (defaults)", &rows));
+        all_rows.extend(rows);
+    }
+
+    // ---------------- F1: number of query locations ----------------
+    if wants(&args, "f1") {
+        let mut rows = Vec::new();
+        for m in [2usize, 4, 6, 8, 10] {
+            let queries = make_queries(&ds, args.queries, m, 3, 0.5, 1, 0xf1);
+            for (n, a) in algorithms(false) {
+                rows.push(measure("f1", &ds, &db, &n, a.as_ref(), &queries, "m", m as f64));
+            }
+        }
+        print!("{}", render_table("F1 — effect of #query locations m", &rows));
+        all_rows.extend(rows);
+    }
+
+    // ---------------- F2: preference parameter λ ----------------
+    if wants(&args, "f2") {
+        let mut rows = Vec::new();
+        for lambda in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let queries = make_queries(&ds, args.queries, 4, 3, lambda, 1, 0xf2);
+            for (n, a) in algorithms(false) {
+                rows.push(measure("f2", &ds, &db, &n, a.as_ref(), &queries, "lambda", lambda));
+            }
+        }
+        print!("{}", render_table("F2 — effect of preference parameter λ", &rows));
+        all_rows.extend(rows);
+    }
+
+    // ---------------- F3: trajectory cardinality |P| ----------------
+    if wants(&args, "f3") {
+        let mut rows = Vec::new();
+        for frac in [0.25, 0.5, 0.75, 1.0] {
+            let n = ((args.trips as f64 * frac) as usize).max(10);
+            let sub = with_trips(&base_cfg, n);
+            let sub_db = open(&sub);
+            let queries = make_queries(&sub, args.queries, 4, 3, 0.5, 1, 0xf3);
+            for (name, a) in algorithms(false) {
+                rows.push(measure(
+                    "f3", &sub, &sub_db, &name, a.as_ref(), &queries, "|P|", n as f64,
+                ));
+            }
+        }
+        print!("{}", render_table("F3 — effect of trajectory cardinality |P|", &rows));
+        all_rows.extend(rows);
+    }
+
+    // ---------------- F4: answer size k ----------------
+    if wants(&args, "f4") {
+        let mut rows = Vec::new();
+        for k in [1usize, 5, 10, 20, 50] {
+            let queries = make_queries(&ds, args.queries, 4, 3, 0.5, k, 0xf4);
+            for (n, a) in algorithms(false) {
+                rows.push(measure("f4", &ds, &db, &n, a.as_ref(), &queries, "k", k as f64));
+            }
+        }
+        print!("{}", render_table("F4 — effect of answer size k (extension)", &rows));
+        all_rows.extend(rows);
+    }
+
+    // ---------------- F5: number of query keywords ----------------
+    if wants(&args, "f5") {
+        let mut rows = Vec::new();
+        for kw in [1usize, 2, 4, 8] {
+            let queries = make_queries(&ds, args.queries, 4, kw, 0.5, 1, 0xf5);
+            for (n, a) in algorithms(false) {
+                rows.push(measure("f5", &ds, &db, &n, a.as_ref(), &queries, "keywords", kw as f64));
+            }
+        }
+        print!("{}", render_table("F5 — effect of #query keywords", &rows));
+        all_rows.extend(rows);
+    }
+
+    // ---------------- F6: average trajectory length ----------------
+    if wants(&args, "f6") {
+        let mut rows = Vec::new();
+        for stride in [8usize, 4, 2, 1] {
+            let mut cfg = base_cfg.clone();
+            cfg.trips.sample_stride = stride;
+            cfg.name = format!("{} @stride={stride}", cfg.name);
+            let sub = Dataset::build(&cfg).expect("stride dataset builds");
+            let avg_len = sub.stats().avg_len;
+            let sub_db = open(&sub);
+            let queries = make_queries(&sub, args.queries, 4, 3, 0.5, 1, 0xf6);
+            for (name, a) in algorithms(false) {
+                rows.push(measure(
+                    "f6", &sub, &sub_db, &name, a.as_ref(), &queries, "avg_len", avg_len,
+                ));
+            }
+        }
+        print!("{}", render_table("F6 — effect of average trajectory length", &rows));
+        all_rows.extend(rows);
+    }
+
+    // ---------------- F7: thread count ----------------
+    if wants(&args, "f7") {
+        let mut rows = Vec::new();
+        let queries = make_queries(&ds, args.queries.max(32), 4, 3, 0.5, 1, 0xf7);
+        for threads in [1usize, 2, 4, 8] {
+            let algo = Expansion::default();
+            let (results, wall) = time(|| {
+                parallel::run_batch(&db, &algo, &queries, threads).expect("batch runs")
+            });
+            let visited: usize = results.iter().map(|r| r.metrics.visited_trajectories).sum();
+            let candidates: usize = results.iter().map(|r| r.metrics.candidates).sum();
+            rows.push(Row {
+                experiment: "f7".into(),
+                dataset: ds.name.clone(),
+                algorithm: "expansion".into(),
+                parameter: "threads".into(),
+                value: threads as f64,
+                queries: queries.len(),
+                runtime_ms: wall.as_secs_f64() * 1_000.0 / queries.len() as f64,
+                visited: visited as f64 / queries.len() as f64,
+                candidates: candidates as f64 / queries.len() as f64,
+                candidate_ratio: candidates as f64 / (ds.store.len() * queries.len()) as f64,
+                pruning_ratio: 1.0 - candidates as f64 / (ds.store.len() * queries.len()) as f64,
+            });
+        }
+        print!("{}", render_table("F7 — effect of thread count (batch wall time)", &rows));
+        all_rows.extend(rows);
+    }
+
+    // ---------------- F8: scheduler ablation ----------------
+    if wants(&args, "f8") {
+        let mut rows = Vec::new();
+        let queries = make_queries(&ds, args.queries, 6, 3, 0.5, 1, 0xf8);
+        for (label, sched) in [
+            ("heuristic", Scheduler::heuristic()),
+            ("round-robin", Scheduler::RoundRobin),
+            ("min-radius", Scheduler::MinRadius),
+        ] {
+            let algo = Expansion::new(sched);
+            rows.push(measure("f8", &ds, &db, label, &algo, &queries, "scheduler", 0.0));
+        }
+        print!("{}", render_table("F8 — scheduling strategy ablation", &rows));
+        all_rows.extend(rows);
+    }
+
+    // ---------------- F9: vocabulary size ----------------
+    if wants(&args, "f9") {
+        let mut rows = Vec::new();
+        for vocab in [100usize, 200, 400, 800] {
+            let mut cfg = base_cfg.clone();
+            cfg.tags.vocab_size = vocab;
+            cfg.name = format!("{} @vocab={vocab}", cfg.name);
+            let sub = Dataset::build(&cfg).expect("vocab dataset builds");
+            let sub_db = open(&sub);
+            let queries = make_queries(&sub, args.queries, 4, 3, 0.5, 1, 0xf9);
+            for (name, a) in algorithms(false) {
+                rows.push(measure(
+                    "f9", &sub, &sub_db, &name, a.as_ref(), &queries, "vocab", vocab as f64,
+                ));
+            }
+        }
+        print!("{}", render_table("F9 — effect of vocabulary size", &rows));
+        all_rows.extend(rows);
+    }
+
+    // ---------------- F10: temporal channel ----------------
+    if wants(&args, "f10") {
+        let mut rows = Vec::new();
+        let tidx = ds.store.build_timestamp_index();
+        let tdb = db.with_timestamp_index(&tidx);
+        let base = make_queries(&ds, args.queries, 4, 3, 0.5, 1, 0xf10);
+        let temporal: Vec<UotsQuery> = base
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                UotsQuery::with_options(
+                    q.locations().to_vec(),
+                    q.keywords().clone(),
+                    vec![(6.0 + (i as f64 % 12.0)) * 3_600.0],
+                    QueryOptions {
+                        weights: Weights::new(0.4, 0.3, 0.3).expect("valid"),
+                        ..Default::default()
+                    },
+                )
+                .expect("valid temporal query")
+            })
+            .collect();
+        let algo = Expansion::default();
+        rows.push(measure("f10", &ds, &tdb, "spatial+textual", &algo, &base, "channels", 2.0));
+        rows.push(measure(
+            "f10", &ds, &tdb, "spatial+textual+temporal", &algo, &temporal, "channels", 3.0,
+        ));
+        print!("{}", render_table("F10 — temporal channel (extension)", &rows));
+        all_rows.extend(rows);
+    }
+
+    // ---------------- J1: trajectory similarity self-join (extension) ----
+    if wants(&args, "j1") {
+        let mut rows = Vec::new();
+        // the join touches every trajectory as a probe; keep it to a
+        // join-sized subset of the main dataset scale
+        let join_trips = (args.trips / 10).clamp(200, 2_000);
+        let jds = with_trips(&base_cfg, join_trips);
+        let tidx = jds.store.build_timestamp_index();
+        for theta in [0.7f64, 0.8, 0.9] {
+            let cfg = uots_join::JoinConfig {
+                theta,
+                ..Default::default()
+            };
+            let (result, wall) = time(|| {
+                uots_join::ts_join(
+                    &jds.network,
+                    &jds.store,
+                    &jds.vertex_index,
+                    &tidx,
+                    &cfg,
+                    2,
+                )
+                .expect("join runs")
+            });
+            let n = jds.store.len();
+            rows.push(Row {
+                experiment: "j1".into(),
+                dataset: jds.name.clone(),
+                algorithm: format!("ts-join pairs={}", result.pairs.len()),
+                parameter: "theta".into(),
+                value: theta,
+                queries: n,
+                runtime_ms: wall.as_secs_f64() * 1_000.0,
+                visited: result.visited_trajectories as f64 / n as f64,
+                candidates: result.candidates as f64 / n as f64,
+                candidate_ratio: result.candidates as f64 / (n * n) as f64,
+                pruning_ratio: 1.0 - result.candidates as f64 / (n * n) as f64,
+            });
+        }
+        print!(
+            "{}",
+            render_table(
+                "J1 — trajectory similarity self-join (extension; runtime is the whole join)",
+                &rows
+            )
+        );
+        all_rows.extend(rows);
+    }
+
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string_pretty(&all_rows).expect("rows serialize");
+        std::fs::write(path, json).expect("write json");
+        println!("\nwrote {} rows to {path}", all_rows.len());
+    }
+}

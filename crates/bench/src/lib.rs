@@ -1,0 +1,330 @@
+//! # uots-bench
+//!
+//! Shared harness for the evaluation suite: dataset construction at
+//! experiment scales, workload materialization, measurement rows and table
+//! rendering. Both the Criterion benches (`benches/`) and the
+//! paper-style `experiments` binary build on this crate.
+//!
+//! The experiment inventory (T1–T2, F1–F10) is defined in `DESIGN.md`;
+//! `EXPERIMENTS.md` records measured outcomes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::Serialize;
+use std::time::{Duration, Instant};
+use uots_core::algorithms::{Algorithm, BruteForce, Expansion, IknnBaseline, TextFirst};
+use uots_core::{Database, QueryOptions, Scheduler, SearchMetrics, UotsQuery, Weights};
+use uots_datagen::workload::{self, WorkloadConfig};
+use uots_datagen::NetworkPreset;
+use uots_datagen::{Dataset, DatasetConfig};
+use uots_network::generators::GridCityConfig;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 30×30 city — CI smoke runs.
+    Tiny,
+    /// 60×60 city — Criterion benches on a laptop.
+    Bench,
+    /// ≈28k-vertex BRN-like city — the headline experiments.
+    Brn,
+    /// ≈95k-vertex NRN-like city.
+    Nrn,
+}
+
+impl Scale {
+    /// Parses `tiny|bench|brn|nrn`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "bench" => Some(Scale::Bench),
+            "brn" => Some(Scale::Brn),
+            "nrn" => Some(Scale::Nrn),
+            _ => None,
+        }
+    }
+
+    /// Default trajectory cardinality at this scale.
+    pub fn default_trips(self) -> usize {
+        match self {
+            Scale::Tiny => 300,
+            Scale::Bench => 3_000,
+            Scale::Brn => 20_000,
+            Scale::Nrn => 40_000,
+        }
+    }
+
+    /// Dataset configuration with `trips` trajectories.
+    pub fn config(self, trips: usize) -> DatasetConfig {
+        match self {
+            Scale::Tiny => DatasetConfig::small(trips, 0xbeac),
+            Scale::Bench => {
+                let mut grid = GridCityConfig::new(60, 60);
+                grid.seed = 0xbe6c;
+                let mut cfg = DatasetConfig::small(trips, 0xbe6c);
+                cfg.name = format!("bench 60×60 ({trips} trips)");
+                cfg.network = NetworkPreset::GridCity(grid);
+                cfg.trips.min_trip_km = 2.0;
+                cfg
+            }
+            Scale::Brn => DatasetConfig::brn_like(trips),
+            Scale::Nrn => DatasetConfig::nrn_like(trips),
+        }
+    }
+
+    /// Builds (and times) the dataset at this scale.
+    pub fn build(self, trips: usize) -> Dataset {
+        let start = Instant::now();
+        let ds = Dataset::build(&self.config(trips)).expect("experiment dataset builds");
+        eprintln!(
+            "[bench] built {} in {:?} ({} vertices, {} edges)",
+            ds.name,
+            start.elapsed(),
+            ds.network.num_nodes(),
+            ds.network.num_edges()
+        );
+        ds
+    }
+}
+
+/// The algorithm line-up of the evaluation. `with_oracle` additionally
+/// includes the brute force (expensive at large scales).
+pub fn algorithms(with_oracle: bool) -> Vec<(String, Box<dyn Algorithm + Sync>)> {
+    let mut v: Vec<(String, Box<dyn Algorithm + Sync>)> = vec![
+        (
+            "expansion".to_string(),
+            Box::new(Expansion::new(Scheduler::heuristic())),
+        ),
+        (
+            "expansion-w/o-h".to_string(),
+            Box::new(Expansion::new(Scheduler::RoundRobin)),
+        ),
+        (
+            "iknn-baseline".to_string(),
+            Box::new(IknnBaseline::default()),
+        ),
+        ("text-first".to_string(), Box::new(TextFirst)),
+    ];
+    if with_oracle {
+        v.push(("brute-force".to_string(), Box::new(BruteForce)));
+    }
+    v
+}
+
+/// Materializes a query workload with the given shape.
+///
+/// # Panics
+///
+/// Panics on invalid parameters (zero locations, bad λ).
+pub fn make_queries(
+    ds: &Dataset,
+    num_queries: usize,
+    locations: usize,
+    keywords: usize,
+    lambda: f64,
+    k: usize,
+    seed: u64,
+) -> Vec<UotsQuery> {
+    let specs = workload::generate(
+        ds,
+        &WorkloadConfig {
+            num_queries,
+            locations_per_query: locations,
+            keywords_per_query: keywords,
+            seed,
+            ..Default::default()
+        },
+    );
+    specs
+        .into_iter()
+        .map(|s| {
+            UotsQuery::with_options(
+                s.locations,
+                s.keywords,
+                vec![],
+                QueryOptions {
+                    weights: Weights::lambda(lambda).expect("valid lambda"),
+                    k,
+                    ..Default::default()
+                },
+            )
+            .expect("valid query")
+        })
+        .collect()
+}
+
+/// One measured data point: algorithm × parameter value.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Experiment id (`f1`, `t2`, …).
+    pub experiment: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Name of the swept parameter.
+    pub parameter: String,
+    /// Value of the swept parameter.
+    pub value: f64,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Mean per-query runtime, milliseconds.
+    pub runtime_ms: f64,
+    /// Mean per-query visited trajectories.
+    pub visited: f64,
+    /// Mean per-query candidates.
+    pub candidates: f64,
+    /// Candidate ratio (candidates / |P|).
+    pub candidate_ratio: f64,
+    /// Pruning ratio (1 − candidate ratio).
+    pub pruning_ratio: f64,
+}
+
+/// Runs `algo` over every query sequentially and aggregates a [`Row`].
+pub fn measure(
+    experiment: &str,
+    ds: &Dataset,
+    db: &Database<'_>,
+    algo_name: &str,
+    algo: &dyn Algorithm,
+    queries: &[UotsQuery],
+    parameter: &str,
+    value: f64,
+) -> Row {
+    let start = Instant::now();
+    let mut agg = SearchMetrics::default();
+    for q in queries {
+        let r = algo.run(db, q).expect("experiment query runs");
+        agg.merge(&r.metrics);
+    }
+    let wall = start.elapsed();
+    let nq = queries.len().max(1);
+    Row {
+        experiment: experiment.to_string(),
+        dataset: ds.name.clone(),
+        algorithm: algo_name.to_string(),
+        parameter: parameter.to_string(),
+        value,
+        queries: queries.len(),
+        runtime_ms: wall.as_secs_f64() * 1_000.0 / nq as f64,
+        visited: agg.visited_per_query(),
+        candidates: agg.candidates as f64 / nq as f64,
+        candidate_ratio: agg.candidate_ratio(ds.store.len()),
+        pruning_ratio: agg.pruning_ratio(ds.store.len()),
+    }
+}
+
+/// Renders rows as an aligned text table grouped by parameter value.
+pub fn render_table(title: &str, rows: &[Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n## {title}");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:<18} {:>12} {:>12} {:>12} {:>10}",
+        "param", "value", "algorithm", "ms/query", "visited", "candidates", "pruning"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:<18} {:>12.3} {:>12.1} {:>12.1} {:>9.1}%",
+            r.parameter,
+            format_value(r.value),
+            r.algorithm,
+            r.runtime_ms,
+            r.visited,
+            r.candidates,
+            r.pruning_ratio * 100.0
+        );
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if (v.fract()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_and_defaults() {
+        assert_eq!(Scale::parse("brn"), Some(Scale::Brn));
+        assert_eq!(Scale::parse("bogus"), None);
+        assert!(Scale::Tiny.default_trips() < Scale::Brn.default_trips());
+    }
+
+    #[test]
+    fn tiny_pipeline_produces_rows() {
+        let ds = Scale::Tiny.build(120);
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
+            .with_keyword_index(&ds.keyword_index);
+        let queries = make_queries(&ds, 4, 3, 2, 0.5, 1, 9);
+        assert_eq!(queries.len(), 4);
+        for (name, algo) in algorithms(true) {
+            let row = measure("t0", &ds, &db, &name, algo.as_ref(), &queries, "m", 3.0);
+            assert_eq!(row.queries, 4);
+            assert!(row.runtime_ms >= 0.0);
+            assert!(row.visited > 0.0);
+            assert!((0.0..=1.0).contains(&row.candidate_ratio));
+            assert!((row.pruning_ratio + row.candidate_ratio - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expansion_prunes_more_than_baselines_on_tiny() {
+        let ds = Scale::Tiny.build(200);
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
+            .with_keyword_index(&ds.keyword_index);
+        let queries = make_queries(&ds, 6, 4, 3, 0.5, 1, 11);
+        let rows: Vec<Row> = algorithms(false)
+            .iter()
+            .map(|(n, a)| measure("t2", &ds, &db, n, a.as_ref(), &queries, "-", 0.0))
+            .collect();
+        let expansion = rows.iter().find(|r| r.algorithm == "expansion").unwrap();
+        let iknn = rows
+            .iter()
+            .find(|r| r.algorithm == "iknn-baseline")
+            .unwrap();
+        assert!(
+            expansion.visited <= iknn.visited,
+            "expansion {} vs iknn {}",
+            expansion.visited,
+            iknn.visited
+        );
+    }
+
+    #[test]
+    fn table_rendering_is_stable() {
+        let row = Row {
+            experiment: "f1".into(),
+            dataset: "d".into(),
+            algorithm: "expansion".into(),
+            parameter: "m".into(),
+            value: 4.0,
+            queries: 8,
+            runtime_ms: 1.25,
+            visited: 10.0,
+            candidates: 3.0,
+            candidate_ratio: 0.1,
+            pruning_ratio: 0.9,
+        };
+        let t = render_table("demo", &[row]);
+        assert!(t.contains("## demo"));
+        assert!(t.contains("expansion"));
+        assert!(t.contains("90.0%"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Exhaustive evaluation: the correctness oracle.
+
+use crate::algorithms::Algorithm;
+use crate::similarity;
+use crate::topk::TopK;
+use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
+use uots_network::dijkstra::shortest_path_tree;
+
+/// Computes one full shortest-path tree per query location, then evaluates
+/// the exact similarity of *every* trajectory. `O(m · |V| log |V| + m · Σ|τ|)`
+/// with zero pruning — the reference answer and the unoptimized baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForce;
+
+impl Algorithm for BruteForce {
+    fn run(&self, db: &Database<'_>, query: &UotsQuery) -> Result<QueryResult, CoreError> {
+        db.validate(query)?;
+        let start = std::time::Instant::now();
+        let mut metrics = SearchMetrics::for_one_query();
+
+        let trees: Vec<_> = query
+            .locations()
+            .iter()
+            .map(|&v| {
+                let t = shortest_path_tree(db.network, v);
+                metrics.settled_vertices += t.reached_count();
+                t
+            })
+            .collect();
+
+        let mut topk = TopK::new(query.options().k);
+        for (id, traj) in db.store.iter() {
+            metrics.visited_trajectories += 1;
+            metrics.candidates += 1;
+            topk.offer(similarity::evaluate_with_trees(&trees, query, id, traj));
+        }
+        metrics.runtime = start.elapsed();
+        Ok(QueryResult {
+            matches: topk.into_sorted(),
+            metrics,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryOptions;
+    use uots_network::generators::{grid_city, GridCityConfig};
+    use uots_network::NodeId;
+    use uots_text::{KeywordId, KeywordSet};
+    use uots_trajectory::{Sample, Trajectory, TrajectoryId, TrajectoryStore};
+
+    fn store() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        for (nodes, tags) in [
+            (vec![0u32, 1, 2], vec![1u32]),
+            (vec![10, 11], vec![2]),
+            (vec![24], vec![1, 2]),
+        ] {
+            s.push(
+                Trajectory::new(
+                    nodes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| Sample {
+                            node: NodeId(v),
+                            time: 100.0 * (i + 1) as f64,
+                        })
+                        .collect(),
+                    KeywordSet::from_ids(tags.iter().map(|&k| KeywordId(k))),
+                )
+                .unwrap(),
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn evaluates_every_trajectory() {
+        let net = grid_city(&GridCityConfig::tiny(5)).unwrap();
+        let s = store();
+        let vidx = s.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &s, &vidx);
+        let q = UotsQuery::new(vec![NodeId(0)], KeywordSet::empty()).unwrap();
+        let r = BruteForce.run(&db, &q).unwrap();
+        assert_eq!(r.metrics.visited_trajectories, 3);
+        assert_eq!(r.metrics.candidates, 3);
+        assert_eq!(r.metrics.settled_vertices, 25);
+        assert_eq!(r.matches.len(), 1);
+        // trajectory 0 passes through the query vertex itself
+        assert_eq!(r.matches[0].id, TrajectoryId(0));
+    }
+
+    #[test]
+    fn k_caps_the_answer_not_the_work() {
+        let net = grid_city(&GridCityConfig::tiny(5)).unwrap();
+        let s = store();
+        let vidx = s.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &s, &vidx);
+        let q = UotsQuery::new(vec![NodeId(12)], KeywordSet::empty())
+            .unwrap()
+            .reoptioned(QueryOptions {
+                k: 2,
+                ..Default::default()
+            })
+            .unwrap();
+        let r = BruteForce.run(&db, &q).unwrap();
+        assert_eq!(r.matches.len(), 2);
+        assert!(r.is_ranked());
+        assert_eq!(r.metrics.visited_trajectories, 3);
+    }
+
+    #[test]
+    fn rejects_invalid_queries() {
+        let net = grid_city(&GridCityConfig::tiny(5)).unwrap();
+        let s = store();
+        let vidx = s.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &s, &vidx);
+        let q = UotsQuery::new(vec![NodeId(1000)], KeywordSet::empty()).unwrap();
+        assert!(BruteForce.run(&db, &q).is_err());
+    }
+}

@@ -1,0 +1,1036 @@
+//! The expansion search engine — the paper's two-phase trajectory search,
+//! specialized to the UOTS (top-k) setting.
+//!
+//! For one query the engine drives a set of *query sources*: one incremental
+//! network expansion per intended place ([`uots_network::expansion`]) and,
+//! when the temporal channel is active, one timestamp expansion per
+//! preferred time ([`uots_index::TimeExpansion`]). Sources advance one
+//! settle/scan step at a time under a pluggable [`Scheduler`].
+//!
+//! ## Scan states and bounds
+//!
+//! Every trajectory touched by any source gets a scan state holding, per
+//! source, the *exact* distance once scanned (Dijkstra settles nearest
+//! first, so the first sighting realizes `d(o_i, τ)`) and otherwise the
+//! source's current radius as a lower bound. From these the engine derives
+//! a per-trajectory **similarity upper bound**; the textual channel is
+//! evaluated exactly on first sight (it is set algebra, cheap), which only
+//! tightens the paper's bound.
+//!
+//! A trajectory scanned by *all* live sources is **fully scanned**: its
+//! exact similarity is known and offered to the top-k collector. A source
+//! that exhausts its component makes the remaining distances exactly `∞`
+//! (contribution `e^(−∞) = 0`), so exhaustion *finalizes* rather than
+//! blocks.
+//!
+//! ## Termination
+//!
+//! The search stops when the k-th best exact similarity is at least
+//!
+//! * the **unscanned bound** — the best similarity any never-touched
+//!   trajectory could achieve (all radii as distance lower bounds, textual
+//!   ≤ 1), and
+//! * every partly-scanned trajectory's upper bound, tracked in a lazy
+//!   max-heap (bounds only decrease as radii grow, so stale heap entries
+//!   are conservative and are refreshed or discarded on pop).
+//!
+//! Both conditions together guarantee the returned top-k equals the
+//! exhaustive answer — property-tested against the brute-force oracle.
+
+use crate::query::UotsQuery;
+use crate::result::{Match, QueryResult};
+use crate::scheduling::Scheduler;
+use crate::similarity;
+use crate::topk::TopK;
+use crate::{CoreError, Database, SearchMetrics};
+use std::collections::{BinaryHeap, HashMap};
+use uots_index::TimeExpansion;
+use uots_network::expansion::NetworkExpansion;
+use uots_network::TotalF64;
+use uots_trajectory::TrajectoryId;
+
+/// Per-trajectory scan state.
+struct TrajState {
+    /// Exact `d(o_i, τ)` once scanned from spatial source `i`, `NAN` before.
+    sdists: Vec<f64>,
+    /// Spatial sources that have not yet determined their distance.
+    s_remaining: u32,
+    /// Exact `min |t_j − t|` once scanned from temporal source `j`.
+    tdists: Vec<f64>,
+    /// Temporal sources that have not yet determined their gap.
+    t_remaining: u32,
+    /// Exact textual similarity (computed on first sight).
+    textual: f64,
+    /// Finalized: exact similarity computed and offered to the top-k.
+    done: bool,
+}
+
+impl TrajState {
+    fn fully_scanned(&self) -> bool {
+        self.s_remaining == 0 && self.t_remaining == 0
+    }
+}
+
+/// Lazy max-heap entry over partly-scanned upper bounds.
+#[derive(PartialEq)]
+struct BoundEntry {
+    ub: TotalF64,
+    tid: TrajectoryId,
+}
+
+impl Eq for BoundEntry {}
+
+impl PartialOrd for BoundEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BoundEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ub
+            .cmp(&other.ub)
+            .then_with(|| other.tid.cmp(&self.tid))
+    }
+}
+
+/// What the search collects: the best `k` matches, or every match reaching
+/// a fixed similarity threshold.
+enum Collector {
+    TopK(TopK),
+    Threshold { theta: f64, matches: Vec<Match> },
+}
+
+impl Collector {
+    fn offer(&mut self, m: Match) {
+        match self {
+            Collector::TopK(t) => {
+                t.offer(m);
+            }
+            Collector::Threshold { theta, matches } => {
+                if m.similarity >= *theta {
+                    matches.push(m);
+                }
+            }
+        }
+    }
+
+    /// The similarity every still-unseen trajectory must beat to matter:
+    /// the k-th best so far (top-k mode; `-∞` until `k` found) or the fixed
+    /// threshold.
+    fn pruning_threshold(&self) -> f64 {
+        match self {
+            Collector::TopK(t) => t.threshold(),
+            Collector::Threshold { theta, .. } => *theta,
+        }
+    }
+
+    fn into_sorted(self) -> Vec<Match> {
+        match self {
+            Collector::TopK(t) => t.into_sorted(),
+            Collector::Threshold { mut matches, .. } => {
+                matches.sort_by(Match::ranking_cmp);
+                matches
+            }
+        }
+    }
+}
+
+/// Runs the expansion search for `query` over `db` under `scheduler`.
+///
+/// This is the engine shared by [`crate::algorithms::Expansion`] (heuristic
+/// scheduling — the paper's algorithm) and its ablations (round-robin /
+/// min-radius scheduling).
+///
+/// # Errors
+///
+/// Propagates [`Database::validate`] failures.
+pub fn expansion_search(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    scheduler: Scheduler,
+) -> Result<QueryResult, CoreError> {
+    db.validate(query)?;
+    let start = std::time::Instant::now();
+    let collector = Collector::TopK(TopK::new(query.options().k));
+    let mut engine = Engine::new(db, query, scheduler, collector);
+    engine.run();
+    let mut result = engine.into_result();
+    result.metrics.runtime = start.elapsed();
+    Ok(result)
+}
+
+/// Threshold (range) variant of the expansion search: returns **every**
+/// trajectory whose similarity reaches `theta ∈ (0, 1]`, ranked best first.
+/// The query's `k` is ignored. This is the UOTS-side analogue of the join's
+/// per-probe search and useful on its own (alerting, candidate
+/// materialization).
+///
+/// # Errors
+///
+/// Propagates [`Database::validate`] failures and rejects `theta` outside
+/// `(0, 1]`.
+pub fn threshold_search(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    theta: f64,
+    scheduler: Scheduler,
+) -> Result<QueryResult, CoreError> {
+    if !(theta > 0.0 && theta <= 1.0) {
+        return Err(CoreError::BadParameter(format!(
+            "theta must be in (0, 1], got {theta}"
+        )));
+    }
+    db.validate(query)?;
+    let start = std::time::Instant::now();
+    let collector = Collector::Threshold {
+        theta,
+        matches: Vec::new(),
+    };
+    let mut engine = Engine::new(db, query, scheduler, collector);
+    engine.run();
+    let mut result = engine.into_result();
+    result.metrics.runtime = start.elapsed();
+    Ok(result)
+}
+
+struct Engine<'a, 'q> {
+    db: &'a Database<'a>,
+    query: &'q UotsQuery,
+    scheduler: Scheduler,
+    spatial: Vec<NetworkExpansion<'a>>,
+    temporal: Vec<TimeExpansion<'a, TrajectoryId>>,
+    states: HashMap<TrajectoryId, TrajState>,
+    collector: Collector,
+    bound_heap: BinaryHeap<BoundEntry>,
+    metrics: SearchMetrics,
+    /// Scheduling state.
+    current_source: usize,
+    rr_cursor: usize,
+    steps_since_sweep: usize,
+    labels: Vec<f64>,
+    /// Set when the loop ended by exhaustion rather than by the bound test;
+    /// triggers the unvisited sweep (disconnected networks, k > |P|).
+    exhausted_end: bool,
+    /// Trajectories sharing ≥ 1 query keyword, ranked by exact textual
+    /// similarity (descending). The textual upper bound for *unseen*
+    /// trajectories is the similarity of the best-ranked entry not yet
+    /// touched by any expansion: every other unseen trajectory shares no
+    /// keyword and scores 0. As the search visits the strong textual
+    /// matches, the bound decays — this is what lets the textual domain
+    /// prune (the paper prunes in both of its domains).
+    text_rank: Vec<(f64, TrajectoryId)>,
+    /// Cursor into `text_rank`: entries before it are already visited.
+    text_ptr: usize,
+    /// `true` when `text_rank` is usable; otherwise the trivial bound 1
+    /// applies (no keyword index, or an empty query keyword set whose
+    /// perfect matches — untagged trajectories — the index cannot list).
+    text_rank_usable: bool,
+}
+
+impl<'a, 'q> Engine<'a, 'q> {
+    fn new(
+        db: &'a Database<'a>,
+        query: &'q UotsQuery,
+        scheduler: Scheduler,
+        collector: Collector,
+    ) -> Self {
+        let spatial: Vec<NetworkExpansion<'a>> = query
+            .locations()
+            .iter()
+            .map(|&v| NetworkExpansion::from_source(db.network, v))
+            .collect();
+        let temporal: Vec<TimeExpansion<'a, TrajectoryId>> =
+            if query.options().weights.uses_temporal() {
+                let idx = db
+                    .timestamp_index
+                    .expect("validated: temporal channel has its index");
+                query.times().iter().map(|&t| idx.expand_from(t)).collect()
+            } else {
+                Vec::new()
+            };
+        let num_sources = spatial.len() + temporal.len();
+        let (text_rank, text_rank_usable) =
+            match (query.keywords().is_empty(), db.keyword_index) {
+                (false, Some(kidx)) => {
+                    let mut rank: Vec<(f64, TrajectoryId)> = kidx
+                        .union_of(query.keywords().iter())
+                        .into_iter()
+                        .map(|tid| {
+                            let sim = query
+                                .options()
+                                .text_measure
+                                .similarity(query.keywords(), db.store.get(tid).keywords());
+                            (sim, tid)
+                        })
+                        .collect();
+                    rank.sort_by(|a, b| b.0.total_cmp(&a.0));
+                    (rank, true)
+                }
+                _ => (Vec::new(), false),
+            };
+        Engine {
+            db,
+            query,
+            scheduler,
+            spatial,
+            temporal,
+            states: HashMap::new(),
+            collector,
+            bound_heap: BinaryHeap::new(),
+            metrics: SearchMetrics::for_one_query(),
+            current_source: 0,
+            rr_cursor: 0,
+            steps_since_sweep: usize::MAX, // force a sweep on the first pick
+            labels: vec![0.0; num_sources],
+            exhausted_end: false,
+            text_rank,
+            text_ptr: 0,
+            text_rank_usable,
+        }
+    }
+
+    /// Current upper bound on the textual similarity of any never-touched
+    /// trajectory; advances the rank cursor past already-visited entries.
+    fn unscanned_text_bound(&mut self) -> f64 {
+        if !self.text_rank_usable {
+            return 1.0;
+        }
+        while let Some(&(sim, tid)) = self.text_rank.get(self.text_ptr) {
+            if self.states.contains_key(&tid) {
+                self.text_ptr += 1;
+            } else {
+                return sim;
+            }
+        }
+        0.0
+    }
+
+    #[inline]
+    fn num_spatial(&self) -> usize {
+        self.spatial.len()
+    }
+
+    #[inline]
+    fn num_sources(&self) -> usize {
+        self.spatial.len() + self.temporal.len()
+    }
+
+    fn source_live(&self, s: usize) -> bool {
+        if s < self.num_spatial() {
+            !self.spatial[s].is_exhausted()
+        } else {
+            !self.temporal[s - self.num_spatial()].is_exhausted()
+        }
+    }
+
+    /// Normalized radius of a source (dimensionless: km radii divided by the
+    /// spatial decay, seconds radii by the temporal decay), for cross-domain
+    /// comparison by the min-radius scheduler.
+    fn normalized_radius(&self, s: usize) -> f64 {
+        let o = self.query.options();
+        if s < self.num_spatial() {
+            self.spatial[s].radius() / o.decay_km
+        } else {
+            let t = &self.temporal[s - self.num_spatial()];
+            if t.is_exhausted() {
+                f64::INFINITY
+            } else {
+                t.radius() / o.decay_s
+            }
+        }
+    }
+
+    /// Per-source distance lower bound for trajectories this source has not
+    /// scanned: the current radius, or `∞` once exhausted.
+    fn spatial_lb(&self, i: usize) -> f64 {
+        self.spatial[i].unsettled_lower_bound()
+    }
+
+    fn temporal_lb(&self, j: usize) -> f64 {
+        let t = &self.temporal[j];
+        if t.is_exhausted() {
+            f64::INFINITY
+        } else {
+            t.radius()
+        }
+    }
+
+    /// Upper bound on the similarity of a partly-scanned trajectory.
+    fn ub_of(&self, st: &TrajState) -> f64 {
+        let o = self.query.options();
+        let m = self.num_spatial();
+        let mut acc = 0.0;
+        for i in 0..m {
+            let d = if st.sdists[i].is_nan() {
+                self.spatial_lb(i)
+            } else {
+                st.sdists[i]
+            };
+            acc += (-d / o.decay_km).exp();
+        }
+        let spatial_ub = acc / m as f64;
+        let temporal_ub = if self.temporal.is_empty() {
+            0.0
+        } else {
+            let mut acc = 0.0;
+            for (j, &dt) in st.tdists.iter().enumerate() {
+                let d = if dt.is_nan() { self.temporal_lb(j) } else { dt };
+                acc += (-d / o.decay_s).exp();
+            }
+            acc / self.temporal.len() as f64
+        };
+        let w = o.weights;
+        w.spatial * spatial_ub + w.textual * st.textual + w.temporal * temporal_ub
+    }
+
+    /// Upper bound on the similarity of any never-touched trajectory.
+    fn ub_unscanned(&mut self) -> f64 {
+        let o = self.query.options();
+        let m = self.num_spatial();
+        let spatial_ub = (0..m)
+            .map(|i| (-self.spatial_lb(i) / o.decay_km).exp())
+            .sum::<f64>()
+            / m as f64;
+        let temporal_ub = if self.temporal.is_empty() {
+            0.0
+        } else {
+            (0..self.temporal.len())
+                .map(|j| (-self.temporal_lb(j) / o.decay_s).exp())
+                .sum::<f64>()
+                / self.temporal.len() as f64
+        };
+        let w = o.weights;
+        let text_ub = self.unscanned_text_bound();
+        w.spatial * spatial_ub + w.textual * text_ub + w.temporal * temporal_ub
+    }
+
+    fn run(&mut self) {
+        loop {
+            let Some(src) = self.pick_source() else {
+                // all sources exhausted
+                self.exhausted_end = true;
+                break;
+            };
+            self.step(src);
+            if self.terminated() {
+                return;
+            }
+        }
+        if self.exhausted_end {
+            self.sweep_unvisited();
+        }
+    }
+
+    /// One settle/scan step on source `src`.
+    fn step(&mut self, src: usize) {
+        if src < self.num_spatial() {
+            match self.spatial[src].next_settled() {
+                Some(settled) => {
+                    self.metrics.settled_vertices += 1;
+                    // the posting slice borrows the 'a-lived index, not
+                    // `self`, so no copy is needed on this hot path
+                    let tids: &'a [TrajectoryId] =
+                        self.db.vertex_index.values_at(settled.node);
+                    for &tid in tids {
+                        self.record_spatial(tid, src, settled.dist);
+                    }
+                }
+                None => self.on_spatial_exhausted(src),
+            }
+        } else {
+            let j = src - self.num_spatial();
+            match self.temporal[j].next_scanned() {
+                Some(scanned) => {
+                    self.metrics.scanned_timestamps += 1;
+                    self.record_temporal(scanned.value, j, scanned.dt);
+                }
+                None => self.on_temporal_exhausted(j),
+            }
+        }
+    }
+
+    fn make_state(&mut self, tid: TrajectoryId) -> TrajState {
+        self.metrics.visited_trajectories += 1;
+        let m = self.num_spatial();
+        let qt = self.temporal.len();
+        let mut sdists = vec![f64::NAN; m];
+        let mut s_remaining = 0u32;
+        for (i, d) in sdists.iter_mut().enumerate() {
+            if self.spatial[i].is_exhausted() {
+                *d = f64::INFINITY; // exact: unreachable from this source
+            } else {
+                s_remaining += 1;
+            }
+        }
+        let mut tdists = vec![f64::NAN; qt];
+        let mut t_remaining = 0u32;
+        for (j, d) in tdists.iter_mut().enumerate() {
+            if self.temporal[j].is_exhausted() {
+                *d = f64::INFINITY;
+            } else {
+                t_remaining += 1;
+            }
+        }
+        let textual = similarity::textual_component(self.query, self.db.store.get(tid));
+        TrajState {
+            sdists,
+            s_remaining,
+            tdists,
+            t_remaining,
+            textual,
+            done: false,
+        }
+    }
+
+    fn record_spatial(&mut self, tid: TrajectoryId, i: usize, dist: f64) {
+        let created = !self.states.contains_key(&tid);
+        if created {
+            let st = self.make_state(tid);
+            self.states.insert(tid, st);
+        }
+        let st = self.states.get_mut(&tid).expect("just ensured");
+        if st.done {
+            return;
+        }
+        if st.sdists[i].is_nan() {
+            st.sdists[i] = dist;
+            st.s_remaining -= 1;
+        } else if created && st.sdists[i] == f64::INFINITY {
+            // The settle that delivered this sighting is the one that
+            // exhausted source `i`, so make_state already marked the source
+            // "unreachable" — overwrite with the exact distance we are
+            // holding. (Without this, the distance is lost and, worse, a
+            // state born fully-scanned is never finalized.)
+            st.sdists[i] = dist;
+        } else {
+            return; // a farther revisit of the same source
+        }
+        self.after_update(tid);
+    }
+
+    fn record_temporal(&mut self, tid: TrajectoryId, j: usize, dt: f64) {
+        let created = !self.states.contains_key(&tid);
+        if created {
+            let st = self.make_state(tid);
+            self.states.insert(tid, st);
+        }
+        let st = self.states.get_mut(&tid).expect("just ensured");
+        if st.done {
+            return;
+        }
+        if st.tdists[j].is_nan() {
+            st.tdists[j] = dt;
+            st.t_remaining -= 1;
+        } else if created && st.tdists[j] == f64::INFINITY {
+            // see record_spatial: same exhaustion-moment correction
+            st.tdists[j] = dt;
+        } else {
+            return;
+        }
+        self.after_update(tid);
+    }
+
+    /// Finalizes or re-bounds a trajectory after a scan-state update.
+    fn after_update(&mut self, tid: TrajectoryId) {
+        let st = self.states.get(&tid).expect("present");
+        if st.fully_scanned() {
+            self.finalize(tid);
+        } else {
+            let ub = self.ub_of(st);
+            self.bound_heap.push(BoundEntry {
+                ub: TotalF64(ub),
+                tid,
+            });
+        }
+    }
+
+    /// Computes the exact similarity of a fully-scanned trajectory and
+    /// offers it to the top-k.
+    fn finalize(&mut self, tid: TrajectoryId) {
+        let o = self.query.options();
+        let st = self.states.get_mut(&tid).expect("present");
+        debug_assert!(st.sdists.iter().all(|d| !d.is_nan()));
+        let spatial = similarity::spatial_component(&st.sdists, o.decay_km);
+        let temporal = if st.tdists.is_empty() {
+            0.0
+        } else {
+            similarity::temporal_component(&st.tdists, o.decay_s)
+        };
+        let textual = st.textual;
+        st.done = true;
+        self.metrics.candidates += 1;
+        self.collector.offer(Match {
+            id: tid,
+            similarity: similarity::combine(self.query, spatial, textual, temporal),
+            spatial,
+            textual,
+            temporal,
+        });
+    }
+
+    /// A spatial source exhausted its component: every trajectory it never
+    /// scanned is exactly unreachable from it.
+    fn on_spatial_exhausted(&mut self, i: usize) {
+        let pending: Vec<TrajectoryId> = self
+            .states
+            .iter()
+            .filter(|(_, st)| !st.done && st.sdists[i].is_nan())
+            .map(|(&tid, _)| tid)
+            .collect();
+        for tid in pending {
+            let st = self.states.get_mut(&tid).expect("present");
+            st.sdists[i] = f64::INFINITY;
+            st.s_remaining -= 1;
+            self.after_update(tid);
+        }
+    }
+
+    fn on_temporal_exhausted(&mut self, j: usize) {
+        let pending: Vec<TrajectoryId> = self
+            .states
+            .iter()
+            .filter(|(_, st)| !st.done && st.tdists[j].is_nan())
+            .map(|(&tid, _)| tid)
+            .collect();
+        for tid in pending {
+            let st = self.states.get_mut(&tid).expect("present");
+            st.tdists[j] = f64::INFINITY;
+            st.t_remaining -= 1;
+            self.after_update(tid);
+        }
+    }
+
+    /// Degenerate end (disconnected network or k > |P|): evaluate every
+    /// never-touched trajectory exactly. All sources are exhausted here, so
+    /// spatial distances are exactly `∞`; textual and temporal channels are
+    /// evaluated directly.
+    fn sweep_unvisited(&mut self) {
+        let o = self.query.options();
+        let ids: Vec<TrajectoryId> = self
+            .db
+            .store
+            .ids()
+            .filter(|tid| !self.states.contains_key(tid))
+            .collect();
+        for tid in ids {
+            let traj = self.db.store.get(tid);
+            self.metrics.visited_trajectories += 1;
+            self.metrics.candidates += 1;
+            let textual = similarity::textual_component(self.query, traj);
+            let temporal = if self.query.times().is_empty() {
+                0.0
+            } else {
+                similarity::temporal_component(
+                    &similarity::temporal_gaps(self.query.times(), traj),
+                    o.decay_s,
+                )
+            };
+            self.collector.offer(Match {
+                id: tid,
+                similarity: similarity::combine(self.query, 0.0, textual, temporal),
+                spatial: 0.0,
+                textual,
+                temporal,
+            });
+        }
+    }
+
+    /// Checks the two-part termination condition, cleaning the bound heap
+    /// lazily.
+    fn terminated(&mut self) -> bool {
+        let kth = self.collector.pruning_threshold();
+        if kth == f64::NEG_INFINITY {
+            return false;
+        }
+        if self.ub_unscanned() > kth {
+            return false;
+        }
+        while let Some(entry) = self.bound_heap.peek() {
+            let tid = entry.tid;
+            match self.states.get(&tid) {
+                Some(st) if !st.done => {
+                    let cur = self.ub_of(st);
+                    if cur > kth {
+                        return false;
+                    }
+                    // permanently prunable: bounds only decrease, kth only
+                    // increases
+                    self.bound_heap.pop();
+                }
+                _ => {
+                    self.bound_heap.pop(); // finalized: entry is obsolete
+                }
+            }
+        }
+        true
+    }
+
+    /// Picks the next source per the scheduling strategy; `None` when all
+    /// sources are exhausted.
+    fn pick_source(&mut self) -> Option<usize> {
+        let n = self.num_sources();
+        if (0..n).all(|s| !self.source_live(s)) {
+            return None;
+        }
+        let pick = match self.scheduler {
+            Scheduler::RoundRobin => {
+                let mut s = self.rr_cursor;
+                loop {
+                    s %= n;
+                    if self.source_live(s) {
+                        self.rr_cursor = s + 1;
+                        break s;
+                    }
+                    s += 1;
+                }
+            }
+            Scheduler::MinRadius => (0..n)
+                .filter(|&s| self.source_live(s))
+                .min_by(|&a, &b| {
+                    self.normalized_radius(a)
+                        .total_cmp(&self.normalized_radius(b))
+                })
+                .expect("at least one live source"),
+            Scheduler::Heuristic { recompute_every } => {
+                if self.steps_since_sweep >= recompute_every.max(1) {
+                    self.sweep_labels();
+                    self.steps_since_sweep = 0;
+                    self.current_source = (0..n)
+                        .filter(|&s| self.source_live(s))
+                        .max_by(|&a, &b| {
+                            self.labels[a].total_cmp(&self.labels[b]).then_with(|| {
+                                // tie-break: less-advanced source first
+                                self.normalized_radius(b)
+                                    .total_cmp(&self.normalized_radius(a))
+                            })
+                        })
+                        .expect("at least one live source");
+                } else if !self.source_live(self.current_source) {
+                    self.current_source = (0..n)
+                        .find(|&s| self.source_live(s))
+                        .expect("at least one live source");
+                }
+                self.steps_since_sweep += 1;
+                self.current_source
+            }
+        };
+        Some(pick)
+    }
+
+    /// Recomputes the heuristic priority labels:
+    /// `label(s) = Σ over partly-scanned τ not scanned by s of ub(τ)`.
+    fn sweep_labels(&mut self) {
+        let n = self.num_sources();
+        let m = self.num_spatial();
+        let kth = self.collector.pruning_threshold();
+        let mut labels = vec![0.0f64; n];
+        for st in self.states.values() {
+            if st.done {
+                continue;
+            }
+            let ub = self.ub_of(st);
+            if ub <= kth {
+                continue; // already prunable: converting it has no value
+            }
+            for (i, d) in st.sdists.iter().enumerate() {
+                if d.is_nan() {
+                    labels[i] += ub;
+                }
+            }
+            for (j, d) in st.tdists.iter().enumerate() {
+                if d.is_nan() {
+                    labels[m + j] += ub;
+                }
+            }
+        }
+        self.labels = labels;
+    }
+
+    fn into_result(self) -> QueryResult {
+        QueryResult {
+            matches: self.collector.into_sorted(),
+            metrics: self.metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{QueryOptions, Weights};
+    use uots_network::generators::{grid_city, GridCityConfig};
+    use uots_network::{NetworkBuilder, NodeId, Point};
+    use uots_text::{KeywordId, KeywordSet};
+    use uots_trajectory::{Sample, Trajectory, TrajectoryStore};
+
+    fn kws(ids: &[u32]) -> KeywordSet {
+        KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+    }
+
+    fn traj(nodes: &[u32], t0: f64, tags: &[u32]) -> Trajectory {
+        Trajectory::new(
+            nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| Sample {
+                    node: NodeId(v),
+                    time: t0 + 60.0 * i as f64,
+                })
+                .collect(),
+            kws(tags),
+        )
+        .unwrap()
+    }
+
+    /// 6×6 lattice with three trajectories at different distances from the
+    /// query corner.
+    fn fixture() -> (uots_network::RoadNetwork, TrajectoryStore) {
+        let net = grid_city(&GridCityConfig::tiny(6)).unwrap();
+        let mut store = TrajectoryStore::new();
+        store.push(traj(&[0, 1, 2], 1_000.0, &[1, 2])); // near v0
+        store.push(traj(&[14, 15, 16], 2_000.0, &[2, 3])); // middle
+        store.push(traj(&[33, 34, 35], 40_000.0, &[9])); // far corner
+        (net, store)
+    }
+
+    fn run(
+        net: &uots_network::RoadNetwork,
+        store: &TrajectoryStore,
+        q: &UotsQuery,
+        s: Scheduler,
+    ) -> QueryResult {
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let tidx = store.build_timestamp_index();
+        let db = Database::new(net, store, &vidx).with_timestamp_index(&tidx);
+        expansion_search(&db, q, s).unwrap()
+    }
+
+    #[test]
+    fn finds_the_obvious_best_trajectory() {
+        let (net, store) = fixture();
+        let q = UotsQuery::new(vec![NodeId(0), NodeId(1)], kws(&[1, 2])).unwrap();
+        for s in [
+            Scheduler::RoundRobin,
+            Scheduler::MinRadius,
+            Scheduler::heuristic(),
+        ] {
+            let r = run(&net, &store, &q, s);
+            assert_eq!(r.matches.len(), 1, "{s:?}");
+            assert_eq!(r.matches[0].id, TrajectoryId(0), "{s:?}");
+            assert!(r.is_ranked());
+        }
+    }
+
+    #[test]
+    fn top_k_larger_than_dataset_returns_everything() {
+        let (net, store) = fixture();
+        let q = UotsQuery::new(vec![NodeId(0)], kws(&[1]))
+            .unwrap()
+            .reoptioned(QueryOptions {
+                k: 10,
+                ..Default::default()
+            })
+            .unwrap();
+        let r = run(&net, &store, &q, Scheduler::heuristic());
+        assert_eq!(r.matches.len(), 3);
+        assert!(r.is_ranked());
+    }
+
+    #[test]
+    fn early_termination_prunes_far_trajectories() {
+        let (net, store) = fixture();
+        // spatial-only query right on trajectory 0: expansion should stop
+        // before visiting the far corner trajectory
+        let q = UotsQuery::new(vec![NodeId(0), NodeId(2)], kws(&[1, 2])).unwrap();
+        let r = run(&net, &store, &q, Scheduler::heuristic());
+        assert_eq!(r.matches[0].id, TrajectoryId(0));
+        // the search must not have settled the whole network
+        assert!(
+            r.metrics.settled_vertices < 2 * net.num_nodes(),
+            "settled {} vertices",
+            r.metrics.settled_vertices
+        );
+    }
+
+    #[test]
+    fn textual_weight_shifts_the_winner() {
+        let (net, store) = fixture();
+        // trajectory 1 matches the keywords {2,3} perfectly but is farther;
+        // with λ small (textual dominates) it must win
+        let q = UotsQuery::with_options(
+            vec![NodeId(0)],
+            kws(&[2, 3]),
+            vec![],
+            QueryOptions {
+                weights: Weights::lambda(0.05).unwrap(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let r = run(&net, &store, &q, Scheduler::heuristic());
+        assert_eq!(r.matches[0].id, TrajectoryId(1));
+
+        let q = q
+            .reoptioned(QueryOptions {
+                weights: Weights::lambda(0.95).unwrap(),
+                ..Default::default()
+            })
+            .unwrap();
+        let r = run(&net, &store, &q, Scheduler::heuristic());
+        assert_eq!(r.matches[0].id, TrajectoryId(0));
+    }
+
+    #[test]
+    fn temporal_channel_prefers_synchronous_trajectories() {
+        let (net, store) = fixture();
+        // all three trajectories are spatially indistinct under a huge decay,
+        // but only trajectory 2 travels around 40_000 s
+        let q = UotsQuery::with_options(
+            vec![NodeId(0)],
+            KeywordSet::empty(),
+            vec![40_060.0],
+            QueryOptions {
+                weights: Weights::new(0.0, 0.0, 1.0).unwrap(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let r = run(&net, &store, &q, Scheduler::heuristic());
+        assert_eq!(r.matches[0].id, TrajectoryId(2));
+        assert!(r.matches[0].temporal > 0.9);
+    }
+
+    #[test]
+    fn all_schedulers_agree_on_results() {
+        let (net, store) = fixture();
+        let q = UotsQuery::new(vec![NodeId(7), NodeId(22)], kws(&[2]))
+            .unwrap()
+            .reoptioned(QueryOptions {
+                k: 3,
+                ..Default::default()
+            })
+            .unwrap();
+        let a = run(&net, &store, &q, Scheduler::RoundRobin);
+        let b = run(&net, &store, &q, Scheduler::MinRadius);
+        let c = run(&net, &store, &q, Scheduler::heuristic());
+        assert_eq!(a.ids(), b.ids());
+        assert_eq!(b.ids(), c.ids());
+        for (x, y) in a.matches.iter().zip(c.matches.iter()) {
+            assert!((x.similarity - y.similarity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn disconnected_network_still_answers_exactly() {
+        // two components; query in component A, best textual match lives in
+        // component B and must be found via the unvisited sweep
+        let mut b = NetworkBuilder::new();
+        let a0 = b.add_node(Point::new(0.0, 0.0));
+        let a1 = b.add_node(Point::new(1.0, 0.0));
+        let b0 = b.add_node(Point::new(100.0, 100.0));
+        let b1 = b.add_node(Point::new(101.0, 100.0));
+        b.add_edge(a0, a1, None).unwrap();
+        b.add_edge(b0, b1, None).unwrap();
+        let net = b.build().unwrap();
+        let mut store = TrajectoryStore::new();
+        store.push(traj(&[0, 1], 0.0, &[5])); // component A, wrong tags
+        store.push(traj(&[2, 3], 0.0, &[1, 2])); // component B, right tags
+        let q = UotsQuery::with_options(
+            vec![NodeId(0)],
+            kws(&[1, 2]),
+            vec![],
+            QueryOptions {
+                weights: Weights::lambda(0.1).unwrap(),
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let r = run(&net, &store, &q, Scheduler::heuristic());
+        assert_eq!(r.matches.len(), 2);
+        // textual dominates: the cross-component trajectory wins
+        assert_eq!(r.matches[0].id, TrajectoryId(1));
+        assert_eq!(r.matches[0].spatial, 0.0);
+        assert!((r.matches[0].textual - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_search_returns_exactly_the_qualifying_set() {
+        let (net, store) = fixture();
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &store, &vidx);
+        let q = UotsQuery::new(vec![NodeId(0), NodeId(7)], kws(&[1, 2])).unwrap();
+        // oracle: brute force with a huge k, filtered
+        let all = {
+            let q_all = q
+                .reoptioned(QueryOptions {
+                    k: 100,
+                    ..Default::default()
+                })
+                .unwrap();
+            crate::algorithms::Algorithm::run(&crate::algorithms::BruteForce, &db, &q_all)
+                .unwrap()
+        };
+        for theta in [0.2, 0.5, 0.8] {
+            let got = threshold_search(&db, &q, theta, Scheduler::heuristic()).unwrap();
+            let expect: Vec<TrajectoryId> = all
+                .matches
+                .iter()
+                .filter(|m| m.similarity >= theta)
+                .map(|m| m.id)
+                .collect();
+            assert_eq!(got.ids(), expect, "θ={theta}");
+            assert!(got.is_ranked());
+            for m in &got.matches {
+                assert!(m.similarity >= theta);
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_search_validates_theta() {
+        let (net, store) = fixture();
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &store, &vidx);
+        let q = UotsQuery::new(vec![NodeId(0)], kws(&[])).unwrap();
+        assert!(threshold_search(&db, &q, 0.0, Scheduler::heuristic()).is_err());
+        assert!(threshold_search(&db, &q, 1.5, Scheduler::heuristic()).is_err());
+    }
+
+    #[test]
+    fn high_threshold_terminates_quickly_with_empty_result() {
+        let (net, store) = fixture();
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &store, &vidx);
+        // locations far from every trajectory, near-1 threshold: nothing
+        // qualifies, and the fixed threshold prunes from the first step
+        let q = UotsQuery::with_options(
+            vec![NodeId(30)],
+            kws(&[]),
+            vec![],
+            QueryOptions {
+                weights: Weights::lambda(1.0).unwrap(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let r = threshold_search(&db, &q, 0.999, Scheduler::heuristic()).unwrap();
+        assert!(r.matches.is_empty());
+        assert!(
+            r.metrics.settled_vertices < net.num_nodes(),
+            "threshold pruning should stop the expansion early"
+        );
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let (net, store) = fixture();
+        let q = UotsQuery::new(vec![NodeId(0)], kws(&[1])).unwrap();
+        let r = run(&net, &store, &q, Scheduler::heuristic());
+        assert_eq!(r.metrics.queries, 1);
+        assert!(r.metrics.settled_vertices > 0);
+        assert!(r.metrics.visited_trajectories >= r.metrics.candidates);
+        assert!(r.metrics.candidates >= r.matches.len());
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type for the query engine.
+
+/// Errors produced by query construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A query parameter failed validation.
+    BadParameter(String),
+    /// A query location is not a vertex of the database's network.
+    UnknownLocation(uots_network::NodeId),
+    /// The algorithm requires an index the database was not given (e.g. the
+    /// temporal channel without a timestamp index).
+    MissingIndex(&'static str),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::BadParameter(msg) => write!(f, "bad query parameter: {msg}"),
+            CoreError::UnknownLocation(v) => {
+                write!(f, "query location {v} is not in the network")
+            }
+            CoreError::MissingIndex(which) => {
+                write!(f, "database is missing the required {which} index")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uots_network::NodeId;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoreError::BadParameter("k".into()).to_string().contains("k"));
+        assert!(CoreError::UnknownLocation(NodeId(4))
+            .to_string()
+            .contains("v4"));
+        assert!(CoreError::MissingIndex("timestamp")
+            .to_string()
+            .contains("timestamp"));
+    }
+}

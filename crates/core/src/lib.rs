@@ -1,0 +1,66 @@
+//! # uots-core
+//!
+//! The UOTS query engine: a from-scratch reproduction of **"User oriented
+//! trajectory search for trip recommendation"** (Shang, Ding, Yuan, Xie,
+//! Zheng, Kalnis — EDBT 2012).
+//!
+//! Given a road-network trajectory database where trajectories carry textual
+//! attributes, a [`UotsQuery`] supplies a set of intended places and a set
+//! of preference keywords (plus, as extensions, preferred timestamps and
+//! top-k answer sizes); the engine returns the trajectories maximizing the
+//! linear combination of spatial, textual (and optionally temporal)
+//! similarity — see [`similarity`] for the exact model.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use uots_core::{algorithms::{Algorithm, Expansion}, Database, UotsQuery};
+//! use uots_datagen::{workload, Dataset, DatasetConfig};
+//!
+//! let ds = Dataset::build(&DatasetConfig::small(50, 42)).unwrap();
+//! let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
+//!     .with_keyword_index(&ds.keyword_index);
+//! let spec = &workload::generate(&ds, &workload::WorkloadConfig::default())[0];
+//! let query = UotsQuery::new(spec.locations.clone(), spec.keywords.clone()).unwrap();
+//! let result = Expansion::default().run(&db, &query).unwrap();
+//! assert!(result.best().is_some());
+//! ```
+//!
+//! ## Algorithms
+//!
+//! * [`algorithms::Expansion`] — the paper's concurrent expansion search
+//!   with per-trajectory similarity upper bounds and the heuristic
+//!   query-source scheduling strategy ([`Scheduler`]);
+//! * [`algorithms::IknnBaseline`] — lockstep-round candidate generation
+//!   (BCT/IKNN adapted to networks), the coarse-bound baseline;
+//! * [`algorithms::TextFirst`] — textual filter-and-refine baseline;
+//! * [`algorithms::BruteForce`] — the exact oracle.
+//!
+//! All algorithms return identical rankings; the evaluation compares their
+//! cost ([`SearchMetrics`]). Batches of queries run in parallel via
+//! [`parallel::run_batch`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithms;
+mod db;
+mod engine;
+mod error;
+mod metrics;
+pub mod order;
+pub mod parallel;
+mod query;
+mod result;
+mod scheduling;
+pub mod similarity;
+mod topk;
+
+pub use db::Database;
+pub use engine::{expansion_search, threshold_search};
+pub use error::CoreError;
+pub use metrics::SearchMetrics;
+pub use query::{QueryOptions, UotsQuery, Weights, MAX_LOCATIONS};
+pub use result::{Match, QueryResult};
+pub use scheduling::Scheduler;
+pub use topk::TopK;

@@ -1,0 +1,144 @@
+//! Search metrics: the quantities the paper's evaluation reports.
+//!
+//! The paper family's two standard metrics are **CPU time** and the
+//! **number of visited trajectories** (a proxy for data accesses); the
+//! pruning-effectiveness tables additionally report candidate and pruning
+//! ratios. [`SearchMetrics`] collects all of them per query, and
+//! [`SearchMetrics::merge`] aggregates across a workload.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters collected while answering one query (or aggregated over many).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchMetrics {
+    /// Number of queries merged into this record (1 for a single query).
+    pub queries: usize,
+    /// Distinct trajectories touched by the search (scanned at least once,
+    /// or exactly evaluated by a filter-and-refine baseline).
+    pub visited_trajectories: usize,
+    /// Vertices settled by network expansions (plus, for baselines, the
+    /// vertices settled by their full Dijkstra passes).
+    pub settled_vertices: usize,
+    /// Timestamps scanned by temporal expansions (extension channel).
+    pub scanned_timestamps: usize,
+    /// Trajectories that became candidates (fully scanned / exactly
+    /// evaluated).
+    pub candidates: usize,
+    /// Wall-clock time spent answering.
+    pub runtime: Duration,
+}
+
+impl SearchMetrics {
+    /// A zeroed record for one query.
+    pub fn for_one_query() -> Self {
+        SearchMetrics {
+            queries: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Candidate ratio: candidates / total trajectories in the database
+    /// (averaged per query when merged). Zero for an empty database.
+    pub fn candidate_ratio(&self, total_trajectories: usize) -> f64 {
+        if total_trajectories == 0 || self.queries == 0 {
+            return 0.0;
+        }
+        self.candidates as f64 / (total_trajectories * self.queries) as f64
+    }
+
+    /// Pruning ratio: `1 − candidate ratio`.
+    pub fn pruning_ratio(&self, total_trajectories: usize) -> f64 {
+        1.0 - self.candidate_ratio(total_trajectories)
+    }
+
+    /// Visited-trajectory count averaged per query.
+    pub fn visited_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.visited_trajectories as f64 / self.queries as f64
+    }
+
+    /// Runtime averaged per query.
+    pub fn runtime_per_query(&self) -> Duration {
+        if self.queries == 0 {
+            return Duration::ZERO;
+        }
+        self.runtime / self.queries as u32
+    }
+
+    /// Accumulates another record into this one.
+    pub fn merge(&mut self, other: &SearchMetrics) {
+        self.queries += other.queries;
+        self.visited_trajectories += other.visited_trajectories;
+        self.settled_vertices += other.settled_vertices;
+        self.scanned_timestamps += other.scanned_timestamps;
+        self.candidates += other.candidates;
+        self.runtime += other.runtime;
+    }
+
+    /// Merges an iterator of records into one aggregate.
+    pub fn aggregate<'a>(records: impl IntoIterator<Item = &'a SearchMetrics>) -> Self {
+        let mut out = SearchMetrics::default();
+        for r in records {
+            out.merge(r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_on_single_query() {
+        let m = SearchMetrics {
+            queries: 1,
+            candidates: 25,
+            ..Default::default()
+        };
+        assert!((m.candidate_ratio(100) - 0.25).abs() < 1e-12);
+        assert!((m.pruning_ratio(100) - 0.75).abs() < 1e-12);
+        assert_eq!(m.candidate_ratio(0), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = SearchMetrics {
+            queries: 1,
+            visited_trajectories: 10,
+            settled_vertices: 100,
+            scanned_timestamps: 5,
+            candidates: 3,
+            runtime: Duration::from_millis(20),
+        };
+        let b = SearchMetrics {
+            queries: 1,
+            visited_trajectories: 30,
+            settled_vertices: 50,
+            scanned_timestamps: 0,
+            candidates: 7,
+            runtime: Duration::from_millis(10),
+        };
+        a.merge(&b);
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.visited_trajectories, 40);
+        assert_eq!(a.settled_vertices, 150);
+        assert_eq!(a.candidates, 10);
+        assert_eq!(a.runtime, Duration::from_millis(30));
+        assert!((a.visited_per_query() - 20.0).abs() < 1e-12);
+        assert_eq!(a.runtime_per_query(), Duration::from_millis(15));
+        // per-query candidate ratio: 10 candidates over 2 × 100
+        assert!((a.candidate_ratio(100) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_of_empty_is_zero() {
+        let agg = SearchMetrics::aggregate([]);
+        assert_eq!(agg.queries, 0);
+        assert_eq!(agg.visited_per_query(), 0.0);
+        assert_eq!(agg.runtime_per_query(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,195 @@
+//! Order-aware match refinement (future-work extension).
+//!
+//! The base UOTS similarity ignores the *visiting order* of the intended
+//! places — a trajectory passing the places in reverse scores exactly the
+//! same. The paper family flags order sensitivity as future work ("take the
+//! visiting sequence of sample points into account when matching"). This
+//! module implements it as a cheap **re-ranking** step over a computed
+//! result: for each match, measure how consistently the trajectory visits
+//! the query places in the requested order and blend that into the score.
+//!
+//! Order consistency is the length of the longest increasing run of
+//! nearest-sample indices relative to the query order, normalized to
+//! `[0, 1]` (longest increasing subsequence / m). A trajectory visiting all
+//! places in order scores 1; a reversed one scores `1/m`.
+
+use crate::{Database, Match, QueryResult, UotsQuery};
+use uots_network::dijkstra::shortest_path_tree;
+
+/// For each query location, the index of the trajectory sample nearest to
+/// it (network distance), then the normalized longest-increasing-subsequence
+/// length of that index sequence.
+///
+/// Runs one Dijkstra per query location bounded to the trajectory's
+/// vertices, so it is intended for the handful of matches in a result, not
+/// for whole datasets.
+pub fn order_consistency(db: &Database<'_>, query: &UotsQuery, m: &Match) -> f64 {
+    let traj = db.store.get(m.id);
+    let mut nearest_sample_indices = Vec::with_capacity(query.num_locations());
+    for &o in query.locations() {
+        // full tree is wasteful but simple; bounded variants would need the
+        // max sample distance which we don't retain in the Match
+        let tree = shortest_path_tree(db.network, o);
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, s) in traj.samples().iter().enumerate() {
+            let d = tree.distance(s.node).unwrap_or(f64::INFINITY);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        nearest_sample_indices.push(best);
+    }
+    lis_length(&nearest_sample_indices) as f64 / nearest_sample_indices.len() as f64
+}
+
+/// Longest nondecreasing subsequence length (patience sorting, `O(n log n)`).
+fn lis_length(xs: &[usize]) -> usize {
+    let mut tails: Vec<usize> = Vec::new();
+    for &x in xs {
+        // nondecreasing: find first tail strictly greater than x
+        let pos = tails.partition_point(|&t| t <= x);
+        if pos == tails.len() {
+            tails.push(x);
+        } else {
+            tails[pos] = x;
+        }
+    }
+    tails.len()
+}
+
+/// Re-ranks `result` in place, blending order consistency with weight
+/// `order_weight ∈ [0, 1]`:
+/// `score' = (1 − order_weight) · similarity + order_weight · consistency`.
+///
+/// # Panics
+///
+/// Panics when `order_weight` is outside `[0, 1]`.
+pub fn rerank_by_order(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    result: &mut QueryResult,
+    order_weight: f64,
+) {
+    assert!(
+        (0.0..=1.0).contains(&order_weight),
+        "order_weight must be in [0, 1]"
+    );
+    let mut scored: Vec<(f64, Match)> = result
+        .matches
+        .iter()
+        .map(|m| {
+            let c = order_consistency(db, query, m);
+            ((1.0 - order_weight) * m.similarity + order_weight * c, *m)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.id.cmp(&b.1.id)));
+    result.matches = scored
+        .into_iter()
+        .map(|(score, mut m)| {
+            m.similarity = score;
+            m
+        })
+        .collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchMetrics;
+    use uots_network::generators::{grid_city, GridCityConfig};
+    use uots_network::NodeId;
+    use uots_text::KeywordSet;
+    use uots_trajectory::{Sample, Trajectory, TrajectoryStore};
+
+    fn traj(nodes: &[u32]) -> Trajectory {
+        Trajectory::new(
+            nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| Sample {
+                    node: NodeId(v),
+                    time: 60.0 * i as f64,
+                })
+                .collect(),
+            KeywordSet::empty(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lis_known_values() {
+        assert_eq!(lis_length(&[0, 1, 2, 3]), 4);
+        assert_eq!(lis_length(&[3, 2, 1, 0]), 1);
+        assert_eq!(lis_length(&[1, 3, 2, 4]), 3);
+        assert_eq!(lis_length(&[2, 2, 2]), 3); // nondecreasing
+        assert_eq!(lis_length(&[]), 0);
+    }
+
+    #[test]
+    fn forward_trajectory_scores_higher_than_reverse() {
+        let net = grid_city(&GridCityConfig::tiny(8)).unwrap();
+        let mut store = TrajectoryStore::new();
+        let fwd = store.push(traj(&[0, 2, 4, 6])); // bottom row, left→right
+        let rev = store.push(traj(&[6, 4, 2, 0]));
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &store, &vidx);
+        // places in left→right order
+        let q = UotsQuery::new(vec![NodeId(0), NodeId(3), NodeId(6)], KeywordSet::empty())
+            .unwrap();
+        let mk = |id| Match {
+            id,
+            similarity: 0.5,
+            spatial: 0.5,
+            textual: 0.0,
+            temporal: 0.0,
+        };
+        let cf = order_consistency(&db, &q, &mk(fwd));
+        let cr = order_consistency(&db, &q, &mk(rev));
+        assert!((cf - 1.0).abs() < 1e-12, "forward consistency {cf}");
+        assert!(cr < cf, "reverse {cr} must be below forward {cf}");
+
+        // re-ranking flips a tie in favour of the order-consistent one
+        let mut result = QueryResult {
+            matches: vec![mk(fwd), mk(rev)],
+            metrics: SearchMetrics::for_one_query(),
+        };
+        rerank_by_order(&db, &q, &mut result, 0.5);
+        assert_eq!(result.matches[0].id, fwd);
+        assert!(result.matches[0].similarity > result.matches[1].similarity);
+    }
+
+    #[test]
+    fn zero_weight_preserves_ranking() {
+        let net = grid_city(&GridCityConfig::tiny(5)).unwrap();
+        let mut store = TrajectoryStore::new();
+        let a = store.push(traj(&[0, 1]));
+        let b = store.push(traj(&[24, 23]));
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &store, &vidx);
+        let q = UotsQuery::new(vec![NodeId(0)], KeywordSet::empty()).unwrap();
+        let mut result = QueryResult {
+            matches: vec![
+                Match {
+                    id: a,
+                    similarity: 0.9,
+                    spatial: 0.9,
+                    textual: 0.0,
+                    temporal: 0.0,
+                },
+                Match {
+                    id: b,
+                    similarity: 0.2,
+                    spatial: 0.2,
+                    textual: 0.0,
+                    temporal: 0.0,
+                },
+            ],
+            metrics: SearchMetrics::for_one_query(),
+        };
+        rerank_by_order(&db, &q, &mut result, 0.0);
+        assert_eq!(result.matches[0].id, a);
+        assert!((result.matches[0].similarity - 0.9).abs() < 1e-12);
+    }
+}

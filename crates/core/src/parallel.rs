@@ -1,0 +1,211 @@
+//! Parallel batch query execution.
+//!
+//! UOTS trajectory searches are independent of each other — the property the
+//! paper exploits for parallelism ("the search processes of different
+//! trajectories are independent, enabling parallel processing", with a merge
+//! cost uncorrelated to the thread count; in the *search* setting there is
+//! nothing to merge at all). This module fans a batch of queries over a
+//! rayon thread pool and preserves input order in the output.
+
+use crate::algorithms::Algorithm;
+use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
+use rayon::prelude::*;
+
+/// Runs `queries` over `db` with `algorithm` on a dedicated pool of
+/// `threads` workers, returning per-query results in input order.
+///
+/// `threads = 1` degenerates to sequential execution (still through the
+/// pool, so scheduling overhead is measured honestly in the thread-scaling
+/// experiment).
+///
+/// # Errors
+///
+/// Returns the first query error encountered (by input order). Pool
+/// construction failures are reported as [`CoreError::BadParameter`].
+pub fn run_batch<A: Algorithm + Sync>(
+    db: &Database<'_>,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    threads: usize,
+) -> Result<Vec<QueryResult>, CoreError> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .map_err(|e| CoreError::BadParameter(format!("thread pool: {e}")))?;
+    let results: Vec<Result<QueryResult, CoreError>> = pool.install(|| {
+        queries
+            .par_iter()
+            .map(|q| algorithm.run(db, q))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Alternative executor on crossbeam scoped threads with a shared atomic
+/// work cursor (no rayon): demonstrates that the per-query searches need
+/// no coordination beyond handing out indices. Produces exactly the same
+/// results as [`run_batch`]; useful as a dependency-light baseline and for
+/// measuring scheduler overhead differences.
+///
+/// # Errors
+///
+/// Returns the first query error encountered (by input order).
+pub fn run_batch_crossbeam<A: Algorithm + Sync>(
+    db: &Database<'_>,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    threads: usize,
+) -> Result<Vec<QueryResult>, CoreError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let threads = threads.max(1).min(queries.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<QueryResult, CoreError>>> = Vec::new();
+    slots.resize_with(queries.len(), || None);
+
+    // Collect per-thread (index, result) pairs and scatter afterwards —
+    // simpler than sharing &mut slots across threads.
+    let gathered: Vec<Vec<(usize, Result<QueryResult, CoreError>)>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move |_| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            mine.push((i, algorithm.run(db, &queries[i])));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread must not panic"))
+                .collect()
+        })
+        .expect("crossbeam scope must not panic");
+
+    for per_thread in gathered {
+        for (i, r) in per_thread {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every query index was dispatched"))
+        .collect()
+}
+
+/// Convenience: runs a batch and aggregates the per-query metrics.
+///
+/// # Errors
+///
+/// Same as [`run_batch`].
+pub fn run_batch_aggregated<A: Algorithm + Sync>(
+    db: &Database<'_>,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    threads: usize,
+) -> Result<(Vec<QueryResult>, SearchMetrics), CoreError> {
+    let results = run_batch(db, algorithm, queries, threads)?;
+    let agg = SearchMetrics::aggregate(results.iter().map(|r| &r.metrics));
+    Ok((results, agg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Expansion;
+    use uots_datagen::{workload, Dataset, DatasetConfig};
+
+    fn setup() -> (Dataset, Vec<UotsQuery>) {
+        let ds = Dataset::build(&DatasetConfig::small(80, 31)).unwrap();
+        let specs = workload::generate(
+            &ds,
+            &workload::WorkloadConfig {
+                num_queries: 12,
+                ..Default::default()
+            },
+        );
+        let queries = specs
+            .into_iter()
+            .map(|s| UotsQuery::new(s.locations, s.keywords).unwrap())
+            .collect();
+        (ds, queries)
+    }
+
+    #[test]
+    fn parallel_results_match_sequential() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
+            .with_keyword_index(&ds.keyword_index);
+        let algo = Expansion::default();
+        let seq = run_batch(&db, &algo, &queries, 1).unwrap();
+        let par = run_batch(&db, &algo, &queries, 4).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.ids(), b.ids());
+            assert_eq!(
+                a.metrics.visited_trajectories,
+                b.metrics.visited_trajectories
+            );
+        }
+    }
+
+    #[test]
+    fn crossbeam_executor_matches_rayon() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
+            .with_keyword_index(&ds.keyword_index);
+        let algo = Expansion::default();
+        let rayon_results = run_batch(&db, &algo, &queries, 3).unwrap();
+        let crossbeam_results = run_batch_crossbeam(&db, &algo, &queries, 3).unwrap();
+        assert_eq!(rayon_results.len(), crossbeam_results.len());
+        for (a, b) in rayon_results.iter().zip(crossbeam_results.iter()) {
+            assert_eq!(a.ids(), b.ids());
+            assert_eq!(
+                a.metrics.visited_trajectories,
+                b.metrics.visited_trajectories
+            );
+        }
+    }
+
+    #[test]
+    fn crossbeam_executor_handles_more_threads_than_queries() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let algo = Expansion::default();
+        let one = &queries[..1];
+        let r = run_batch_crossbeam(&db, &algo, one, 16).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn aggregation_sums_per_query_metrics() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let algo = Expansion::default();
+        let (results, agg) = run_batch_aggregated(&db, &algo, &queries, 2).unwrap();
+        assert_eq!(agg.queries, queries.len());
+        let manual: usize = results.iter().map(|r| r.metrics.visited_trajectories).sum();
+        assert_eq!(agg.visited_trajectories, manual);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let (ds, _) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let bad = UotsQuery::new(
+            vec![uots_network::NodeId(1_000_000)],
+            uots_text::KeywordSet::empty(),
+        )
+        .unwrap();
+        let err = run_batch(&db, &Expansion::default(), &[bad], 2);
+        assert!(err.is_err());
+    }
+}

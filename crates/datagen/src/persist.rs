@@ -1,0 +1,427 @@
+//! Compact binary persistence for datasets.
+//!
+//! A built [`Dataset`](crate::Dataset) takes noticeable time to generate
+//! (one A* route per trip) and serializes to very large JSON; this module
+//! provides a versioned little-endian binary format — roughly 10× smaller
+//! and much faster to load — so experiment datasets can be built once and
+//! reused across bench runs. Indexes are *not* stored: they are rebuilt on
+//! load (cheaper than their serialized size).
+//!
+//! Format `UOTSDS1`:
+//!
+//! ```text
+//! magic   8 B  "UOTSDS1\0"
+//! name    u32 len + utf8
+//! tags    u64 seed + TagModelConfig (6 fields)
+//! network u32 |V|; |V| × (f64 x, f64 y); u32 |E|; |E| × (u32 a, u32 b, f64 w)
+//! vocab   u32 len; len × (u16 len + utf8)
+//! store   u32 count; per trajectory:
+//!           u32 samples; samples × (u32 node, f64 time);
+//!           u32 keywords; keywords × u32
+//! ```
+
+use crate::{Dataset, DatasetConfig};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use uots_index::GridIndex;
+use uots_network::{NetworkBuilder, NodeId, Point, RoadNetwork};
+use uots_text::{KeywordId, KeywordSet, Vocabulary};
+use uots_trajectory::{Sample, TagModelConfig, TagSampler, Trajectory, TrajectoryStore};
+
+const MAGIC: &[u8; 8] = b"UOTSDS1\0";
+
+/// Errors from [`load`] / [`load_file`].
+#[derive(Debug)]
+pub enum PersistError {
+    /// The payload does not start with the format magic.
+    BadMagic,
+    /// The payload ended before a field was complete.
+    Truncated(&'static str),
+    /// A decoded value failed validation (counts, utf8, graph/trajectory
+    /// invariants).
+    Invalid(String),
+    /// File I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not a UOTSDS1 payload"),
+            PersistError::Truncated(what) => write!(f, "payload truncated in {what}"),
+            PersistError::Invalid(m) => write!(f, "invalid payload: {m}"),
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn need(buf: &impl Buf, n: usize, what: &'static str) -> Result<(), PersistError> {
+    if buf.remaining() < n {
+        Err(PersistError::Truncated(what))
+    } else {
+        Ok(())
+    }
+}
+
+/// Serializes a dataset to the binary format.
+pub fn save(ds: &Dataset, tag_cfg: &TagModelConfig, tag_seed: u64) -> Bytes {
+    let mut out = BytesMut::with_capacity(
+        64 + ds.network.num_nodes() * 16 + ds.network.num_edges() * 16 + ds.store.len() * 64,
+    );
+    out.put_slice(MAGIC);
+    out.put_u32_le(ds.name.len() as u32);
+    out.put_slice(ds.name.as_bytes());
+
+    out.put_u64_le(tag_seed);
+    out.put_u32_le(tag_cfg.vocab_size as u32);
+    out.put_u32_le(tag_cfg.num_categories as u32);
+    out.put_u32_le(tag_cfg.keywords_per_category as u32);
+    out.put_f64_le(tag_cfg.category_skew);
+    out.put_f64_le(tag_cfg.keyword_skew);
+    out.put_f64_le(tag_cfg.background_prob);
+
+    out.put_u32_le(ds.network.num_nodes() as u32);
+    for p in ds.network.points() {
+        out.put_f64_le(p.x);
+        out.put_f64_le(p.y);
+    }
+    out.put_u32_le(ds.network.num_edges() as u32);
+    for e in ds.network.edges() {
+        out.put_u32_le(e.a.0);
+        out.put_u32_le(e.b.0);
+        out.put_f64_le(e.weight);
+    }
+
+    out.put_u32_le(ds.vocab.len() as u32);
+    for (_, word) in ds.vocab.iter() {
+        out.put_u16_le(word.len() as u16);
+        out.put_slice(word.as_bytes());
+    }
+
+    out.put_u32_le(ds.store.len() as u32);
+    for (_, t) in ds.store.iter() {
+        out.put_u32_le(t.len() as u32);
+        for s in t.samples() {
+            out.put_u32_le(s.node.0);
+            out.put_f64_le(s.time);
+        }
+        out.put_u32_le(t.keywords().len() as u32);
+        for k in t.keywords().iter() {
+            out.put_u32_le(k.0);
+        }
+    }
+    out.freeze()
+}
+
+/// Deserializes a dataset and rebuilds every index.
+pub fn load(mut buf: &[u8]) -> Result<Dataset, PersistError> {
+    need(&buf, MAGIC.len(), "magic")?;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+
+    let name = read_string(&mut buf, "name")?;
+
+    need(&buf, 8 + 3 * 4 + 3 * 8, "tag config")?;
+    let tag_seed = buf.get_u64_le();
+    let tag_cfg = TagModelConfig {
+        vocab_size: buf.get_u32_le() as usize,
+        num_categories: buf.get_u32_le() as usize,
+        keywords_per_category: buf.get_u32_le() as usize,
+        category_skew: buf.get_f64_le(),
+        keyword_skew: buf.get_f64_le(),
+        background_prob: buf.get_f64_le(),
+    };
+
+    let network = read_network(&mut buf)?;
+    let vocab = read_vocab(&mut buf)?;
+    let store = read_store(&mut buf, &network, &vocab)?;
+
+    // rebuild the deterministic tag sampler; its internally derived
+    // vocabulary must match the stored one
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(tag_seed);
+    let (tags, regenerated_vocab) = TagSampler::synthetic(&tag_cfg, &mut rng);
+    if regenerated_vocab.len() != vocab.len() {
+        return Err(PersistError::Invalid(format!(
+            "tag sampler vocabulary mismatch: stored {}, regenerated {}",
+            vocab.len(),
+            regenerated_vocab.len()
+        )));
+    }
+
+    let vertex_index = store.build_vertex_index(network.num_nodes());
+    let keyword_index = store.build_keyword_index(vocab.len());
+    let grid = GridIndex::build(network.points(), 8);
+    Ok(Dataset {
+        name,
+        network,
+        store,
+        vocab,
+        tags,
+        vertex_index,
+        keyword_index,
+        grid,
+    })
+}
+
+fn read_string(buf: &mut &[u8], what: &'static str) -> Result<String, PersistError> {
+    need(buf, 4, what)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len, what)?;
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|_| PersistError::Invalid(format!("{what}: bad utf8")))
+}
+
+fn read_network(buf: &mut &[u8]) -> Result<RoadNetwork, PersistError> {
+    need(buf, 4, "node count")?;
+    let n = buf.get_u32_le() as usize;
+    need(buf, n * 16, "node coordinates")?;
+    let mut b = NetworkBuilder::with_capacity(n, n * 2);
+    for _ in 0..n {
+        let x = buf.get_f64_le();
+        let y = buf.get_f64_le();
+        // corrupted coordinate floats would poison every geometric
+        // structure downstream; 1e7 km comfortably exceeds any planet
+        if !x.is_finite() || !y.is_finite() || x.abs() > 1e7 || y.abs() > 1e7 {
+            return Err(PersistError::Invalid(format!(
+                "node coordinate ({x}, {y}) out of range"
+            )));
+        }
+        b.add_node(Point::new(x, y));
+    }
+    need(buf, 4, "edge count")?;
+    let m = buf.get_u32_le() as usize;
+    need(buf, m * 16, "edges")?;
+    for _ in 0..m {
+        let a = NodeId(buf.get_u32_le());
+        let c = NodeId(buf.get_u32_le());
+        let w = buf.get_f64_le();
+        b.add_edge(a, c, Some(w))
+            .map_err(|e| PersistError::Invalid(format!("edge: {e}")))?;
+    }
+    b.build()
+        .map_err(|e| PersistError::Invalid(format!("network: {e}")))
+}
+
+fn read_vocab(buf: &mut &[u8]) -> Result<Vocabulary, PersistError> {
+    need(buf, 4, "vocab size")?;
+    let n = buf.get_u32_le() as usize;
+    let mut vocab = Vocabulary::new();
+    for _ in 0..n {
+        need(buf, 2, "vocab word length")?;
+        let len = buf.get_u16_le() as usize;
+        need(buf, len, "vocab word")?;
+        let mut raw = vec![0u8; len];
+        buf.copy_to_slice(&mut raw);
+        let word = String::from_utf8(raw)
+            .map_err(|_| PersistError::Invalid("vocab: bad utf8".into()))?;
+        vocab
+            .intern(&word)
+            .ok_or_else(|| PersistError::Invalid("vocab: empty word".into()))?;
+    }
+    if vocab.len() != n {
+        return Err(PersistError::Invalid(
+            "vocab: duplicate words collapsed".into(),
+        ));
+    }
+    Ok(vocab)
+}
+
+fn read_store(
+    buf: &mut &[u8],
+    network: &RoadNetwork,
+    vocab: &Vocabulary,
+) -> Result<TrajectoryStore, PersistError> {
+    need(buf, 4, "trajectory count")?;
+    let count = buf.get_u32_le() as usize;
+    // every serialized trajectory occupies ≥ 20 bytes (two counters + one
+    // sample), so a count beyond that bound is corruption — reject before
+    // reserving capacity for it
+    if count > buf.remaining() / 20 {
+        return Err(PersistError::Invalid(format!(
+            "trajectory count {count} exceeds what the payload could hold"
+        )));
+    }
+    let mut store = TrajectoryStore::with_capacity(count);
+    for _ in 0..count {
+        need(buf, 4, "sample count")?;
+        let ns = buf.get_u32_le() as usize;
+        need(buf, ns * 12, "samples")?;
+        let mut samples = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            let node = NodeId(buf.get_u32_le());
+            let time = buf.get_f64_le();
+            if !network.contains_node(node) {
+                return Err(PersistError::Invalid(format!(
+                    "trajectory references unknown vertex {node}"
+                )));
+            }
+            samples.push(Sample { node, time });
+        }
+        need(buf, 4, "keyword count")?;
+        let nk = buf.get_u32_le() as usize;
+        need(buf, nk * 4, "keywords")?;
+        let mut kws = Vec::with_capacity(nk);
+        for _ in 0..nk {
+            let k = KeywordId(buf.get_u32_le());
+            if k.index() >= vocab.len() {
+                return Err(PersistError::Invalid(format!(
+                    "trajectory references unknown keyword {k}"
+                )));
+            }
+            kws.push(k);
+        }
+        let t = Trajectory::new(samples, KeywordSet::from_ids(kws))
+            .map_err(|e| PersistError::Invalid(format!("trajectory: {e}")))?;
+        store.push(t);
+    }
+    Ok(store)
+}
+
+/// Saves a dataset to `path`.
+///
+/// # Errors
+///
+/// I/O errors only; serialization itself is infallible.
+pub fn save_file(
+    ds: &Dataset,
+    cfg: &DatasetConfig,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), PersistError> {
+    let bytes = save(ds, &cfg.tags, cfg.tag_seed);
+    std::fs::write(path, &bytes)?;
+    Ok(())
+}
+
+/// Loads a dataset from `path`.
+///
+/// # Errors
+///
+/// See [`PersistError`].
+pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<Dataset, PersistError> {
+    let raw = std::fs::read(path)?;
+    load(&raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> (Dataset, DatasetConfig) {
+        let cfg = DatasetConfig::small(30, 77);
+        (Dataset::build(&cfg).unwrap(), cfg)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_queryable() {
+        let (ds, cfg) = dataset();
+        let bytes = save(&ds, &cfg.tags, cfg.tag_seed);
+        let back = load(&bytes).unwrap();
+        assert_eq!(ds.name, back.name);
+        assert_eq!(ds.network, back.network);
+        assert_eq!(ds.store.len(), back.store.len());
+        for (a, b) in ds.store.iter().zip(back.store.iter()) {
+            assert_eq!(a.1, b.1);
+        }
+        assert_eq!(ds.vocab.len(), back.vocab.len());
+        for (id, w) in ds.vocab.iter() {
+            assert_eq!(back.vocab.word(id), Some(w));
+        }
+        // rebuilt indexes answer identically
+        for v in ds.network.node_ids() {
+            assert_eq!(ds.vertex_index.values_at(v), back.vertex_index.values_at(v));
+        }
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let (ds, cfg) = dataset();
+        let bin = save(&ds, &cfg.tags, cfg.tag_seed);
+        let json = serde_json::to_vec(&ds.network).unwrap().len()
+            + serde_json::to_vec(&ds.store).unwrap().len();
+        assert!(
+            bin.len() * 2 < json,
+            "binary {} should be far below json {}",
+            bin.len(),
+            json
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(load(b"NOTADATASET"), Err(PersistError::BadMagic)));
+        assert!(matches!(load(b""), Err(PersistError::Truncated(_))));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let (ds, cfg) = dataset();
+        let bytes = save(&ds, &cfg.tags, cfg.tag_seed);
+        // chop at a spread of prefixes: must never panic, always Err
+        for cut in [8usize, 9, 20, 60, 200, bytes.len() / 2, bytes.len() - 1] {
+            let r = load(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+        // the full payload still loads
+        assert!(load(&bytes).is_ok());
+    }
+
+    #[test]
+    fn corrupted_references_are_rejected() {
+        let (ds, cfg) = dataset();
+        let bytes = save(&ds, &cfg.tags, cfg.tag_seed).to_vec();
+        // corrupt a trajectory's node id to u32::MAX: find the store section
+        // heuristically by flipping bytes near the end and expecting either
+        // Invalid or Truncated (never a panic, never silent acceptance of an
+        // out-of-range vertex)
+        let mut corrupted = bytes.clone();
+        let n = corrupted.len();
+        for i in (n - 200..n - 4).step_by(12) {
+            corrupted[i] = 0xff;
+            corrupted[i + 1] = 0xff;
+            corrupted[i + 2] = 0xff;
+            corrupted[i + 3] = 0xff;
+        }
+        match load(&corrupted) {
+            Ok(back) => {
+                // extraordinarily unlikely, but if it parses it must be valid
+                for (_, t) in back.store.iter() {
+                    for v in t.nodes() {
+                        assert!(back.network.contains_node(v));
+                    }
+                }
+            }
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (ds, cfg) = dataset();
+        let dir = std::env::temp_dir().join("uots_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("small.uotsds");
+        save_file(&ds, &cfg, &path).unwrap();
+        let back = load_file(&path).unwrap();
+        assert_eq!(ds.network, back.network);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_file("/nonexistent/uots.ds"),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,214 @@
+//! Query workload generation.
+//!
+//! A UOTS query input is a set of intended places plus a set of preference
+//! keywords. Realistic workloads have two properties this generator
+//! reproduces:
+//!
+//! * **spatial locality** — a traveler's intended places lie within one trip
+//!   radius of each other, not uniformly across the city;
+//! * **textual coherence** — preference keywords come from one activity
+//!   profile (category), like real users' interests.
+//!
+//! The output is a plain [`QuerySpec`]; `uots-core` turns it into a
+//! `UotsQuery` (the crates are deliberately decoupled in that direction).
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use uots_network::{NodeId, Point};
+use uots_text::KeywordSet;
+
+/// The raw input of one UOTS query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Intended places, snapped to network vertices, deduplicated.
+    pub locations: Vec<NodeId>,
+    /// Preference keywords.
+    pub keywords: KeywordSet,
+}
+
+/// Configuration of the workload generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// Intended places per query (`m` in the paper's notation).
+    pub locations_per_query: usize,
+    /// Preference keywords per query.
+    pub keywords_per_query: usize,
+    /// Radius (km) within which a query's places cluster.
+    pub locality_km: f64,
+    /// Probability that the query anchor is a vertex some trajectory
+    /// actually visits (instead of a uniformly random vertex); keeps most
+    /// queries in populated areas.
+    pub data_anchored_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            num_queries: 32,
+            locations_per_query: 4,
+            keywords_per_query: 3,
+            locality_km: 4.0,
+            data_anchored_prob: 0.8,
+            seed: 0x0ead_beef,
+        }
+    }
+}
+
+/// Generates a deterministic workload over `ds`.
+///
+/// # Panics
+///
+/// Panics when `locations_per_query == 0` or the dataset store is empty
+/// while `data_anchored_prob > 0`.
+pub fn generate(ds: &Dataset, cfg: &WorkloadConfig) -> Vec<QuerySpec> {
+    assert!(cfg.locations_per_query > 0, "queries need at least one place");
+    assert!((0.0..=1.0).contains(&cfg.data_anchored_prob));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.num_queries)
+        .map(|_| generate_one(ds, cfg, &mut rng))
+        .collect()
+}
+
+fn generate_one(ds: &Dataset, cfg: &WorkloadConfig, rng: &mut StdRng) -> QuerySpec {
+    let anchor = if rng.gen::<f64>() < cfg.data_anchored_prob {
+        assert!(
+            !ds.store.is_empty(),
+            "data-anchored queries need a non-empty store"
+        );
+        // a vertex some trajectory actually visits
+        let tid = uots_trajectory::TrajectoryId(rng.gen_range(0..ds.store.len()) as u32);
+        let t = ds.store.get(tid);
+        let s = t.samples()[rng.gen_range(0..t.len())];
+        ds.network.point(s.node)
+    } else {
+        let v = NodeId(rng.gen_range(0..ds.network.num_nodes()) as u32);
+        ds.network.point(v)
+    };
+
+    // sample distinct places within the locality disc around the anchor
+    let mut locations: Vec<NodeId> = Vec::with_capacity(cfg.locations_per_query);
+    let mut attempts = 0;
+    while locations.len() < cfg.locations_per_query && attempts < 200 {
+        attempts += 1;
+        let ang = rng.gen::<f64>() * std::f64::consts::TAU;
+        let r = rng.gen::<f64>().sqrt() * cfg.locality_km; // uniform in disc
+        let p = Point::new(anchor.x + r * ang.cos(), anchor.y + r * ang.sin());
+        let v = ds.snap(&p);
+        if !locations.contains(&v) {
+            locations.push(v);
+        }
+    }
+    // tiny networks may not have enough distinct vertices in the disc; fall
+    // back to uniform vertices to honour the requested cardinality
+    while locations.len() < cfg.locations_per_query {
+        let v = NodeId(rng.gen_range(0..ds.network.num_nodes()) as u32);
+        if !locations.contains(&v) {
+            locations.push(v);
+        }
+    }
+
+    let category = ds.tags.sample_category(rng);
+    let keywords = if cfg.keywords_per_query == 0 {
+        KeywordSet::empty()
+    } else {
+        ds.tags.sample_tags(category, cfg.keywords_per_query, rng)
+    };
+
+    QuerySpec {
+        locations,
+        keywords,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::build(&DatasetConfig::small(30, 5)).unwrap()
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let ds = dataset();
+        let cfg = WorkloadConfig {
+            num_queries: 10,
+            locations_per_query: 5,
+            keywords_per_query: 3,
+            ..Default::default()
+        };
+        let qs = generate(&ds, &cfg);
+        assert_eq!(qs.len(), 10);
+        for q in &qs {
+            assert_eq!(q.locations.len(), 5);
+            // locations are distinct
+            let mut sorted = q.locations.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5);
+            assert!(!q.keywords.is_empty());
+            assert!(q.keywords.len() <= 3);
+            for v in &q.locations {
+                assert!(ds.network.contains_node(*v));
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let ds = dataset();
+        let cfg = WorkloadConfig::default();
+        assert_eq!(generate(&ds, &cfg), generate(&ds, &cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ds = dataset();
+        let mut cfg = WorkloadConfig::default();
+        let a = generate(&ds, &cfg);
+        cfg.seed = 1;
+        let b = generate(&ds, &cfg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn locality_constrains_spread() {
+        let ds = dataset();
+        let cfg = WorkloadConfig {
+            num_queries: 20,
+            locations_per_query: 4,
+            locality_km: 1.0,
+            data_anchored_prob: 1.0,
+            ..Default::default()
+        };
+        for q in generate(&ds, &cfg) {
+            // pairwise Euclidean spread bounded by the disc diameter plus
+            // snapping slack (street spacing is 0.25 km in the small preset)
+            for a in &q.locations {
+                for b in &q.locations {
+                    let d = ds.network.point(*a).distance(&ds.network.point(*b));
+                    assert!(d <= 2.0 * 1.0 + 1.0, "spread {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_keywords_allowed() {
+        let ds = dataset();
+        let cfg = WorkloadConfig {
+            keywords_per_query: 0,
+            ..Default::default()
+        };
+        for q in generate(&ds, &cfg) {
+            assert!(q.keywords.is_empty());
+        }
+    }
+}

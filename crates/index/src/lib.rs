@@ -1,0 +1,27 @@
+//! # uots-index
+//!
+//! Index substrate for the UOTS reproduction:
+//!
+//! * [`GridIndex`] — uniform spatial grid over a point set, used to snap raw
+//!   GPS samples and query locations to network vertices;
+//! * [`VertexInvertedIndex`] — vertex → values (trajectory ids), the
+//!   structure the network expansion probes on every settled vertex;
+//! * [`KeywordInvertedIndex`] — keyword → values, driving the textual-first
+//!   baseline and exact textual similarity evaluation;
+//! * [`TimestampIndex`] / [`TimeExpansion`] — sorted-time expansion cursor
+//!   for the temporal extension;
+//! * [`DynamicVertexIndex`] — updatable vertex registry that freezes into
+//!   the CSR index (batched ingestion / deletion workflows).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dynamic;
+mod grid;
+mod inverted;
+mod timestamp;
+
+pub use dynamic::DynamicVertexIndex;
+pub use grid::GridIndex;
+pub use inverted::{KeywordInvertedIndex, VertexInvertedIndex};
+pub use timestamp::{TimeExpansion, TimeScanned, TimestampIndex, DAY_SECONDS};

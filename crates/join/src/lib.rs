@@ -1,0 +1,523 @@
+//! # uots-join
+//!
+//! Trajectory similarity **threshold self-join** in spatial networks — the
+//! companion operation of the UOTS search and this reproduction's
+//! implementation of the paper family's stated follow-on direction: given a
+//! set `P` of network-constrained, timestamped trajectories and a threshold
+//! `θ`, return every pair `(τ₁, τ₂)` whose symmetric spatiotemporal
+//! similarity (see [`similarity`]) reaches `θ`.
+//!
+//! Applications (from the paper family): trajectory near-duplicate
+//! detection and data cleaning, ridesharing / carpooling partner
+//! recommendation, frequent-route mining and congestion prediction.
+//!
+//! ## Algorithm — two-phase divide and conquer
+//!
+//! 1. **Trajectory-search phase** (parallel over probes, rayon): for each
+//!    trajectory τ, a [`search`](crate::search) worker expands the network
+//!    from every distinct sample vertex of τ and the time axis from every
+//!    distinct timestamp, pruning with per-pair upper bounds (first half
+//!    exact or radius-bounded, second half bounded by the paper's Lemma-1
+//!    trick) and collecting **candidates**: partners whose bound reaches θ,
+//!    each carrying τ's exact directed *half* of the pair similarity.
+//! 2. **Merging phase** (hash join, cost independent of the thread count):
+//!    a pair qualifies iff each side appears in the other's candidate set;
+//!    its exact similarity is simply the sum of the two stored halves — no
+//!    further network distances are computed.
+//!
+//! ```
+//! use uots_datagen::{Dataset, DatasetConfig};
+//! use uots_join::{ts_join, JoinConfig};
+//!
+//! let ds = Dataset::build(&DatasetConfig::small(60, 5)).unwrap();
+//! let tidx = ds.store.build_timestamp_index();
+//! let cfg = JoinConfig { theta: 0.6, ..Default::default() };
+//! let result = ts_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, &cfg, 2).unwrap();
+//! for p in &result.pairs {
+//!     assert!(p.similarity >= 0.6);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod search;
+pub mod similarity;
+pub mod topk;
+pub mod two_set;
+
+use rayon::prelude::*;
+use search::{SearchStats, Worker};
+use serde::{Deserialize, Serialize};
+use similarity::Half;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use uots_index::{TimestampIndex, VertexInvertedIndex};
+use uots_network::dijkstra::shortest_path_tree;
+use uots_network::RoadNetwork;
+use uots_trajectory::{TrajectoryId, TrajectoryStore};
+
+/// Join configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinConfig {
+    /// Similarity threshold `θ ∈ (0, 1]`. (The paper family's `[0, 2]`
+    /// range maps to this via division by two.)
+    pub theta: f64,
+    /// Spatial/temporal preference `λ ∈ [0, 1]`.
+    pub lambda: f64,
+    /// Spatial decay scale, kilometres.
+    pub decay_km: f64,
+    /// Temporal decay scale, seconds.
+    pub decay_s: f64,
+    /// Source scheduling within one trajectory search.
+    pub scheduling: JoinScheduling,
+    /// Upper limit on distinct sample vertices per trajectory (each one is
+    /// a concurrent expansion with network-sized scratch). Trajectories
+    /// exceeding it are rejected with [`JoinError::TooManySources`].
+    pub max_sources: usize,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        JoinConfig {
+            theta: 0.8,
+            lambda: 0.5,
+            decay_km: 1.0,
+            decay_s: 1_800.0,
+            scheduling: JoinScheduling::RoundRobin,
+            max_sources: 128,
+        }
+    }
+}
+
+/// Expansion-source scheduling inside one trajectory search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinScheduling {
+    /// Cycle through live sources (default).
+    RoundRobin,
+    /// Advance the source with the smallest normalized radius.
+    MinRadius,
+}
+
+/// One qualifying pair, `a < b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinPair {
+    /// The smaller trajectory id.
+    pub a: TrajectoryId,
+    /// The larger trajectory id.
+    pub b: TrajectoryId,
+    /// Exact pair similarity, `≥ θ`.
+    pub similarity: f64,
+}
+
+/// Join output: pairs plus effort counters.
+#[derive(Debug, Clone)]
+pub struct JoinResult {
+    /// Qualifying pairs, sorted by descending similarity then ids.
+    pub pairs: Vec<JoinPair>,
+    /// Total trajectories visited across all searches.
+    pub visited_trajectories: usize,
+    /// Total vertices settled across all searches.
+    pub settled_vertices: usize,
+    /// Total timestamps scanned across all searches.
+    pub scanned_timestamps: usize,
+    /// Total candidates generated (pre-merge).
+    pub candidates: usize,
+    /// Wall-clock time of the whole join.
+    pub runtime: Duration,
+}
+
+/// Errors from [`ts_join`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinError {
+    /// θ or λ or a decay scale failed validation.
+    BadParameter(String),
+    /// A trajectory has more distinct sample vertices than
+    /// [`JoinConfig::max_sources`].
+    TooManySources {
+        /// The offending trajectory.
+        trajectory: TrajectoryId,
+        /// Its distinct-vertex count.
+        sources: usize,
+    },
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::BadParameter(m) => write!(f, "bad join parameter: {m}"),
+            JoinError::TooManySources { trajectory, sources } => write!(
+                f,
+                "trajectory {trajectory} has {sources} distinct vertices; raise max_sources"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Validates the numeric configuration (shared with the non-self join).
+pub(crate) fn validate_config(cfg: &JoinConfig) -> Result<(), JoinError> {
+    if !(cfg.theta > 0.0 && cfg.theta <= 1.0) {
+        return Err(JoinError::BadParameter(format!(
+            "theta must be in (0, 1], got {}",
+            cfg.theta
+        )));
+    }
+    if !(0.0..=1.0).contains(&cfg.lambda) {
+        return Err(JoinError::BadParameter(format!(
+            "lambda must be in [0, 1], got {}",
+            cfg.lambda
+        )));
+    }
+    if !(cfg.decay_km > 0.0) || !(cfg.decay_s > 0.0) {
+        return Err(JoinError::BadParameter(
+            "decay scales must be positive".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn validate(cfg: &JoinConfig, store: &TrajectoryStore) -> Result<(), JoinError> {
+    validate_config(cfg)?;
+    for (id, t) in store.iter() {
+        let distinct = similarity::distinct_nodes_weighted(t).0.len();
+        if distinct > cfg.max_sources {
+            return Err(JoinError::TooManySources {
+                trajectory: id,
+                sources: distinct,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The two-phase trajectory similarity self-join.
+///
+/// `threads` sizes the rayon pool for the search phase (`1` = sequential).
+///
+/// # Errors
+///
+/// See [`JoinError`].
+pub fn ts_join(
+    net: &RoadNetwork,
+    store: &TrajectoryStore,
+    vertex_index: &VertexInvertedIndex<TrajectoryId>,
+    timestamp_index: &TimestampIndex<TrajectoryId>,
+    cfg: &JoinConfig,
+    threads: usize,
+) -> Result<JoinResult, JoinError> {
+    validate(cfg, store)?;
+    let start = Instant::now();
+    let ids: Vec<TrajectoryId> = store.ids().collect();
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .map_err(|e| JoinError::BadParameter(format!("thread pool: {e}")))?;
+
+    // --- phase 1: per-trajectory candidate searches (parallel) ---
+    // Chunk the probes so each worker reuses its expansion scratch across
+    // many searches instead of reallocating network-sized buffers.
+    let chunk = ids.len().div_ceil(threads.max(1) * 4).max(1);
+    type ChunkOut = (Vec<(TrajectoryId, Vec<search::Candidate>)>, SearchStats);
+    let per_chunk: Vec<ChunkOut> = pool.install(|| {
+        ids.par_chunks(chunk)
+            .map(|probe_chunk| {
+                let mut worker = Worker::new(net, store, vertex_index, timestamp_index);
+                let mut stats = SearchStats::default();
+                let mut out = Vec::with_capacity(probe_chunk.len());
+                for &probe in probe_chunk {
+                    let (cands, s) = worker.search(cfg, probe);
+                    stats.visited += s.visited;
+                    stats.settled_vertices += s.settled_vertices;
+                    stats.scanned_timestamps += s.scanned_timestamps;
+                    stats.candidates += s.candidates;
+                    out.push((probe, cands));
+                }
+                (out, stats)
+            })
+            .collect()
+    });
+
+    // --- phase 2: merge (constant relative to thread count) ---
+    let mut candidate_maps: Vec<HashMap<TrajectoryId, Half>> =
+        vec![HashMap::new(); store.len()];
+    let mut totals = SearchStats::default();
+    for (chunk_out, stats) in per_chunk {
+        totals.visited += stats.visited;
+        totals.settled_vertices += stats.settled_vertices;
+        totals.scanned_timestamps += stats.scanned_timestamps;
+        totals.candidates += stats.candidates;
+        for (probe, cands) in chunk_out {
+            let map = &mut candidate_maps[probe.index()];
+            for c in cands {
+                map.insert(c.other, c.half);
+            }
+        }
+    }
+
+    let mut pairs = Vec::new();
+    for &a in &ids {
+        for (&b, half_ab) in &candidate_maps[a.index()] {
+            if b <= a {
+                continue; // each unordered pair handled once, from its smaller id
+            }
+            if let Some(half_ba) = candidate_maps[b.index()].get(&a) {
+                let sim = half_ab.value() + half_ba.value();
+                if sim >= cfg.theta {
+                    pairs.push(JoinPair {
+                        a,
+                        b,
+                        similarity: sim,
+                    });
+                }
+            }
+        }
+    }
+    pairs.sort_by(|x, y| {
+        y.similarity
+            .total_cmp(&x.similarity)
+            .then_with(|| x.a.cmp(&y.a))
+            .then_with(|| x.b.cmp(&y.b))
+    });
+
+    Ok(JoinResult {
+        pairs,
+        visited_trajectories: totals.visited,
+        settled_vertices: totals.settled_vertices,
+        scanned_timestamps: totals.scanned_timestamps,
+        candidates: totals.candidates,
+        runtime: start.elapsed(),
+    })
+}
+
+/// Exhaustive oracle: evaluates every pair exactly. `O(|P|)` shortest-path
+/// trees per trajectory vertex plus `O(|P|²)` evaluations — tests and tiny
+/// datasets only.
+pub fn ts_join_brute(
+    net: &RoadNetwork,
+    store: &TrajectoryStore,
+    cfg: &JoinConfig,
+) -> Result<Vec<JoinPair>, JoinError> {
+    validate(cfg, store)?;
+    let ids: Vec<TrajectoryId> = store.ids().collect();
+    // one directed half per trajectory toward every other
+    let halves: Vec<Vec<Half>> = ids
+        .iter()
+        .map(|&a| {
+            let ta = store.get(a);
+            let (nodes, weights) = similarity::distinct_nodes_weighted(ta);
+            let trees: Vec<_> = nodes.iter().map(|&v| shortest_path_tree(net, v)).collect();
+            ids.iter()
+                .map(|&b| similarity::exact_half(cfg, &trees, &weights, ta, store.get(b)))
+                .collect()
+        })
+        .collect();
+    let mut pairs = Vec::new();
+    for (i, &a) in ids.iter().enumerate() {
+        for (j, &b) in ids.iter().enumerate().skip(i + 1) {
+            let sim = halves[i][j].value() + halves[j][i].value();
+            if sim >= cfg.theta {
+                pairs.push(JoinPair {
+                    a,
+                    b,
+                    similarity: sim,
+                });
+            }
+        }
+    }
+    pairs.sort_by(|x, y| {
+        y.similarity
+            .total_cmp(&x.similarity)
+            .then_with(|| x.a.cmp(&y.a))
+            .then_with(|| x.b.cmp(&y.b))
+    });
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uots_datagen::{Dataset, DatasetConfig};
+
+    fn join_all(ds: &Dataset, cfg: &JoinConfig, threads: usize) -> JoinResult {
+        let tidx = ds.store.build_timestamp_index();
+        ts_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, cfg, threads)
+            .expect("join runs")
+    }
+
+    #[test]
+    fn join_matches_brute_force_across_thetas_and_lambdas() {
+        let ds = Dataset::build(&DatasetConfig::small(40, 13)).unwrap();
+        for theta in [0.5, 0.7, 0.9] {
+            for lambda in [0.2, 0.5, 0.8] {
+                let cfg = JoinConfig {
+                    theta,
+                    lambda,
+                    ..Default::default()
+                };
+                let fast = join_all(&ds, &cfg, 1);
+                let brute = ts_join_brute(&ds.network, &ds.store, &cfg).unwrap();
+                assert_eq!(
+                    fast.pairs.len(),
+                    brute.len(),
+                    "θ={theta} λ={lambda}: {:?} vs {:?}",
+                    fast.pairs,
+                    brute
+                );
+                for (f, b) in fast.pairs.iter().zip(brute.iter()) {
+                    assert_eq!((f.a, f.b), (b.a, b.b), "θ={theta} λ={lambda}");
+                    assert!((f.similarity - b.similarity).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_join_equals_sequential() {
+        let ds = Dataset::build(&DatasetConfig::small(60, 14)).unwrap();
+        let cfg = JoinConfig {
+            theta: 0.6,
+            ..Default::default()
+        };
+        let a = join_all(&ds, &cfg, 1);
+        let b = join_all(&ds, &cfg, 4);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.visited_trajectories, b.visited_trajectories);
+    }
+
+    #[test]
+    fn larger_theta_yields_subset() {
+        let ds = Dataset::build(&DatasetConfig::small(50, 15)).unwrap();
+        let low = join_all(
+            &ds,
+            &JoinConfig {
+                theta: 0.5,
+                ..Default::default()
+            },
+            2,
+        );
+        let high = join_all(
+            &ds,
+            &JoinConfig {
+                theta: 0.75,
+                ..Default::default()
+            },
+            2,
+        );
+        let low_set: std::collections::HashSet<(TrajectoryId, TrajectoryId)> =
+            low.pairs.iter().map(|p| (p.a, p.b)).collect();
+        for p in &high.pairs {
+            assert!(low_set.contains(&(p.a, p.b)));
+            assert!(p.similarity >= 0.75);
+        }
+        assert!(high.pairs.len() <= low.pairs.len());
+        // higher threshold prunes harder
+        assert!(high.visited_trajectories <= low.visited_trajectories);
+    }
+
+    #[test]
+    fn min_radius_scheduling_agrees() {
+        let ds = Dataset::build(&DatasetConfig::small(40, 16)).unwrap();
+        let rr = join_all(
+            &ds,
+            &JoinConfig {
+                theta: 0.6,
+                scheduling: JoinScheduling::RoundRobin,
+                ..Default::default()
+            },
+            1,
+        );
+        let mr = join_all(
+            &ds,
+            &JoinConfig {
+                theta: 0.6,
+                scheduling: JoinScheduling::MinRadius,
+                ..Default::default()
+            },
+            1,
+        );
+        assert_eq!(rr.pairs, mr.pairs);
+    }
+
+    #[test]
+    fn near_duplicates_are_found() {
+        // two copies of the same trip must join at any θ ≤ 1
+        use uots_text::KeywordSet;
+        use uots_trajectory::{Sample, Trajectory};
+        let ds = Dataset::build(&DatasetConfig::small(5, 17)).unwrap();
+        let mut store = TrajectoryStore::new();
+        let mk = || {
+            Trajectory::new(
+                (0..5)
+                    .map(|i| Sample {
+                        node: uots_network::NodeId(i * 2),
+                        time: 1_000.0 + 30.0 * i as f64,
+                    })
+                    .collect(),
+                KeywordSet::empty(),
+            )
+            .unwrap()
+        };
+        let a = store.push(mk());
+        let b = store.push(mk());
+        let vidx = store.build_vertex_index(ds.network.num_nodes());
+        let tidx = store.build_timestamp_index();
+        let cfg = JoinConfig {
+            theta: 0.999,
+            ..Default::default()
+        };
+        let r = ts_join(&ds.network, &store, &vidx, &tidx, &cfg, 1).unwrap();
+        assert_eq!(r.pairs.len(), 1);
+        assert_eq!((r.pairs[0].a, r.pairs[0].b), (a, b));
+        assert!((r.pairs[0].similarity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let ds = Dataset::build(&DatasetConfig::small(10, 18)).unwrap();
+        let tidx = ds.store.build_timestamp_index();
+        for bad in [
+            JoinConfig {
+                theta: 0.0,
+                ..Default::default()
+            },
+            JoinConfig {
+                theta: 1.5,
+                ..Default::default()
+            },
+            JoinConfig {
+                lambda: -0.1,
+                ..Default::default()
+            },
+            JoinConfig {
+                max_sources: 1,
+                ..Default::default()
+            },
+        ] {
+            assert!(
+                ts_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, &bad, 1).is_err(),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_only_and_temporal_only_joins() {
+        let ds = Dataset::build(&DatasetConfig::small(30, 19)).unwrap();
+        for lambda in [0.0, 1.0] {
+            let cfg = JoinConfig {
+                theta: 0.8,
+                lambda,
+                ..Default::default()
+            };
+            let fast = join_all(&ds, &cfg, 1);
+            let brute = ts_join_brute(&ds.network, &ds.store, &cfg).unwrap();
+            assert_eq!(fast.pairs.len(), brute.len(), "λ={lambda}");
+            for (f, b) in fast.pairs.iter().zip(brute.iter()) {
+                assert!((f.similarity - b.similarity).abs() < 1e-9);
+            }
+        }
+    }
+}

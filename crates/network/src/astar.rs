@@ -1,0 +1,213 @@
+//! A* point-to-point shortest paths with an admissible Euclidean heuristic.
+//!
+//! Used by the trip generator (which needs millions of origin–destination
+//! routes) and available to library users as a faster alternative to plain
+//! Dijkstra for point-to-point queries.
+
+use crate::heap::{HeapEntry, TotalF64};
+use crate::{NodeId, RoadNetwork};
+use std::collections::BinaryHeap;
+
+/// Result of a point-to-point A* search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Vertices of the shortest path, source first, target last.
+    pub path: Vec<NodeId>,
+    /// Network length of the path.
+    pub distance: f64,
+}
+
+/// Reusable A* searcher over one network.
+///
+/// The Euclidean heuristic is pre-scaled by
+/// [`RoadNetwork::heuristic_scale`], which keeps it admissible even when
+/// some edge weights undercut the straight-line distance between their
+/// endpoints (never the case for generator output, but guarded regardless).
+pub struct AStar<'a> {
+    net: &'a RoadNetwork,
+    scale: f64,
+    g: Vec<f64>,
+    parent: Vec<Option<NodeId>>,
+    settled: Vec<bool>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl<'a> AStar<'a> {
+    /// Allocates a searcher for `net`.
+    pub fn new(net: &'a RoadNetwork) -> Self {
+        let n = net.num_nodes();
+        AStar {
+            net,
+            scale: net.heuristic_scale(),
+            g: vec![f64::INFINITY; n],
+            parent: vec![None; n],
+            settled: vec![false; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, v: NodeId) {
+        let i = v.index();
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.g[i] = f64::INFINITY;
+            self.parent[i] = None;
+            self.settled[i] = false;
+        }
+    }
+
+    #[inline]
+    fn is_settled(&self, v: NodeId) -> bool {
+        self.stamp[v.index()] == self.epoch && self.settled[v.index()]
+    }
+
+    /// Shortest route from `source` to `target`, or `None` when
+    /// disconnected. Scratch buffers are reused across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is not in the network.
+    pub fn route(&mut self, source: NodeId, target: NodeId) -> Option<Route> {
+        assert!(self.net.contains_node(source) && self.net.contains_node(target));
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+
+        let goal = self.net.point(target);
+        let h = |net: &RoadNetwork, v: NodeId, scale: f64| net.point(v).distance(&goal) * scale;
+
+        self.touch(source);
+        self.g[source.index()] = 0.0;
+        self.heap.push(HeapEntry {
+            dist: TotalF64(h(self.net, source, self.scale)),
+            node: source,
+        });
+
+        while let Some(HeapEntry { node: v, .. }) = self.heap.pop() {
+            if self.is_settled(v) {
+                continue;
+            }
+            self.settled[v.index()] = true;
+            if v == target {
+                let mut path = vec![v];
+                let mut cur = v;
+                while let Some(p) = self.parent[cur.index()] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(Route {
+                    distance: self.g[target.index()],
+                    path,
+                });
+            }
+            let gv = self.g[v.index()];
+            for (u, w) in self.net.neighbors(v) {
+                if self.is_settled(u) {
+                    continue;
+                }
+                self.touch(u);
+                let ng = gv + w;
+                if ng < self.g[u.index()] {
+                    self.g[u.index()] = ng;
+                    self.parent[u.index()] = Some(v);
+                    self.heap.push(HeapEntry {
+                        dist: TotalF64(ng + h(self.net, u, self.scale)),
+                        node: u,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Shortest network distance from `source` to `target`, or `None` when
+    /// disconnected.
+    pub fn distance(&mut self, source: NodeId, target: NodeId) -> Option<f64> {
+        self.route(source, target).map(|r| r.distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+    use crate::generators::{grid_city, GridCityConfig};
+    use crate::{NetworkBuilder, Point};
+
+    #[test]
+    fn astar_equals_dijkstra_on_grid() {
+        let net = grid_city(&GridCityConfig::tiny(9)).unwrap();
+        let mut astar = AStar::new(&net);
+        let pairs = [(0u32, 80u32), (5, 43), (12, 12), (3, 77)];
+        for (a, b) in pairs {
+            let expect = dijkstra::distance(&net, NodeId(a), NodeId(b));
+            let got = astar.distance(NodeId(a), NodeId(b));
+            match (expect, got) {
+                (Some(e), Some(g)) => assert!((e - g).abs() < 1e-9, "{a}->{b}: {e} vs {g}"),
+                (e, g) => assert_eq!(e.is_some(), g.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn route_endpoints_and_length_are_consistent() {
+        let net = grid_city(&GridCityConfig::tiny(6)).unwrap();
+        let mut astar = AStar::new(&net);
+        let r = astar.route(NodeId(0), NodeId(35)).unwrap();
+        assert_eq!(*r.path.first().unwrap(), NodeId(0));
+        assert_eq!(*r.path.last().unwrap(), NodeId(35));
+        // path edges must exist and sum to the reported distance
+        let mut sum = 0.0;
+        for w in r.path.windows(2) {
+            let weight = net
+                .neighbors(w[0])
+                .find(|(u, _)| *u == w[1])
+                .map(|(_, w)| w)
+                .expect("consecutive path vertices must be adjacent");
+            sum += weight;
+        }
+        assert!((sum - r.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_source_and_target() {
+        let net = grid_city(&GridCityConfig::tiny(4)).unwrap();
+        let mut astar = AStar::new(&net);
+        let r = astar.route(NodeId(5), NodeId(5)).unwrap();
+        assert_eq!(r.distance, 0.0);
+        assert_eq!(r.path, vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_node(Point::ORIGIN);
+        let v1 = b.add_node(Point::new(1.0, 0.0));
+        b.add_node(Point::new(5.0, 5.0));
+        b.add_edge(v0, v1, None).unwrap();
+        let net = b.build().unwrap();
+        let mut astar = AStar::new(&net);
+        assert_eq!(astar.distance(NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    fn reuse_across_queries_is_clean() {
+        let net = grid_city(&GridCityConfig::tiny(5)).unwrap();
+        let mut astar = AStar::new(&net);
+        let d1 = astar.distance(NodeId(0), NodeId(24)).unwrap();
+        let d2 = astar.distance(NodeId(24), NodeId(0)).unwrap();
+        assert!((d1 - d2).abs() < 1e-9);
+        for _ in 0..10 {
+            assert!((astar.distance(NodeId(0), NodeId(24)).unwrap() - d1).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Incremental network expansion — the query-time primitive of the UOTS
+//! algorithm.
+//!
+//! The UOTS search performs Dijkstra expansion *concurrently* from every
+//! query source, advancing whichever source the scheduler picks next. That
+//! requires a Dijkstra that can be driven one settled vertex at a time and
+//! interrogated for its current radius, which is exactly what
+//! [`NetworkExpansion`] provides:
+//!
+//! * [`NetworkExpansion::next_settled`] settles and returns the next-nearest
+//!   vertex (vertices come out in nondecreasing distance — Dijkstra's
+//!   invariant);
+//! * [`NetworkExpansion::radius`] returns the distance of the most recently
+//!   settled vertex, which is a valid **lower bound** on the network
+//!   distance to every vertex not yet settled. This is the `r_i` of the
+//!   paper's pruning bounds: the first sample point of a trajectory settled
+//!   by the expansion realizes the exact point-to-trajectory distance, and
+//!   until then the radius lower-bounds it.
+//!
+//! The struct owns epoch-stamped scratch buffers sized to the network so a
+//! single allocation can be reused across many queries (`restart`), which
+//! keeps the per-query cost allocation-free on the hot path.
+
+use crate::heap::{HeapEntry, TotalF64};
+use crate::{NodeId, RoadNetwork};
+use std::collections::BinaryHeap;
+
+/// A vertex settled by an expansion, with its exact network distance from
+/// the expansion source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Settled {
+    /// The settled vertex.
+    pub node: NodeId,
+    /// Exact network distance from the expansion source.
+    pub dist: f64,
+}
+
+/// Resumable single-source Dijkstra over a [`RoadNetwork`].
+///
+/// ```
+/// use uots_network::{generators, expansion::NetworkExpansion, NodeId};
+///
+/// let net = generators::grid_city(&generators::GridCityConfig::tiny(7)).unwrap();
+/// let mut exp = NetworkExpansion::new(&net);
+/// exp.start(NodeId(0));
+/// let mut last = 0.0;
+/// while let Some(s) = exp.next_settled() {
+///     assert!(s.dist >= last); // nondecreasing settle order
+///     last = s.dist;
+///     assert!(exp.radius() >= s.dist - 1e-12);
+/// }
+/// assert!(exp.is_exhausted());
+/// ```
+pub struct NetworkExpansion<'a> {
+    net: &'a RoadNetwork,
+    source: NodeId,
+    /// Tentative distances; only meaningful where `stamp == epoch`.
+    dist: Vec<f64>,
+    /// Which vertices are settled; only meaningful where `stamp == epoch`.
+    settled: Vec<bool>,
+    /// Epoch stamps enabling O(1) logical reset of `dist` / `settled`.
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<HeapEntry>,
+    radius: f64,
+    settled_count: usize,
+    started: bool,
+}
+
+impl<'a> NetworkExpansion<'a> {
+    /// Allocates scratch state for expansions over `net`. Call
+    /// [`start`](Self::start) before advancing.
+    pub fn new(net: &'a RoadNetwork) -> Self {
+        let n = net.num_nodes();
+        NetworkExpansion {
+            net,
+            source: NodeId(0),
+            dist: vec![f64::INFINITY; n],
+            settled: vec![false; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+            radius: 0.0,
+            settled_count: 0,
+            started: false,
+        }
+    }
+
+    /// Convenience constructor that allocates and immediately starts from
+    /// `source`.
+    pub fn from_source(net: &'a RoadNetwork, source: NodeId) -> Self {
+        let mut e = Self::new(net);
+        e.start(source);
+        e
+    }
+
+    /// (Re)starts the expansion from `source`, logically clearing all state
+    /// in O(1) (epoch bump) plus the heap clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a vertex of the network.
+    pub fn start(&mut self, source: NodeId) {
+        assert!(self.net.contains_node(source), "source not in network");
+        self.source = source;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // extremely unlikely wrap-around: hard-reset the stamps
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+        self.radius = 0.0;
+        self.settled_count = 0;
+        self.started = true;
+        self.set_dist(source, 0.0);
+        self.heap.push(HeapEntry {
+            dist: TotalF64(0.0),
+            node: source,
+        });
+    }
+
+    #[inline]
+    fn is_current(&self, v: NodeId) -> bool {
+        self.stamp[v.index()] == self.epoch
+    }
+
+    #[inline]
+    fn set_dist(&mut self, v: NodeId, d: f64) {
+        let i = v.index();
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.settled[i] = false;
+        }
+        self.dist[i] = d;
+    }
+
+    /// The expansion source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`start`](Self::start) has not been called.
+    pub fn source(&self) -> NodeId {
+        assert!(self.started, "expansion not started");
+        self.source
+    }
+
+    /// Settles and returns the next-nearest unsettled vertex, or `None` when
+    /// every vertex reachable from the source has been settled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`start`](Self::start) has not been called.
+    pub fn next_settled(&mut self) -> Option<Settled> {
+        assert!(self.started, "expansion not started");
+        while let Some(HeapEntry {
+            dist: TotalF64(d),
+            node: v,
+        }) = self.heap.pop()
+        {
+            let i = v.index();
+            if self.is_current(v) && self.settled[i] {
+                continue; // stale entry
+            }
+            debug_assert!(self.is_current(v));
+            self.settled[i] = true;
+            self.settled_count += 1;
+            debug_assert!(d >= self.radius - 1e-12, "settle order must be nondecreasing");
+            self.radius = d;
+            for (u, w) in self.net.neighbors(v) {
+                let nd = d + w;
+                let better = !self.is_current(u) || nd < self.dist[u.index()];
+                if better && !(self.is_current(u) && self.settled[u.index()]) {
+                    self.set_dist(u, nd);
+                    self.heap.push(HeapEntry {
+                        dist: TotalF64(nd),
+                        node: u,
+                    });
+                }
+            }
+            return Some(Settled { node: v, dist: d });
+        }
+        None
+    }
+
+    /// Advances the expansion until its radius reaches at least `target`,
+    /// collecting settled vertices into `out`. Returns `false` when the
+    /// expansion exhausted the component first.
+    pub fn expand_to_radius(&mut self, target: f64, out: &mut Vec<Settled>) -> bool {
+        while self.radius < target {
+            match self.next_settled() {
+                Some(s) => out.push(s),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Distance of the most recently settled vertex: a valid lower bound on
+    /// the network distance from the source to any vertex not yet settled
+    /// (and, once exhausted, `f64::INFINITY` would be valid for unreached
+    /// vertices — see [`unsettled_lower_bound`](Self::unsettled_lower_bound)).
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Lower bound on the distance to any vertex not yet settled:
+    /// the current radius while the expansion is live, `f64::INFINITY` once
+    /// the whole component is exhausted (nothing reachable remains).
+    #[inline]
+    pub fn unsettled_lower_bound(&self) -> f64 {
+        if self.is_exhausted() {
+            f64::INFINITY
+        } else {
+            self.radius
+        }
+    }
+
+    /// Whether the whole connected component of the source has been settled.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of vertices settled so far.
+    #[inline]
+    pub fn settled_count(&self) -> usize {
+        self.settled_count
+    }
+
+    /// Exact distance to `v` if it has been settled, `None` otherwise.
+    #[inline]
+    pub fn settled_distance(&self, v: NodeId) -> Option<f64> {
+        let i = v.index();
+        (self.is_current(v) && self.settled[i]).then(|| self.dist[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::shortest_path_tree;
+    use crate::{NetworkBuilder, Point};
+
+    fn line(n: usize) -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| b.add_node(Point::new(i as f64, 0.0)))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], None).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn settles_in_distance_order() {
+        let net = line(6);
+        let mut exp = NetworkExpansion::from_source(&net, NodeId(2));
+        let settled: Vec<(u32, f64)> = std::iter::from_fn(|| exp.next_settled())
+            .map(|s| (s.node.0, s.dist))
+            .collect();
+        assert_eq!(settled.len(), 6);
+        assert_eq!(settled[0], (2, 0.0));
+        for w in settled.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!(exp.is_exhausted());
+        assert_eq!(exp.unsettled_lower_bound(), f64::INFINITY);
+    }
+
+    #[test]
+    fn matches_full_dijkstra() {
+        let net = line(10);
+        let tree = shortest_path_tree(&net, NodeId(0));
+        let mut exp = NetworkExpansion::from_source(&net, NodeId(0));
+        while let Some(s) = exp.next_settled() {
+            assert_eq!(tree.distance(s.node), Some(s.dist));
+        }
+        assert_eq!(exp.settled_count(), 10);
+    }
+
+    #[test]
+    fn radius_lower_bounds_unsettled() {
+        let net = line(10);
+        let mut exp = NetworkExpansion::from_source(&net, NodeId(0));
+        let tree = shortest_path_tree(&net, NodeId(0));
+        for _ in 0..5 {
+            exp.next_settled();
+        }
+        let r = exp.radius();
+        for v in net.node_ids() {
+            if exp.settled_distance(v).is_none() {
+                assert!(tree.distance(v).unwrap() >= r);
+            }
+        }
+    }
+
+    #[test]
+    fn restart_reuses_buffers() {
+        let net = line(8);
+        let mut exp = NetworkExpansion::new(&net);
+        exp.start(NodeId(0));
+        while exp.next_settled().is_some() {}
+        assert_eq!(exp.settled_count(), 8);
+
+        exp.start(NodeId(7));
+        assert_eq!(exp.settled_count(), 0);
+        assert_eq!(exp.radius(), 0.0);
+        let first = exp.next_settled().unwrap();
+        assert_eq!(first.node, NodeId(7));
+        assert_eq!(first.dist, 0.0);
+        let second = exp.next_settled().unwrap();
+        assert_eq!(second.node, NodeId(6));
+        assert_eq!(second.dist, 1.0);
+        // distances from the previous run must not leak through
+        assert_eq!(exp.settled_distance(NodeId(0)), None);
+    }
+
+    #[test]
+    fn expand_to_radius_stops_at_target() {
+        let net = line(10);
+        let mut exp = NetworkExpansion::from_source(&net, NodeId(0));
+        let mut out = Vec::new();
+        let alive = exp.expand_to_radius(3.0, &mut out);
+        assert!(alive);
+        assert!(exp.radius() >= 3.0);
+        assert!(out.iter().any(|s| s.node == NodeId(3)));
+        assert!(out.iter().all(|s| s.dist <= 3.0));
+    }
+
+    #[test]
+    fn expand_to_radius_reports_exhaustion() {
+        let net = line(4);
+        let mut exp = NetworkExpansion::from_source(&net, NodeId(0));
+        let mut out = Vec::new();
+        let alive = exp.expand_to_radius(100.0, &mut out);
+        assert!(!alive);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn settled_distance_visibility() {
+        let net = line(5);
+        let mut exp = NetworkExpansion::from_source(&net, NodeId(0));
+        assert_eq!(exp.settled_distance(NodeId(0)), None); // source not yet popped
+        exp.next_settled();
+        assert_eq!(exp.settled_distance(NodeId(0)), Some(0.0));
+        assert_eq!(exp.settled_distance(NodeId(4)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expansion not started")]
+    fn advancing_unstarted_expansion_panics() {
+        let net = line(3);
+        let mut exp = NetworkExpansion::new(&net);
+        exp.next_settled();
+    }
+}

@@ -1,0 +1,101 @@
+//! A total-order wrapper for `f64` priorities plus the min-heap entry type
+//! shared by all shortest-path routines in this crate.
+
+use crate::NodeId;
+use std::cmp::Ordering;
+
+/// An `f64` with a total order, for use as a binary-heap priority.
+///
+/// All distances produced by this crate are finite and non-negative, so the
+/// wrapper simply treats NaN as greatest (it never occurs in practice but
+/// must not violate `Ord`'s contract).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Min-heap entry: `std::collections::BinaryHeap` is a max-heap, so the
+/// ordering is reversed here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct HeapEntry {
+    pub dist: TotalF64,
+    pub node: NodeId,
+}
+
+impl PartialOrd for HeapEntry {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: smallest distance first; ties broken by node id for
+        // determinism across runs
+        other
+            .dist
+            .cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn total_f64_orders_like_f64() {
+        assert!(TotalF64(1.0) < TotalF64(2.0));
+        assert!(TotalF64(-1.0) < TotalF64(0.0));
+        assert_eq!(TotalF64(3.5), TotalF64(3.5));
+        assert!(TotalF64(f64::INFINITY) > TotalF64(1e308));
+    }
+
+    #[test]
+    fn nan_is_greatest() {
+        assert!(TotalF64(f64::NAN) > TotalF64(f64::INFINITY));
+    }
+
+    #[test]
+    fn heap_pops_smallest_distance_first() {
+        let mut h = BinaryHeap::new();
+        for (d, v) in [(3.0, 1u32), (1.0, 2), (2.0, 3)] {
+            h.push(HeapEntry {
+                dist: TotalF64(d),
+                node: NodeId(v),
+            });
+        }
+        let order: Vec<f64> = std::iter::from_fn(|| h.pop()).map(|e| e.dist.0).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn heap_breaks_ties_by_node_id() {
+        let mut h = BinaryHeap::new();
+        for v in [5u32, 1, 3] {
+            h.push(HeapEntry {
+                dist: TotalF64(1.0),
+                node: NodeId(v),
+            });
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop()).map(|e| e.node.0).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Textual edge-list serialization for road networks.
+//!
+//! Binary/JSON serialization is available via the `serde` derives on
+//! [`RoadNetwork`]; this module adds the simple whitespace-separated format
+//! common for published road-network datasets (one vertex line `v <id> <x>
+//! <y>`, one edge line `e <a> <b> <weight>`), so externally obtained
+//! networks can be loaded without extra tooling.
+
+use crate::geometry::Point;
+use crate::{NetworkBuilder, NetworkError, NodeId, RoadNetwork};
+use std::fmt::Write as _;
+
+/// Serializes `net` to the edge-list text format.
+///
+/// The output round-trips through [`parse_edge_list`]; vertex ids are the
+/// dense [`NodeId`] indices.
+pub fn to_edge_list(net: &RoadNetwork) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# uots edge-list v1");
+    let _ = writeln!(out, "# {} nodes, {} edges", net.num_nodes(), net.num_edges());
+    for v in net.node_ids() {
+        let p = net.point(v);
+        let _ = writeln!(out, "v {} {} {}", v.0, p.x, p.y);
+    }
+    for e in net.edges() {
+        let _ = writeln!(out, "e {} {} {}", e.a.0, e.b.0, e.weight);
+    }
+    out
+}
+
+/// Parses the edge-list text format produced by [`to_edge_list`].
+///
+/// Vertex lines must precede the edges that reference them; `#`-prefixed
+/// lines and blank lines are ignored. Vertex ids must be dense and appear in
+/// increasing order starting at zero (the natural output order).
+///
+/// # Errors
+///
+/// [`NetworkError::Parse`] describing the offending line, or the underlying
+/// builder error for semantic problems (unknown endpoints, bad weights).
+pub fn parse_edge_list(text: &str) -> Result<RoadNetwork, NetworkError> {
+    let mut b = NetworkBuilder::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap(); // non-empty by the check above
+        let err = |message: &str| NetworkError::Parse {
+            line: lineno + 1,
+            message: message.to_string(),
+        };
+        match tag {
+            "v" => {
+                let id: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("vertex line needs a numeric id"))?;
+                let x: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("vertex line needs x coordinate"))?;
+                let y: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("vertex line needs y coordinate"))?;
+                if id as usize != b.num_nodes() {
+                    return Err(err("vertex ids must be dense and in order"));
+                }
+                b.add_node(Point::new(x, y));
+            }
+            "e" => {
+                let a: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("edge line needs endpoint a"))?;
+                let c: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("edge line needs endpoint b"))?;
+                let w: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("edge line needs a weight"))?;
+                b.add_edge(NodeId(a), NodeId(c), Some(w))?;
+            }
+            other => {
+                return Err(err(&format!("unknown record tag `{other}`")));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_city, GridCityConfig};
+
+    #[test]
+    fn round_trip_preserves_network() {
+        let net = grid_city(&GridCityConfig::new(6, 5).with_seed(11)).unwrap();
+        let text = to_edge_list(&net);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\nv 0 0 0\nv 1 1 0\n# middle comment\ne 0 1 1.5\n";
+        let net = parse_edge_list(text).unwrap();
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.num_edges(), 1);
+        assert_eq!(net.edges()[0].weight, 1.5);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse_edge_list("v 0 0 0\nx 1 2 3\n").unwrap_err();
+        assert!(matches!(e, NetworkError::Parse { line: 2, .. }), "{e:?}");
+
+        let e = parse_edge_list("v 5 0 0\n").unwrap_err();
+        assert!(matches!(e, NetworkError::Parse { line: 1, .. }));
+
+        let e = parse_edge_list("v 0 zero 0\n").unwrap_err();
+        assert!(matches!(e, NetworkError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn semantic_errors_surface_from_builder() {
+        let e = parse_edge_list("v 0 0 0\nv 1 1 0\ne 0 9 1.0\n").unwrap_err();
+        assert!(matches!(e, NetworkError::UnknownNode(NodeId(9))));
+
+        let e = parse_edge_list("v 0 0 0\nv 1 1 0\ne 0 1 -1\n").unwrap_err();
+        assert!(matches!(e, NetworkError::BadWeight(_)));
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let net = grid_city(&GridCityConfig::tiny(4)).unwrap();
+        let json = serde_json::to_string(&net).unwrap();
+        let back: RoadNetwork = serde_json::from_str(&json).unwrap();
+        assert_eq!(net, back);
+    }
+}

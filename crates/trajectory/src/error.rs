@@ -1,0 +1,60 @@
+//! Error type for trajectory construction and generation.
+
+/// Errors produced while validating or generating trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrajectoryError {
+    /// A trajectory must have at least one sample.
+    Empty,
+    /// A timestamp is non-finite or outside the 24-hour axis.
+    BadTimestamp {
+        /// Sample index of the offending timestamp.
+        index: usize,
+        /// The offending value.
+        time: f64,
+    },
+    /// Timestamps must be nondecreasing.
+    TimeNotMonotone {
+        /// Sample index where time decreased.
+        index: usize,
+    },
+    /// A generator configuration failed validation.
+    BadGeneratorConfig(String),
+}
+
+impl std::fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrajectoryError::Empty => write!(f, "trajectory has no samples"),
+            TrajectoryError::BadTimestamp { index, time } => {
+                write!(f, "sample {index} has bad timestamp {time}")
+            }
+            TrajectoryError::TimeNotMonotone { index } => {
+                write!(f, "timestamp decreases at sample {index}")
+            }
+            TrajectoryError::BadGeneratorConfig(msg) => {
+                write!(f, "bad generator config: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TrajectoryError::Empty.to_string().contains("no samples"));
+        assert!(TrajectoryError::BadTimestamp {
+            index: 3,
+            time: -1.0
+        }
+        .to_string()
+        .contains("sample 3"));
+        assert!(TrajectoryError::TimeNotMonotone { index: 2 }
+            .to_string()
+            .contains("sample 2"));
+    }
+}

@@ -1,0 +1,445 @@
+//! Synthetic trip generation.
+//!
+//! Stands in for the paper's real taxi data (T-drive Beijing): trips are
+//! shortest-path routes between *hotspot-biased* endpoints, subsampled into
+//! sample points, timestamped with a rush-hour start-time mixture and a
+//! per-trip speed, and tagged by the category model. The spatial skew
+//! (hotspots), temporal skew (rush hours) and textual skew (Zipf categories)
+//! are what make pruning behave as it does on real data.
+
+use crate::tags::TagSampler;
+use crate::{Sample, Trajectory, TrajectoryError, TrajectoryStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uots_index::{GridIndex, DAY_SECONDS};
+use uots_network::astar::AStar;
+use uots_network::{NodeId, Point, RoadNetwork};
+
+/// Configuration of the [`TripGenerator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TripGeneratorConfig {
+    /// Number of trajectories to generate.
+    pub num_trips: usize,
+    /// Number of spatial hotspot centres (popular origins/destinations).
+    pub hotspots: usize,
+    /// Probability that a trip endpoint is drawn near a hotspot rather than
+    /// uniformly.
+    pub hotspot_prob: f64,
+    /// Standard deviation (km) of the Gaussian scatter around a hotspot.
+    pub hotspot_sigma_km: f64,
+    /// Minimum network length (km) of an accepted trip.
+    pub min_trip_km: f64,
+    /// Keep every `sample_stride`-th route vertex as a sample point (first
+    /// and last are always kept). `1` keeps the full route.
+    pub sample_stride: usize,
+    /// Mean travel speed in km/h.
+    pub speed_kmh_mean: f64,
+    /// Standard deviation of the travel speed in km/h.
+    pub speed_kmh_std: f64,
+    /// Inclusive range of tags per trip.
+    pub min_tags: usize,
+    /// See [`TripGeneratorConfig::min_tags`].
+    pub max_tags: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TripGeneratorConfig {
+    fn default() -> Self {
+        TripGeneratorConfig {
+            num_trips: 1000,
+            hotspots: 8,
+            hotspot_prob: 0.6,
+            hotspot_sigma_km: 0.8,
+            min_trip_km: 1.0,
+            sample_stride: 3,
+            speed_kmh_mean: 30.0,
+            speed_kmh_std: 8.0,
+            min_tags: 2,
+            max_tags: 6,
+            seed: 0x7219_0000,
+        }
+    }
+}
+
+impl TripGeneratorConfig {
+    fn validate(&self) -> Result<(), TrajectoryError> {
+        if self.num_trips == 0 {
+            return Err(TrajectoryError::BadGeneratorConfig(
+                "num_trips must be positive".into(),
+            ));
+        }
+        if self.hotspots == 0 || !(0.0..=1.0).contains(&self.hotspot_prob) {
+            return Err(TrajectoryError::BadGeneratorConfig(
+                "need hotspots >= 1 and hotspot_prob in [0, 1]".into(),
+            ));
+        }
+        if self.sample_stride == 0 {
+            return Err(TrajectoryError::BadGeneratorConfig(
+                "sample_stride must be >= 1".into(),
+            ));
+        }
+        if !(self.speed_kmh_mean > 0.0) || self.speed_kmh_std < 0.0 {
+            return Err(TrajectoryError::BadGeneratorConfig(
+                "speed must be positive".into(),
+            ));
+        }
+        if self.min_tags > self.max_tags {
+            return Err(TrajectoryError::BadGeneratorConfig(
+                "min_tags must not exceed max_tags".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Overrides the seed, builder-style.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the trip count, builder-style.
+    pub fn with_num_trips(mut self, n: usize) -> Self {
+        self.num_trips = n;
+        self
+    }
+}
+
+/// A generated trip together with its ground truth, for tests and the
+/// map-matching pipeline.
+#[derive(Debug, Clone)]
+pub struct GeneratedTrip {
+    /// The subsampled, timestamped, tagged trajectory.
+    pub trajectory: Trajectory,
+    /// The full vertex route the trip followed.
+    pub route: Vec<NodeId>,
+    /// The category the tags were drawn from.
+    pub category: usize,
+}
+
+/// Standard normal draw via Box–Muller.
+fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    mean + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a trip start hour from the rush-hour mixture:
+/// 35% N(8.5h, 1h), 35% N(18h, 1.5h), 30% uniform day.
+fn start_time<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen();
+    let hours = if u < 0.35 {
+        normal(rng, 8.5, 1.0)
+    } else if u < 0.70 {
+        normal(rng, 18.0, 1.5)
+    } else {
+        rng.gen::<f64>() * 19.0 + 4.0
+    };
+    (hours.clamp(0.0, 23.5)) * 3_600.0
+}
+
+/// Deterministic trip generator over one road network.
+pub struct TripGenerator<'a> {
+    net: &'a RoadNetwork,
+    grid: GridIndex,
+    hotspot_centres: Vec<Point>,
+    cfg: TripGeneratorConfig,
+    rng: StdRng,
+    astar: AStar<'a>,
+}
+
+impl<'a> TripGenerator<'a> {
+    /// Creates a generator; builds a vertex grid index for endpoint
+    /// snapping and selects hotspot centres.
+    ///
+    /// # Errors
+    ///
+    /// [`TrajectoryError::BadGeneratorConfig`] on invalid configuration.
+    pub fn new(net: &'a RoadNetwork, cfg: TripGeneratorConfig) -> Result<Self, TrajectoryError> {
+        cfg.validate()?;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let grid = GridIndex::build(net.points(), 8);
+        let hotspot_centres = (0..cfg.hotspots)
+            .map(|_| net.point(NodeId(rng.gen_range(0..net.num_nodes()) as u32)))
+            .collect();
+        Ok(TripGenerator {
+            net,
+            grid,
+            hotspot_centres,
+            cfg,
+            rng,
+            astar: AStar::new(net),
+        })
+    }
+
+    fn sample_endpoint(&mut self) -> NodeId {
+        if self.rng.gen::<f64>() < self.cfg.hotspot_prob {
+            let c = self.hotspot_centres[self.rng.gen_range(0..self.hotspot_centres.len())];
+            let p = Point::new(
+                normal(&mut self.rng, c.x, self.cfg.hotspot_sigma_km),
+                normal(&mut self.rng, c.y, self.cfg.hotspot_sigma_km),
+            );
+            NodeId(self.grid.nearest(&p).0 as u32)
+        } else {
+            NodeId(self.rng.gen_range(0..self.net.num_nodes()) as u32)
+        }
+    }
+
+    /// Generates one trip (ground truth included). Endpoint pairs are
+    /// retried until the route meets `min_trip_km`; after 32 failures the
+    /// length requirement is dropped so generation always terminates.
+    pub fn generate_trip(&mut self, tags: &TagSampler) -> GeneratedTrip {
+        let mut best: Option<(Vec<NodeId>, f64)> = None;
+        for attempt in 0..64 {
+            let a = self.sample_endpoint();
+            let b = self.sample_endpoint();
+            if a == b {
+                continue;
+            }
+            if let Some(route) = self.astar.route(a, b) {
+                if route.distance >= self.cfg.min_trip_km || attempt >= 32 {
+                    best = Some((route.path, route.distance));
+                    break;
+                }
+                // remember the longest reject as a fallback
+                if best.as_ref().map_or(true, |(_, d)| route.distance > *d) {
+                    best = Some((route.path, route.distance));
+                }
+            }
+        }
+        let (route, distance) = best.expect("connected network yields a route");
+
+        // subsample the route into sample points
+        let stride = self.cfg.sample_stride;
+        let mut picks: Vec<usize> = (0..route.len()).step_by(stride).collect();
+        if *picks.last().expect("route non-empty") != route.len() - 1 {
+            picks.push(route.len() - 1);
+        }
+
+        // speed and timestamps from cumulative route distance
+        let speed_kmh = normal(&mut self.rng, self.cfg.speed_kmh_mean, self.cfg.speed_kmh_std)
+            .clamp(8.0, 90.0);
+        let duration_s = distance / speed_kmh * 3_600.0;
+        let mut start = start_time(&mut self.rng);
+        if start + duration_s > DAY_SECONDS {
+            start = (DAY_SECONDS - duration_s).max(0.0);
+        }
+
+        // cumulative distances along the route
+        let mut cum = Vec::with_capacity(route.len());
+        cum.push(0.0);
+        for w in route.windows(2) {
+            let weight = self
+                .net
+                .neighbors(w[0])
+                .find(|(u, _)| *u == w[1])
+                .map(|(_, wt)| wt)
+                .expect("route vertices are adjacent");
+            cum.push(cum.last().unwrap() + weight);
+        }
+        let total = *cum.last().unwrap();
+
+        let samples: Vec<Sample> = picks
+            .iter()
+            .map(|&i| {
+                let frac = if total > 0.0 { cum[i] / total } else { 0.0 };
+                Sample {
+                    node: route[i],
+                    time: (start + frac * duration_s).min(DAY_SECONDS),
+                }
+            })
+            .collect();
+
+        let category = tags.sample_category(&mut self.rng);
+        let count = self
+            .rng
+            .gen_range(self.cfg.min_tags..=self.cfg.max_tags.max(self.cfg.min_tags));
+        let keywords = tags.sample_tags(category, count.max(1), &mut self.rng);
+
+        let trajectory =
+            Trajectory::new(samples, keywords).expect("generator output is valid by construction");
+        GeneratedTrip {
+            trajectory,
+            route,
+            category,
+        }
+    }
+
+    /// Generates the configured number of trips into a fresh store.
+    pub fn generate(&mut self, tags: &TagSampler) -> TrajectoryStore {
+        let mut store = TrajectoryStore::with_capacity(self.cfg.num_trips);
+        for _ in 0..self.cfg.num_trips {
+            store.push(self.generate_trip(tags).trajectory);
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::{TagModelConfig, TagSampler};
+    use uots_network::generators::{grid_city, GridCityConfig};
+
+    fn setup() -> (RoadNetwork, TagSampler) {
+        let net = grid_city(&GridCityConfig::new(25, 25).with_seed(3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let (tags, _vocab) = TagSampler::synthetic(&TagModelConfig::default(), &mut rng);
+        (net, tags)
+    }
+
+    #[test]
+    fn generates_requested_count_of_valid_trips() {
+        let (net, tags) = setup();
+        let cfg = TripGeneratorConfig {
+            num_trips: 50,
+            ..Default::default()
+        };
+        let mut g = TripGenerator::new(&net, cfg).unwrap();
+        let store = g.generate(&tags);
+        assert_eq!(store.len(), 50);
+        for (_, t) in store.iter() {
+            assert!(t.len() >= 2);
+            assert!(!t.keywords().is_empty());
+            let (a, b) = t.time_range();
+            assert!(a >= 0.0 && b <= DAY_SECONDS && a <= b);
+        }
+    }
+
+    #[test]
+    fn trips_are_deterministic_per_seed() {
+        let (net, tags) = setup();
+        let cfg = TripGeneratorConfig {
+            num_trips: 10,
+            ..Default::default()
+        }
+        .with_seed(77);
+        let s1 = TripGenerator::new(&net, cfg.clone()).unwrap().generate(&tags);
+        let s2 = TripGenerator::new(&net, cfg).unwrap().generate(&tags);
+        for (a, b) in s1.iter().zip(s2.iter()) {
+            assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn route_is_network_adjacent_and_samples_subset_route() {
+        let (net, tags) = setup();
+        let mut g = TripGenerator::new(&net, TripGeneratorConfig::default()).unwrap();
+        for _ in 0..10 {
+            let trip = g.generate_trip(&tags);
+            for w in trip.route.windows(2) {
+                assert!(net.neighbors(w[0]).any(|(u, _)| u == w[1]));
+            }
+            for s in trip.trajectory.samples() {
+                assert!(trip.route.contains(&s.node));
+            }
+            // endpoints kept
+            assert_eq!(trip.trajectory.samples()[0].node, trip.route[0]);
+            assert_eq!(
+                trip.trajectory.samples().last().unwrap().node,
+                *trip.route.last().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn sample_stride_controls_density() {
+        let (net, tags) = setup();
+        let dense_cfg = TripGeneratorConfig {
+            sample_stride: 1,
+            min_trip_km: 3.0,
+            ..Default::default()
+        }
+        .with_seed(5);
+        let sparse_cfg = TripGeneratorConfig {
+            sample_stride: 6,
+            min_trip_km: 3.0,
+            ..Default::default()
+        }
+        .with_seed(5);
+        let mut dense = TripGenerator::new(&net, dense_cfg).unwrap();
+        let mut sparse = TripGenerator::new(&net, sparse_cfg).unwrap();
+        let dt = dense.generate_trip(&tags);
+        let st = sparse.generate_trip(&tags);
+        // identical seeds ⇒ identical routes; sparse keeps fewer samples
+        assert_eq!(dt.route, st.route);
+        assert!(st.trajectory.len() < dt.trajectory.len());
+        assert_eq!(dt.trajectory.len(), dt.route.len());
+    }
+
+    #[test]
+    fn timestamps_increase_along_route() {
+        let (net, tags) = setup();
+        let mut g = TripGenerator::new(
+            &net,
+            TripGeneratorConfig {
+                min_trip_km: 2.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let trip = g.generate_trip(&tags);
+        let times: Vec<f64> = trip.trajectory.times().collect();
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(trip.trajectory.duration() > 0.0);
+    }
+
+    #[test]
+    fn hotspot_bias_concentrates_endpoints() {
+        let (net, tags) = setup();
+        let cfg = TripGeneratorConfig {
+            num_trips: 200,
+            hotspots: 2,
+            hotspot_prob: 1.0,
+            hotspot_sigma_km: 0.3,
+            min_trip_km: 0.0,
+            ..Default::default()
+        }
+        .with_seed(13);
+        let mut g = TripGenerator::new(&net, cfg).unwrap();
+        let store = g.generate(&tags);
+        // endpoint vertices should be few distinct ones relative to trips
+        let mut endpoints = std::collections::HashSet::new();
+        for (_, t) in store.iter() {
+            endpoints.insert(t.samples()[0].node);
+            endpoints.insert(t.samples().last().unwrap().node);
+        }
+        assert!(
+            endpoints.len() < 150,
+            "hotspot endpoints too dispersed: {}",
+            endpoints.len()
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        let (net, _) = setup();
+        let bad = TripGeneratorConfig {
+            num_trips: 0,
+            ..Default::default()
+        };
+        assert!(TripGenerator::new(&net, bad).is_err());
+        let bad = TripGeneratorConfig {
+            sample_stride: 0,
+            ..Default::default()
+        };
+        assert!(TripGenerator::new(&net, bad).is_err());
+        let bad = TripGeneratorConfig {
+            min_tags: 5,
+            max_tags: 2,
+            ..Default::default()
+        };
+        assert!(TripGenerator::new(&net, bad).is_err());
+    }
+
+    #[test]
+    fn start_time_mixture_is_in_day_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5_000 {
+            let t = start_time(&mut rng);
+            assert!((0.0..=DAY_SECONDS).contains(&t));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # uots-trajectory
+//!
+//! Trajectory substrate for the UOTS reproduction: the network-constrained
+//! trajectory model, synthetic trip generation, simulated map matching and
+//! dataset statistics.
+//!
+//! * [`Trajectory`] / [`TrajectoryStore`] — validated, immutable
+//!   trajectories with dense ids plus index construction
+//!   (vertex / keyword / timestamp inverted indexes);
+//! * [`TripGenerator`] — hotspot-biased shortest-path trips standing in for
+//!   the paper's T-drive taxi data;
+//! * [`TagSampler`] — category-correlated, Zipf-skewed textual attributes;
+//! * [`mapmatch`] — simulated GPS emission and nearest-vertex map matching.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod generator;
+pub mod mapmatch;
+mod model;
+mod stats;
+mod tags;
+
+pub use error::TrajectoryError;
+pub use generator::{GeneratedTrip, TripGenerator, TripGeneratorConfig};
+pub use model::{Sample, Trajectory, TrajectoryId, TrajectoryStore};
+pub use stats::DatasetStats;
+pub use tags::{TagModelConfig, TagSampler};

@@ -1,0 +1,257 @@
+//! Simulated GPS emission and map matching.
+//!
+//! The paper assumes its input trajectories "have already been map matched
+//! onto the vertices of the spatial network using some map-matching
+//! algorithm". Real GPS traces are unavailable offline, so this module
+//! closes the loop synthetically: [`simulate_gps`] walks a ground-truth
+//! route and emits noisy raw fixes, and [`map_match`] snaps raw fixes back
+//! to network vertices — a nearest-vertex matcher, which is exactly the
+//! fidelity the downstream algorithms assume (they never look at raw
+//! coordinates again).
+
+use crate::{Sample, Trajectory, TrajectoryError};
+use rand::Rng;
+use uots_index::{GridIndex, DAY_SECONDS};
+use uots_network::{NodeId, Point, RoadNetwork};
+use uots_text::KeywordSet;
+
+/// A raw GPS fix: noisy position plus timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawFix {
+    /// Measured position (kilometre plane, with noise).
+    pub point: Point,
+    /// Fix time, seconds of day.
+    pub time: f64,
+}
+
+/// Walks `route` at `speed_kmh` starting at `start_time`, emitting one fix
+/// every `fix_interval_s` seconds with isotropic Gaussian noise of standard
+/// deviation `noise_sigma_km`. The first and last route vertices always get
+/// a fix.
+///
+/// # Panics
+///
+/// Panics when the route is empty, not network-adjacent, or parameters are
+/// non-positive.
+pub fn simulate_gps<R: Rng + ?Sized>(
+    net: &RoadNetwork,
+    route: &[NodeId],
+    start_time: f64,
+    speed_kmh: f64,
+    fix_interval_s: f64,
+    noise_sigma_km: f64,
+    rng: &mut R,
+) -> Vec<RawFix> {
+    assert!(!route.is_empty(), "route must be non-empty");
+    assert!(speed_kmh > 0.0 && fix_interval_s > 0.0 && noise_sigma_km >= 0.0);
+
+    let noise = |rng: &mut R| {
+        if noise_sigma_km == 0.0 {
+            return (0.0, 0.0);
+        }
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let mag = noise_sigma_km * (-2.0 * u1.ln()).sqrt();
+        let ang = std::f64::consts::TAU * u2;
+        (mag * ang.cos(), mag * ang.sin())
+    };
+
+    // piecewise-linear position along the route
+    let mut cum = vec![0.0];
+    for w in route.windows(2) {
+        let weight = net
+            .neighbors(w[0])
+            .find(|(u, _)| *u == w[1])
+            .map(|(_, wt)| wt)
+            .expect("route vertices must be adjacent");
+        cum.push(cum.last().unwrap() + weight);
+    }
+    let total_km = *cum.last().unwrap();
+    let duration_s = total_km / speed_kmh * 3_600.0;
+
+    let mut fixes = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        let clamped = t.min(duration_s);
+        let target_km = if duration_s > 0.0 {
+            total_km * clamped / duration_s
+        } else {
+            0.0
+        };
+        // segment containing target_km
+        let seg = cum.partition_point(|&c| c <= target_km).min(cum.len() - 1);
+        let pos = if seg == 0 {
+            net.point(route[0])
+        } else {
+            let (lo, hi) = (cum[seg - 1], cum[seg]);
+            let frac = if hi > lo {
+                (target_km - lo) / (hi - lo)
+            } else {
+                0.0
+            };
+            net.point(route[seg - 1]).lerp(&net.point(route[seg]), frac)
+        };
+        let (nx, ny) = noise(rng);
+        fixes.push(RawFix {
+            point: pos.translate(nx, ny),
+            time: (start_time + clamped).min(DAY_SECONDS),
+        });
+        if clamped >= duration_s {
+            break;
+        }
+        t += fix_interval_s;
+    }
+    fixes
+}
+
+/// Snaps raw fixes to their nearest network vertices, collapsing runs of
+/// consecutive fixes that match the same vertex (keeping the first fix time
+/// of each run).
+///
+/// `grid` must index exactly the network's vertex positions, i.e. be built
+/// as `GridIndex::build(net.points(), …)`; entry `i` is interpreted as
+/// `NodeId(i)`.
+///
+/// # Errors
+///
+/// Propagates [`Trajectory::new`] validation failures (e.g. out-of-range fix
+/// times) and rejects empty fix lists.
+pub fn map_match(
+    fixes: &[RawFix],
+    grid: &GridIndex,
+    keywords: KeywordSet,
+) -> Result<Trajectory, TrajectoryError> {
+    if fixes.is_empty() {
+        return Err(TrajectoryError::Empty);
+    }
+    let mut samples: Vec<Sample> = Vec::with_capacity(fixes.len());
+    for fix in fixes {
+        let (idx, _) = grid.nearest(&fix.point);
+        let node = NodeId(idx as u32);
+        if samples.last().map(|s| s.node) == Some(node) {
+            continue;
+        }
+        samples.push(Sample {
+            node,
+            time: fix.time,
+        });
+    }
+    Trajectory::new(samples, keywords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uots_network::astar::AStar;
+    use uots_network::generators::{grid_city, GridCityConfig};
+
+    fn setup() -> (RoadNetwork, Vec<NodeId>) {
+        let net = grid_city(&GridCityConfig::tiny(10)).unwrap();
+        let mut astar = AStar::new(&net);
+        let route = astar.route(NodeId(0), NodeId(99)).unwrap().path;
+        (net, route)
+    }
+
+    #[test]
+    fn noiseless_gps_lies_on_route_segments() {
+        let (net, route) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let fixes = simulate_gps(&net, &route, 1000.0, 30.0, 10.0, 0.0, &mut rng);
+        assert!(fixes.len() > 2);
+        assert_eq!(fixes[0].point, net.point(route[0]));
+        assert_eq!(
+            fixes.last().unwrap().point,
+            net.point(*route.last().unwrap())
+        );
+        for w in fixes.windows(2) {
+            assert!(w[1].time >= w[0].time);
+        }
+    }
+
+    #[test]
+    fn map_match_recovers_noiseless_route() {
+        let (net, route) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        // dense fixes so every route vertex is visited closely
+        let fixes = simulate_gps(&net, &route, 0.0, 30.0, 2.0, 0.0, &mut rng);
+        let grid = GridIndex::build(net.points(), 4);
+        let t = map_match(&fixes, &grid, KeywordSet::empty()).unwrap();
+        // the matched vertex sequence must be a subsequence of the route
+        let mut route_iter = route.iter();
+        for s in t.samples() {
+            assert!(
+                route_iter.any(|&v| v == s.node),
+                "matched vertex {:?} out of route order",
+                s.node
+            );
+        }
+        assert_eq!(t.samples()[0].node, route[0]);
+        assert_eq!(t.samples().last().unwrap().node, *route.last().unwrap());
+    }
+
+    #[test]
+    fn map_match_with_noise_stays_near_route() {
+        let (net, route) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        // noise well below half the street spacing (1 km): snapping succeeds
+        let fixes = simulate_gps(&net, &route, 0.0, 30.0, 5.0, 0.05, &mut rng);
+        let grid = GridIndex::build(net.points(), 4);
+        let t = map_match(&fixes, &grid, KeywordSet::empty()).unwrap();
+        for s in t.samples() {
+            // every matched vertex is within 2 km of some route vertex
+            let ok = route
+                .iter()
+                .any(|&v| net.point(v).distance(&net.point(s.node)) <= 2.0);
+            assert!(ok);
+        }
+    }
+
+    #[test]
+    fn consecutive_duplicate_vertices_collapse() {
+        let (net, _) = setup();
+        let grid = GridIndex::build(net.points(), 4);
+        // three fixes on the same corner, then one far away
+        let fixes = vec![
+            RawFix {
+                point: Point::new(0.01, 0.0),
+                time: 0.0,
+            },
+            RawFix {
+                point: Point::new(0.0, 0.02),
+                time: 5.0,
+            },
+            RawFix {
+                point: Point::new(0.02, 0.01),
+                time: 10.0,
+            },
+            RawFix {
+                point: Point::new(5.0, 5.0),
+                time: 20.0,
+            },
+        ];
+        let t = map_match(&fixes, &grid, KeywordSet::empty()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.samples()[0].time, 0.0); // first fix time of the run
+    }
+
+    #[test]
+    fn empty_fixes_is_an_error() {
+        let (net, _) = setup();
+        let grid = GridIndex::build(net.points(), 4);
+        assert!(matches!(
+            map_match(&[], &grid, KeywordSet::empty()),
+            Err(TrajectoryError::Empty)
+        ));
+    }
+
+    #[test]
+    fn single_vertex_route() {
+        let (net, _) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let fixes = simulate_gps(&net, &[NodeId(5)], 100.0, 30.0, 10.0, 0.0, &mut rng);
+        assert_eq!(fixes.len(), 1);
+        assert_eq!(fixes[0].time, 100.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Dataset statistics (the "T1" table of the experiment suite).
+
+use crate::TrajectoryStore;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Summary statistics of a trajectory dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of trajectories.
+    pub count: usize,
+    /// Minimum samples per trajectory.
+    pub min_len: usize,
+    /// Mean samples per trajectory.
+    pub avg_len: f64,
+    /// Maximum samples per trajectory.
+    pub max_len: usize,
+    /// Mean trip duration in seconds.
+    pub avg_duration_s: f64,
+    /// Number of distinct keywords used across the dataset.
+    pub distinct_keywords: usize,
+    /// Mean keywords per trajectory.
+    pub avg_keywords: f64,
+    /// Number of distinct vertices visited.
+    pub distinct_vertices: usize,
+}
+
+impl DatasetStats {
+    /// Computes statistics over `store`. Returns all-zero stats for an
+    /// empty store.
+    pub fn compute(store: &TrajectoryStore) -> Self {
+        if store.is_empty() {
+            return DatasetStats {
+                count: 0,
+                min_len: 0,
+                avg_len: 0.0,
+                max_len: 0,
+                avg_duration_s: 0.0,
+                distinct_keywords: 0,
+                avg_keywords: 0.0,
+                distinct_vertices: 0,
+            };
+        }
+        let mut min_len = usize::MAX;
+        let mut max_len = 0usize;
+        let mut total_len = 0usize;
+        let mut total_duration = 0.0;
+        let mut total_keywords = 0usize;
+        let mut keywords = HashSet::new();
+        let mut vertices = HashSet::new();
+        for (_, t) in store.iter() {
+            min_len = min_len.min(t.len());
+            max_len = max_len.max(t.len());
+            total_len += t.len();
+            total_duration += t.duration();
+            total_keywords += t.keywords().len();
+            keywords.extend(t.keywords().iter());
+            vertices.extend(t.nodes());
+        }
+        let n = store.len() as f64;
+        DatasetStats {
+            count: store.len(),
+            min_len,
+            avg_len: total_len as f64 / n,
+            max_len,
+            avg_duration_s: total_duration / n,
+            distinct_keywords: keywords.len(),
+            avg_keywords: total_keywords as f64 / n,
+            distinct_vertices: vertices.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "trajectories        : {}", self.count)?;
+        writeln!(
+            f,
+            "samples/trajectory  : min {} / avg {:.1} / max {}",
+            self.min_len, self.avg_len, self.max_len
+        )?;
+        writeln!(f, "avg duration        : {:.0} s", self.avg_duration_s)?;
+        writeln!(
+            f,
+            "keywords            : {} distinct, {:.1} per trajectory",
+            self.distinct_keywords, self.avg_keywords
+        )?;
+        write!(f, "distinct vertices   : {}", self.distinct_vertices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sample, Trajectory};
+    use uots_network::NodeId;
+    use uots_text::{KeywordId, KeywordSet};
+
+    fn traj(nodes: &[u32], t0: f64, kws: &[u32]) -> Trajectory {
+        Trajectory::new(
+            nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| Sample {
+                    node: NodeId(v),
+                    time: t0 + i as f64 * 10.0,
+                })
+                .collect(),
+            KeywordSet::from_ids(kws.iter().map(|&k| KeywordId(k))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_on_empty_store() {
+        let s = DatasetStats::compute(&TrajectoryStore::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg_len, 0.0);
+    }
+
+    #[test]
+    fn stats_are_exact_on_known_store() {
+        let mut store = TrajectoryStore::new();
+        store.push(traj(&[0, 1, 2], 0.0, &[1, 2]));
+        store.push(traj(&[2, 3], 100.0, &[2]));
+        let s = DatasetStats::compute(&store);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min_len, 2);
+        assert_eq!(s.max_len, 3);
+        assert!((s.avg_len - 2.5).abs() < 1e-12);
+        assert!((s.avg_duration_s - 15.0).abs() < 1e-12); // (20 + 10) / 2
+        assert_eq!(s.distinct_keywords, 2);
+        assert!((s.avg_keywords - 1.5).abs() < 1e-12);
+        assert_eq!(s.distinct_vertices, 4);
+    }
+
+    #[test]
+    fn display_renders_all_fields() {
+        let mut store = TrajectoryStore::new();
+        store.push(traj(&[0, 1], 0.0, &[5]));
+        let text = DatasetStats::compute(&store).to_string();
+        assert!(text.contains("trajectories"));
+        assert!(text.contains("distinct vertices"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut store = TrajectoryStore::new();
+        store.push(traj(&[0, 1], 0.0, &[5]));
+        let s = DatasetStats::compute(&store);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: DatasetStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

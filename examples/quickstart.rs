@@ -1,0 +1,73 @@
+//! Quickstart: build a small city, ask for a trip, print the answer.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use uots::prelude::*;
+
+fn main() {
+    // A 30×30 synthetic city with 200 tagged taxi trips.
+    let ds = Dataset::build(&DatasetConfig::small(200, 42)).expect("dataset builds");
+    println!("dataset: {}\n{}\n", ds.name, ds.stats());
+
+    let db = uots::db(&ds);
+
+    // The traveler wants to pass near three places and likes two tags.
+    let spec = &workload::generate(
+        &ds,
+        &workload::WorkloadConfig {
+            num_queries: 1,
+            locations_per_query: 3,
+            keywords_per_query: 2,
+            seed: 7,
+            ..Default::default()
+        },
+    )[0];
+    let query = UotsQuery::with_options(
+        spec.locations.clone(),
+        spec.keywords.clone(),
+        vec![],
+        QueryOptions {
+            k: 3,
+            ..Default::default()
+        },
+    )
+    .expect("valid query");
+
+    println!(
+        "query: places {:?}, keywords {:?}",
+        query.locations(),
+        query
+            .keywords()
+            .iter()
+            .map(|k| ds.vocab.word(k).unwrap_or("?").to_string())
+            .collect::<Vec<_>>()
+    );
+
+    let result = Expansion::default().run(&db, &query).expect("query runs");
+    println!("\ntop {} recommended trips:", result.matches.len());
+    for (rank, m) in result.matches.iter().enumerate() {
+        let traj = ds.store.get(m.id);
+        println!(
+            "  #{rank}: {} — similarity {:.4} (spatial {:.4}, textual {:.4}), \
+             {} samples, tags {:?}",
+            m.id,
+            m.similarity,
+            m.spatial,
+            m.textual,
+            traj.len(),
+            traj.keywords()
+                .iter()
+                .map(|k| ds.vocab.word(k).unwrap_or("?").to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+    println!(
+        "\nsearch effort: visited {} of {} trajectories, settled {} vertices, {:?}",
+        result.metrics.visited_trajectories,
+        ds.store.len(),
+        result.metrics.settled_vertices,
+        result.metrics.runtime
+    );
+}

@@ -1,0 +1,88 @@
+//! Temporal extension: recommend trips that also happen at the right time.
+//!
+//! A commuter looking for a rideshare-style match cares *when* a trip runs,
+//! not only where. This example activates the temporal channel (a
+//! PTM-style third term in the linear combination) and contrasts the
+//! answers with the purely spatial-textual query.
+//!
+//! ```text
+//! cargo run --release --example temporal_trip
+//! ```
+
+use uots::prelude::*;
+
+fn main() {
+    let ds = Dataset::build(&DatasetConfig::small(500, 31)).expect("dataset builds");
+    let tidx = ds.store.build_timestamp_index();
+    let db = uots::db(&ds).with_timestamp_index(&tidx);
+
+    let spec = &workload::generate(
+        &ds,
+        &workload::WorkloadConfig {
+            num_queries: 1,
+            locations_per_query: 3,
+            keywords_per_query: 2,
+            seed: 3,
+            ..Default::default()
+        },
+    )[0];
+
+    // Morning commute at 08:30.
+    let preferred = vec![8.5 * 3_600.0];
+
+    let spatial_textual = UotsQuery::with_options(
+        spec.locations.clone(),
+        spec.keywords.clone(),
+        vec![],
+        QueryOptions {
+            weights: Weights::lambda(0.5).expect("valid"),
+            k: 3,
+            ..Default::default()
+        },
+    )
+    .expect("valid query");
+
+    let with_time = UotsQuery::with_options(
+        spec.locations.clone(),
+        spec.keywords.clone(),
+        preferred.clone(),
+        QueryOptions {
+            weights: Weights::new(0.4, 0.2, 0.4).expect("valid"),
+            k: 3,
+            decay_s: 1_800.0, // half-hour tolerance
+            ..Default::default()
+        },
+    )
+    .expect("valid query");
+
+    let algo = Expansion::default();
+    let a = algo.run(&db, &spatial_textual).expect("query runs");
+    let b = algo.run(&db, &with_time).expect("query runs");
+
+    let describe = |label: &str, r: &QueryResult| {
+        println!("{label}:");
+        for m in &r.matches {
+            let (t0, t1) = ds.store.get(m.id).time_range();
+            println!(
+                "  {} sim {:.4} — departs {:02}:{:02}, arrives {:02}:{:02} (temporal {:.3})",
+                m.id,
+                m.similarity,
+                (t0 / 3600.0) as u32,
+                ((t0 % 3600.0) / 60.0) as u32,
+                (t1 / 3600.0) as u32,
+                ((t1 % 3600.0) / 60.0) as u32,
+                m.temporal
+            );
+        }
+    };
+    describe("without temporal channel", &a);
+    println!();
+    describe("with temporal channel (prefer ~08:30)", &b);
+
+    let best = b.best().expect("non-empty");
+    let (t0, _) = ds.store.get(best.id).time_range();
+    println!(
+        "\nbest temporal match departs {:.1} h — preferred 8.5 h",
+        t0 / 3600.0
+    );
+}

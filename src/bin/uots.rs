@@ -1,0 +1,302 @@
+//! `uots` — command-line interface to the trajectory search library.
+//!
+//! ```text
+//! uots generate --preset small|brn|nrn --trips N --seed S --out data.uotsds
+//! uots stats    --data data.uotsds
+//! uots query    --data data.uotsds --at x,y --at x,y [--tags a,b] [--lambda L] [--k K]
+//! uots join     --data data.uotsds --theta T [--lambda L] [--threads N]
+//! ```
+//!
+//! Datasets are stored in the compact binary format of
+//! [`uots::datagen::persist`]; `generate` builds one deterministically from
+//! a preset + seed, the other commands load it.
+
+use uots::datagen::persist;
+use uots::join::{ts_join, JoinConfig};
+use uots::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("join") => cmd_join(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    println!(
+        "uots — user-oriented trajectory search (EDBT 2012 reproduction)\n\n\
+         commands:\n\
+         \x20 generate --preset small|brn|nrn --trips N [--seed S] --out FILE\n\
+         \x20 stats    --data FILE\n\
+         \x20 query    --data FILE --at x,y --at x,y ... [--tags a,b,c]\n\
+         \x20          [--lambda L=0.5] [--k K=3]\n\
+         \x20 join     --data FILE --theta T=0.8 [--lambda L=0.5] [--threads N=2]"
+    );
+}
+
+/// Tiny flag parser: `--name value` pairs, `--at` repeatable.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            pairs.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+}
+
+fn fail(msg: impl std::fmt::Display) -> i32 {
+    eprintln!("error: {msg}");
+    1
+}
+
+fn cmd_generate(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let preset = flags.get("preset").unwrap_or("small");
+    let trips: usize = match flags.get("trips").unwrap_or("1000").parse() {
+        Ok(v) => v,
+        Err(_) => return fail("--trips must be an integer"),
+    };
+    let seed: u64 = match flags.get("seed").unwrap_or("42").parse() {
+        Ok(v) => v,
+        Err(_) => return fail("--seed must be an integer"),
+    };
+    let out = match flags.require("out") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let cfg = match preset {
+        "small" => DatasetConfig::small(trips, seed),
+        "brn" => DatasetConfig::brn_like(trips).with_seed(seed),
+        "nrn" => DatasetConfig::nrn_like(trips).with_seed(seed),
+        other => return fail(format!("unknown preset `{other}`")),
+    };
+    eprintln!("building {} ...", cfg.name);
+    let ds = match Dataset::build(&cfg) {
+        Ok(ds) => ds,
+        Err(e) => return fail(e),
+    };
+    if let Err(e) = persist::save_file(&ds, &cfg, out) {
+        return fail(e);
+    }
+    println!(
+        "wrote {out}: {} vertices, {} trips",
+        ds.network.num_nodes(),
+        ds.store.len()
+    );
+    0
+}
+
+fn load(flags: &Flags) -> Result<Dataset, String> {
+    let path = flags.require("data")?;
+    persist::load_file(path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_stats(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let ds = match load(&flags) {
+        Ok(ds) => ds,
+        Err(e) => return fail(e),
+    };
+    println!("dataset: {}", ds.name);
+    println!("{}", ds.stats());
+    println!(
+        "network             : {} vertices, {} edges, {:.0} km total",
+        ds.network.num_nodes(),
+        ds.network.num_edges(),
+        ds.network.total_length()
+    );
+    0
+}
+
+fn cmd_query(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let ds = match load(&flags) {
+        Ok(ds) => ds,
+        Err(e) => return fail(e),
+    };
+    let ats = flags.get_all("at");
+    if ats.is_empty() {
+        return fail("need at least one --at x,y place");
+    }
+    let mut places = Vec::new();
+    for at in ats {
+        let Some((x, y)) = at.split_once(',') else {
+            return fail(format!("--at expects `x,y`, got `{at}`"));
+        };
+        let (Ok(x), Ok(y)) = (x.trim().parse::<f64>(), y.trim().parse::<f64>()) else {
+            return fail(format!("--at coordinates must be numbers, got `{at}`"));
+        };
+        places.push(ds.snap(&Point::new(x, y)));
+    }
+    let mut keywords = Vec::new();
+    if let Some(tags) = flags.get("tags") {
+        for tag in tags.split(',') {
+            match ds.vocab.get(tag) {
+                Some(id) => keywords.push(id),
+                None => eprintln!("warning: tag `{tag}` not in the vocabulary; ignored"),
+            }
+        }
+    }
+    let lambda: f64 = match flags.get("lambda").unwrap_or("0.5").parse() {
+        Ok(v) => v,
+        Err(_) => return fail("--lambda must be a number"),
+    };
+    let k: usize = match flags.get("k").unwrap_or("3").parse() {
+        Ok(v) => v,
+        Err(_) => return fail("--k must be an integer"),
+    };
+    let weights = match Weights::lambda(lambda) {
+        Ok(w) => w,
+        Err(e) => return fail(e),
+    };
+    let query = match UotsQuery::with_options(
+        places,
+        KeywordSet::from_ids(keywords),
+        vec![],
+        QueryOptions {
+            weights,
+            k,
+            ..Default::default()
+        },
+    ) {
+        Ok(q) => q,
+        Err(e) => return fail(e),
+    };
+    let db = uots::db(&ds);
+    let result = match Expansion::default().run(&db, &query) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    println!("top {} trips:", result.matches.len());
+    for (rank, m) in result.matches.iter().enumerate() {
+        let t = ds.store.get(m.id);
+        let tags: Vec<&str> = t
+            .keywords()
+            .iter()
+            .filter_map(|kw| ds.vocab.word(kw))
+            .collect();
+        let (t0, t1) = t.time_range();
+        println!(
+            "  #{} {}  sim {:.4} (spatial {:.4}, textual {:.4})  {} samples, \
+             {:02}:{:02}–{:02}:{:02}, tags {:?}",
+            rank + 1,
+            m.id,
+            m.similarity,
+            m.spatial,
+            m.textual,
+            t.len(),
+            (t0 / 3600.0) as u32,
+            ((t0 % 3600.0) / 60.0) as u32,
+            (t1 / 3600.0) as u32,
+            ((t1 % 3600.0) / 60.0) as u32,
+            tags
+        );
+    }
+    println!(
+        "visited {} / {} trajectories in {:?}",
+        result.metrics.visited_trajectories,
+        ds.store.len(),
+        result.metrics.runtime
+    );
+    0
+}
+
+fn cmd_join(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let ds = match load(&flags) {
+        Ok(ds) => ds,
+        Err(e) => return fail(e),
+    };
+    let theta: f64 = match flags.get("theta").unwrap_or("0.8").parse() {
+        Ok(v) => v,
+        Err(_) => return fail("--theta must be a number"),
+    };
+    let lambda: f64 = match flags.get("lambda").unwrap_or("0.5").parse() {
+        Ok(v) => v,
+        Err(_) => return fail("--lambda must be a number"),
+    };
+    let threads: usize = match flags.get("threads").unwrap_or("2").parse() {
+        Ok(v) => v,
+        Err(_) => return fail("--threads must be an integer"),
+    };
+    let cfg = JoinConfig {
+        theta,
+        lambda,
+        ..Default::default()
+    };
+    let tidx = ds.store.build_timestamp_index();
+    let result = match ts_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, &cfg, threads) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    println!(
+        "{} pairs with similarity >= {theta} (in {:?}):",
+        result.pairs.len(),
+        result.runtime
+    );
+    for p in result.pairs.iter().take(20) {
+        println!("  {} ↔ {}  sim {:.4}", p.a, p.b, p.similarity);
+    }
+    if result.pairs.len() > 20 {
+        println!("  ... and {} more", result.pairs.len() - 20);
+    }
+    0
+}

@@ -1,0 +1,126 @@
+//! End-to-end tests of the `uots` CLI binary: every subcommand plus the
+//! error paths, driven through the real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn uots() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_uots"))
+}
+
+fn temp_dataset(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("uots_cli_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn generate(path: &PathBuf) {
+    let out = uots()
+        .args([
+            "generate", "--preset", "small", "--trips", "120", "--seed", "3", "--out",
+        ])
+        .arg(path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let out = uots().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("generate"));
+
+    let out = uots().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_stats_query_join_pipeline() {
+    let path = temp_dataset("pipeline.uotsds");
+    generate(&path);
+    assert!(path.exists());
+
+    let out = uots().args(["stats", "--data"]).arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("trajectories        : 120"), "{text}");
+
+    let out = uots()
+        .args([
+            "query", "--data",
+        ])
+        .arg(&path)
+        .args(["--at", "2.0,2.0", "--at", "5.0,3.0", "--k", "2", "--lambda", "0.7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("top 2 trips"), "{text}");
+    assert!(text.contains("visited"), "{text}");
+
+    let out = uots()
+        .args(["join", "--data"])
+        .arg(&path)
+        .args(["--theta", "0.9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("similarity >= 0.9"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn query_rejects_bad_flags() {
+    let path = temp_dataset("badflags.uotsds");
+    generate(&path);
+
+    // no --at place
+    let out = uots().args(["query", "--data"]).arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--at"));
+
+    // malformed coordinates
+    let out = uots()
+        .args(["query", "--data"])
+        .arg(&path)
+        .args(["--at", "nope"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // out-of-range lambda
+    let out = uots()
+        .args(["query", "--data"])
+        .arg(&path)
+        .args(["--at", "1,1", "--lambda", "7"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_dataset_file_is_a_clean_error() {
+    let out = uots()
+        .args(["stats", "--data", "/definitely/not/here.uotsds"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn generate_rejects_unknown_preset() {
+    let out = uots()
+        .args([
+            "generate", "--preset", "mars", "--trips", "10", "--out", "/tmp/x.uotsds",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+}
