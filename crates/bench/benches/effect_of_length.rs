@@ -20,17 +20,13 @@ fn bench(c: &mut Criterion) {
             .with_keyword_index(&ds.keyword_index);
         let queries = make_queries(&ds, 3, 4, 3, 0.5, 1, 0xf6);
         for (name, algo) in algorithms(false) {
-            group.bench_with_input(
-                BenchmarkId::new(&name, &avg_len),
-                &queries,
-                |b, qs| {
-                    b.iter(|| {
-                        for q in qs {
-                            criterion::black_box(algo.run(&db, q).expect("query runs"));
-                        }
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(&name, &avg_len), &queries, |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        criterion::black_box(algo.run(&db, q).expect("query runs"));
+                    }
+                })
+            });
         }
     }
     group.finish();

@@ -23,15 +23,8 @@ fn bench(c: &mut Criterion) {
                 |b, cfg| {
                     b.iter(|| {
                         criterion::black_box(
-                            ts_join(
-                                &ds.network,
-                                &ds.store,
-                                &ds.vertex_index,
-                                &tidx,
-                                cfg,
-                                2,
-                            )
-                            .expect("join runs"),
+                            ts_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, cfg, 2)
+                                .expect("join runs"),
                         )
                     })
                 },

@@ -17,11 +17,12 @@
 //! *                                    * `f9` effect of vocabulary size
 //! *                                    * `f10` temporal channel cost
 //! * `j1` trajectory similarity self-join (extension)
+//! * `d1` anytime degradation curve: quality vs budget (extension)
 
 use std::collections::HashSet;
 use uots_bench::{algorithms, make_queries, measure, render_table, time, Row, Scale};
-use uots_core::algorithms::Expansion;
-use uots_core::{parallel, Database, QueryOptions, Scheduler, UotsQuery, Weights};
+use uots_core::algorithms::{Algorithm, Expansion};
+use uots_core::{parallel, Database, ExecutionBudget, QueryOptions, Scheduler, UotsQuery, Weights};
 use uots_datagen::{Dataset, DatasetConfig};
 
 struct Args {
@@ -90,7 +91,7 @@ fn parse_args() -> Args {
 }
 
 fn wants(args: &Args, id: &str) -> bool {
-    args.only.as_ref().map_or(true, |s| s.contains(id))
+    args.only.as_ref().is_none_or(|s| s.contains(id))
 }
 
 fn open<'a>(ds: &'a Dataset) -> Database<'a> {
@@ -140,7 +141,10 @@ fn main() {
             .iter()
             .map(|(n, a)| measure("t2", &ds, &db, n, a.as_ref(), &queries, "-", 0.0))
             .collect();
-        print!("{}", render_table("T2 — pruning effectiveness (defaults)", &rows));
+        print!(
+            "{}",
+            render_table("T2 — pruning effectiveness (defaults)", &rows)
+        );
         all_rows.extend(rows);
     }
 
@@ -150,10 +154,22 @@ fn main() {
         for m in [2usize, 4, 6, 8, 10] {
             let queries = make_queries(&ds, args.queries, m, 3, 0.5, 1, 0xf1);
             for (n, a) in algorithms(false) {
-                rows.push(measure("f1", &ds, &db, &n, a.as_ref(), &queries, "m", m as f64));
+                rows.push(measure(
+                    "f1",
+                    &ds,
+                    &db,
+                    &n,
+                    a.as_ref(),
+                    &queries,
+                    "m",
+                    m as f64,
+                ));
             }
         }
-        print!("{}", render_table("F1 — effect of #query locations m", &rows));
+        print!(
+            "{}",
+            render_table("F1 — effect of #query locations m", &rows)
+        );
         all_rows.extend(rows);
     }
 
@@ -163,10 +179,22 @@ fn main() {
         for lambda in [0.1, 0.3, 0.5, 0.7, 0.9] {
             let queries = make_queries(&ds, args.queries, 4, 3, lambda, 1, 0xf2);
             for (n, a) in algorithms(false) {
-                rows.push(measure("f2", &ds, &db, &n, a.as_ref(), &queries, "lambda", lambda));
+                rows.push(measure(
+                    "f2",
+                    &ds,
+                    &db,
+                    &n,
+                    a.as_ref(),
+                    &queries,
+                    "lambda",
+                    lambda,
+                ));
             }
         }
-        print!("{}", render_table("F2 — effect of preference parameter λ", &rows));
+        print!(
+            "{}",
+            render_table("F2 — effect of preference parameter λ", &rows)
+        );
         all_rows.extend(rows);
     }
 
@@ -180,11 +208,21 @@ fn main() {
             let queries = make_queries(&sub, args.queries, 4, 3, 0.5, 1, 0xf3);
             for (name, a) in algorithms(false) {
                 rows.push(measure(
-                    "f3", &sub, &sub_db, &name, a.as_ref(), &queries, "|P|", n as f64,
+                    "f3",
+                    &sub,
+                    &sub_db,
+                    &name,
+                    a.as_ref(),
+                    &queries,
+                    "|P|",
+                    n as f64,
                 ));
             }
         }
-        print!("{}", render_table("F3 — effect of trajectory cardinality |P|", &rows));
+        print!(
+            "{}",
+            render_table("F3 — effect of trajectory cardinality |P|", &rows)
+        );
         all_rows.extend(rows);
     }
 
@@ -194,10 +232,22 @@ fn main() {
         for k in [1usize, 5, 10, 20, 50] {
             let queries = make_queries(&ds, args.queries, 4, 3, 0.5, k, 0xf4);
             for (n, a) in algorithms(false) {
-                rows.push(measure("f4", &ds, &db, &n, a.as_ref(), &queries, "k", k as f64));
+                rows.push(measure(
+                    "f4",
+                    &ds,
+                    &db,
+                    &n,
+                    a.as_ref(),
+                    &queries,
+                    "k",
+                    k as f64,
+                ));
             }
         }
-        print!("{}", render_table("F4 — effect of answer size k (extension)", &rows));
+        print!(
+            "{}",
+            render_table("F4 — effect of answer size k (extension)", &rows)
+        );
         all_rows.extend(rows);
     }
 
@@ -207,7 +257,16 @@ fn main() {
         for kw in [1usize, 2, 4, 8] {
             let queries = make_queries(&ds, args.queries, 4, kw, 0.5, 1, 0xf5);
             for (n, a) in algorithms(false) {
-                rows.push(measure("f5", &ds, &db, &n, a.as_ref(), &queries, "keywords", kw as f64));
+                rows.push(measure(
+                    "f5",
+                    &ds,
+                    &db,
+                    &n,
+                    a.as_ref(),
+                    &queries,
+                    "keywords",
+                    kw as f64,
+                ));
             }
         }
         print!("{}", render_table("F5 — effect of #query keywords", &rows));
@@ -227,11 +286,21 @@ fn main() {
             let queries = make_queries(&sub, args.queries, 4, 3, 0.5, 1, 0xf6);
             for (name, a) in algorithms(false) {
                 rows.push(measure(
-                    "f6", &sub, &sub_db, &name, a.as_ref(), &queries, "avg_len", avg_len,
+                    "f6",
+                    &sub,
+                    &sub_db,
+                    &name,
+                    a.as_ref(),
+                    &queries,
+                    "avg_len",
+                    avg_len,
                 ));
             }
         }
-        print!("{}", render_table("F6 — effect of average trajectory length", &rows));
+        print!(
+            "{}",
+            render_table("F6 — effect of average trajectory length", &rows)
+        );
         all_rows.extend(rows);
     }
 
@@ -241,9 +310,8 @@ fn main() {
         let queries = make_queries(&ds, args.queries.max(32), 4, 3, 0.5, 1, 0xf7);
         for threads in [1usize, 2, 4, 8] {
             let algo = Expansion::default();
-            let (results, wall) = time(|| {
-                parallel::run_batch(&db, &algo, &queries, threads).expect("batch runs")
-            });
+            let (results, wall) =
+                time(|| parallel::run_batch(&db, &algo, &queries, threads).expect("batch runs"));
             let visited: usize = results.iter().map(|r| r.metrics.visited_trajectories).sum();
             let candidates: usize = results.iter().map(|r| r.metrics.candidates).sum();
             rows.push(Row {
@@ -258,9 +326,14 @@ fn main() {
                 candidates: candidates as f64 / queries.len() as f64,
                 candidate_ratio: candidates as f64 / (ds.store.len() * queries.len()) as f64,
                 pruning_ratio: 1.0 - candidates as f64 / (ds.store.len() * queries.len()) as f64,
+                bound_gap: 0.0,
+                recall: 1.0,
             });
         }
-        print!("{}", render_table("F7 — effect of thread count (batch wall time)", &rows));
+        print!(
+            "{}",
+            render_table("F7 — effect of thread count (batch wall time)", &rows)
+        );
         all_rows.extend(rows);
     }
 
@@ -274,9 +347,21 @@ fn main() {
             ("min-radius", Scheduler::MinRadius),
         ] {
             let algo = Expansion::new(sched);
-            rows.push(measure("f8", &ds, &db, label, &algo, &queries, "scheduler", 0.0));
+            rows.push(measure(
+                "f8",
+                &ds,
+                &db,
+                label,
+                &algo,
+                &queries,
+                "scheduler",
+                0.0,
+            ));
         }
-        print!("{}", render_table("F8 — scheduling strategy ablation", &rows));
+        print!(
+            "{}",
+            render_table("F8 — scheduling strategy ablation", &rows)
+        );
         all_rows.extend(rows);
     }
 
@@ -292,7 +377,14 @@ fn main() {
             let queries = make_queries(&sub, args.queries, 4, 3, 0.5, 1, 0xf9);
             for (name, a) in algorithms(false) {
                 rows.push(measure(
-                    "f9", &sub, &sub_db, &name, a.as_ref(), &queries, "vocab", vocab as f64,
+                    "f9",
+                    &sub,
+                    &sub_db,
+                    &name,
+                    a.as_ref(),
+                    &queries,
+                    "vocab",
+                    vocab as f64,
                 ));
             }
         }
@@ -323,11 +415,30 @@ fn main() {
             })
             .collect();
         let algo = Expansion::default();
-        rows.push(measure("f10", &ds, &tdb, "spatial+textual", &algo, &base, "channels", 2.0));
         rows.push(measure(
-            "f10", &ds, &tdb, "spatial+textual+temporal", &algo, &temporal, "channels", 3.0,
+            "f10",
+            &ds,
+            &tdb,
+            "spatial+textual",
+            &algo,
+            &base,
+            "channels",
+            2.0,
         ));
-        print!("{}", render_table("F10 — temporal channel (extension)", &rows));
+        rows.push(measure(
+            "f10",
+            &ds,
+            &tdb,
+            "spatial+textual+temporal",
+            &algo,
+            &temporal,
+            "channels",
+            3.0,
+        ));
+        print!(
+            "{}",
+            render_table("F10 — temporal channel (extension)", &rows)
+        );
         all_rows.extend(rows);
     }
 
@@ -345,15 +456,8 @@ fn main() {
                 ..Default::default()
             };
             let (result, wall) = time(|| {
-                uots_join::ts_join(
-                    &jds.network,
-                    &jds.store,
-                    &jds.vertex_index,
-                    &tidx,
-                    &cfg,
-                    2,
-                )
-                .expect("join runs")
+                uots_join::ts_join(&jds.network, &jds.store, &jds.vertex_index, &tidx, &cfg, 2)
+                    .expect("join runs")
             });
             let n = jds.store.len();
             rows.push(Row {
@@ -368,12 +472,78 @@ fn main() {
                 candidates: result.candidates as f64 / n as f64,
                 candidate_ratio: result.candidates as f64 / (n * n) as f64,
                 pruning_ratio: 1.0 - result.candidates as f64 / (n * n) as f64,
+                bound_gap: result.completeness.bound_gap(),
+                recall: 1.0,
             });
         }
         print!(
             "{}",
             render_table(
                 "J1 — trajectory similarity self-join (extension; runtime is the whole join)",
+                &rows
+            )
+        );
+        all_rows.extend(rows);
+    }
+
+    // ---------------- D1: anytime degradation curve (extension) ----------
+    if wants(&args, "d1") {
+        let mut rows = Vec::new();
+        let k = 5usize;
+        let queries = make_queries(&ds, args.queries, 4, 3, 0.5, k, 0xd1);
+        let algo = Expansion::default();
+        // unbudgeted reference runs: per-query settled work + the true top-k
+        let reference: Vec<(usize, Vec<_>)> = queries
+            .iter()
+            .map(|q| {
+                let r = algo.run(&db, q).expect("reference run");
+                (r.metrics.settled_vertices.max(1), r.ids())
+            })
+            .collect();
+        for frac in [0.05f64, 0.1, 0.25, 0.5, 1.0] {
+            let mut gap_sum = 0.0;
+            let mut recall_sum = 0.0;
+            let mut visited = 0usize;
+            let mut candidates = 0usize;
+            let start = std::time::Instant::now();
+            for (q, (settled_full, oracle_ids)) in queries.iter().zip(&reference) {
+                let budget = ExecutionBudget::default()
+                    .with_max_settled(((*settled_full as f64) * frac).ceil() as usize);
+                let bq = q
+                    .reoptioned(QueryOptions {
+                        budget,
+                        ..q.options().clone()
+                    })
+                    .expect("budgeted query");
+                let r = algo.run(&db, &bq).expect("budgeted run");
+                gap_sum += r.completeness.bound_gap();
+                let hit = r.ids().iter().filter(|id| oracle_ids.contains(id)).count();
+                recall_sum += hit as f64 / oracle_ids.len().max(1) as f64;
+                visited += r.metrics.visited_trajectories;
+                candidates += r.metrics.candidates;
+            }
+            let wall = start.elapsed();
+            let nq = queries.len().max(1) as f64;
+            rows.push(Row {
+                experiment: "d1".into(),
+                dataset: ds.name.clone(),
+                algorithm: "expansion".into(),
+                parameter: "budget".into(),
+                value: frac,
+                queries: queries.len(),
+                runtime_ms: wall.as_secs_f64() * 1_000.0 / nq,
+                visited: visited as f64 / nq,
+                candidates: candidates as f64 / nq,
+                candidate_ratio: candidates as f64 / (ds.store.len() as f64 * nq),
+                pruning_ratio: 1.0 - candidates as f64 / (ds.store.len() as f64 * nq),
+                bound_gap: gap_sum / nq,
+                recall: recall_sum / nq,
+            });
+        }
+        print!(
+            "{}",
+            render_table(
+                "D1 — anytime degradation: result quality vs settle budget (extension)",
                 &rows
             )
         );

@@ -179,9 +179,14 @@ pub struct Row {
     pub candidate_ratio: f64,
     /// Pruning ratio (1 − candidate ratio).
     pub pruning_ratio: f64,
+    /// Mean certified bound gap (0 for exact runs).
+    pub bound_gap: f64,
+    /// Mean recall against the unbudgeted oracle (1 for exact runs).
+    pub recall: f64,
 }
 
 /// Runs `algo` over every query sequentially and aggregates a [`Row`].
+#[allow(clippy::too_many_arguments)]
 pub fn measure(
     experiment: &str,
     ds: &Dataset,
@@ -194,8 +199,10 @@ pub fn measure(
 ) -> Row {
     let start = Instant::now();
     let mut agg = SearchMetrics::default();
+    let mut gap_sum = 0.0;
     for q in queries {
         let r = algo.run(db, q).expect("experiment query runs");
+        gap_sum += r.completeness.bound_gap();
         agg.merge(&r.metrics);
     }
     let wall = start.elapsed();
@@ -212,6 +219,8 @@ pub fn measure(
         candidates: agg.candidates as f64 / nq as f64,
         candidate_ratio: agg.candidate_ratio(ds.store.len()),
         pruning_ratio: agg.pruning_ratio(ds.store.len()),
+        bound_gap: gap_sum / nq as f64,
+        recall: 1.0, // exact runs recover the true top-k by construction
     }
 }
 
@@ -222,20 +231,30 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
     let _ = writeln!(out, "\n## {title}");
     let _ = writeln!(
         out,
-        "{:<12} {:>10} {:<18} {:>12} {:>12} {:>12} {:>10}",
-        "param", "value", "algorithm", "ms/query", "visited", "candidates", "pruning"
+        "{:<12} {:>10} {:<18} {:>12} {:>12} {:>12} {:>10} {:>9} {:>8}",
+        "param",
+        "value",
+        "algorithm",
+        "ms/query",
+        "visited",
+        "candidates",
+        "pruning",
+        "gap",
+        "recall"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<12} {:>10} {:<18} {:>12.3} {:>12.1} {:>12.1} {:>9.1}%",
+            "{:<12} {:>10} {:<18} {:>12.3} {:>12.1} {:>12.1} {:>9.1}% {:>9.4} {:>8.3}",
             r.parameter,
             format_value(r.value),
             r.algorithm,
             r.runtime_ms,
             r.visited,
             r.candidates,
-            r.pruning_ratio * 100.0
+            r.pruning_ratio * 100.0,
+            r.bound_gap,
+            r.recall
         );
     }
     out
@@ -321,6 +340,8 @@ mod tests {
             candidates: 3.0,
             candidate_ratio: 0.1,
             pruning_ratio: 0.9,
+            bound_gap: 0.0,
+            recall: 1.0,
         };
         let t = render_table("demo", &[row]);
         assert!(t.contains("## demo"));

@@ -1,6 +1,7 @@
 //! Exhaustive evaluation: the correctness oracle.
 
 use crate::algorithms::Algorithm;
+use crate::budget::{Completeness, Gate, RunControl};
 use crate::similarity;
 use crate::topk::TopK;
 use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
@@ -13,31 +14,62 @@ use uots_network::dijkstra::shortest_path_tree;
 pub struct BruteForce;
 
 impl Algorithm for BruteForce {
-    fn run(&self, db: &Database<'_>, query: &UotsQuery) -> Result<QueryResult, CoreError> {
+    fn run_with(
+        &self,
+        db: &Database<'_>,
+        query: &UotsQuery,
+        ctl: &RunControl,
+    ) -> Result<QueryResult, CoreError> {
         db.validate(query)?;
+        if ctl.is_cancelled() || ctl.deadline_passed() {
+            return Ok(QueryResult::interrupted_empty());
+        }
         let start = std::time::Instant::now();
+        let mut gate = Gate::new(&query.options().budget, ctl);
         let mut metrics = SearchMetrics::for_one_query();
 
-        let trees: Vec<_> = query
-            .locations()
-            .iter()
-            .map(|&v| {
-                let t = shortest_path_tree(db.network, v);
-                metrics.settled_vertices += t.reached_count();
-                t
-            })
-            .collect();
+        let mut trees = Vec::with_capacity(query.num_locations());
+        let mut interrupted = false;
+        for &v in query.locations() {
+            // a tree settles its whole component at once, so count it
+            // against the budget before paying for the next one
+            if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
+                interrupted = true;
+                break;
+            }
+            let t = shortest_path_tree(db.network, v);
+            metrics.settled_vertices += t.reached_count();
+            trees.push(t);
+        }
 
         let mut topk = TopK::new(query.options().k);
-        for (id, traj) in db.store.iter() {
-            metrics.visited_trajectories += 1;
-            metrics.candidates += 1;
-            topk.offer(similarity::evaluate_with_trees(&trees, query, id, traj));
+        if !interrupted {
+            for (id, traj) in db.store.iter() {
+                if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
+                    interrupted = true;
+                    break;
+                }
+                metrics.visited_trajectories += 1;
+                metrics.candidates += 1;
+                topk.offer(similarity::evaluate_with_trees(&trees, query, id, traj));
+            }
         }
+        // conservative certificate: with no per-trajectory bounds, an
+        // unevaluated trajectory could score up to 1 (gap 1.0 when nothing
+        // was evaluated, 1 − kth-best once the top-k filled)
+        let completeness = if interrupted {
+            metrics.interrupted = 1;
+            Completeness::BestEffort {
+                bound_gap: (1.0 - topk.threshold().max(0.0)).clamp(0.0, 1.0),
+            }
+        } else {
+            Completeness::Exact
+        };
         metrics.runtime = start.elapsed();
         Ok(QueryResult {
             matches: topk.into_sorted(),
             metrics,
+            completeness,
         })
     }
 

@@ -2,7 +2,8 @@
 //! bounds and heuristic scheduling.
 
 use crate::algorithms::Algorithm;
-use crate::engine::expansion_search;
+use crate::budget::RunControl;
+use crate::engine::expansion_search_with;
 use crate::scheduling::Scheduler;
 use crate::{CoreError, Database, QueryResult, UotsQuery};
 
@@ -29,8 +30,13 @@ impl Expansion {
 }
 
 impl Algorithm for Expansion {
-    fn run(&self, db: &Database<'_>, query: &UotsQuery) -> Result<QueryResult, CoreError> {
-        expansion_search(db, query, self.scheduler)
+    fn run_with(
+        &self,
+        db: &Database<'_>,
+        query: &UotsQuery,
+        ctl: &RunControl,
+    ) -> Result<QueryResult, CoreError> {
+        expansion_search_with(db, query, self.scheduler, ctl)
     }
 
     fn name(&self) -> &'static str {
@@ -57,9 +63,6 @@ mod tests {
             Expansion::new(Scheduler::MinRadius).name(),
             "expansion-w/o-h(mr)"
         );
-        assert_eq!(
-            Expansion::default().scheduler(),
-            Scheduler::heuristic()
-        );
+        assert_eq!(Expansion::default().scheduler(), Scheduler::heuristic());
     }
 }

@@ -16,9 +16,10 @@
 //! bounds and of the scheduling strategy.
 
 use crate::algorithms::Algorithm;
+use crate::budget::{Completeness, Gate, RunControl};
 use crate::similarity;
 use crate::topk::TopK;
-use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
+use crate::{CoreError, Database, QueryOptions, QueryResult, SearchMetrics, UotsQuery};
 use std::collections::HashMap;
 use uots_index::TimeExpansion;
 use uots_network::expansion::NetworkExpansion;
@@ -48,10 +49,78 @@ struct State {
     done: bool,
 }
 
+/// The round bound shared by the termination test and the interruption
+/// certificate: the best similarity any unfinalized trajectory could still
+/// achieve given the current radii (textual bounded trivially by 1).
+fn coarse_round_ub(
+    spatial: &[NetworkExpansion<'_>],
+    temporal: &[TimeExpansion<'_, TrajectoryId>],
+    states: &HashMap<TrajectoryId, State>,
+    opts: &QueryOptions,
+) -> f64 {
+    let m = spatial.len();
+    let qt = temporal.len();
+    let w = opts.weights;
+    let s_radii: Vec<f64> = spatial.iter().map(|e| e.unsettled_lower_bound()).collect();
+    let t_radii: Vec<f64> = temporal
+        .iter()
+        .map(|e| {
+            if e.is_exhausted() {
+                f64::INFINITY
+            } else {
+                e.radius()
+            }
+        })
+        .collect();
+    let coarse = |sdists: Option<&[f64]>, tdists: Option<&[f64]>| {
+        let spatial_ub = (0..m)
+            .map(|i| {
+                let d = match sdists {
+                    Some(ds) if !ds[i].is_nan() => ds[i],
+                    _ => s_radii[i],
+                };
+                (-d / opts.decay_km).exp()
+            })
+            .sum::<f64>()
+            / m as f64;
+        let temporal_ub = if qt == 0 {
+            0.0
+        } else {
+            (0..qt)
+                .map(|j| {
+                    let d = match tdists {
+                        Some(ds) if !ds[j].is_nan() => ds[j],
+                        _ => t_radii[j],
+                    };
+                    (-d / opts.decay_s).exp()
+                })
+                .sum::<f64>()
+                / qt as f64
+        };
+        w.spatial * spatial_ub + w.textual * 1.0 + w.temporal * temporal_ub
+    };
+    let mut ub = coarse(None, None);
+    for st in states.values() {
+        if !st.done {
+            ub = ub.max(coarse(Some(&st.sdists), Some(&st.tdists)));
+        }
+    }
+    ub
+}
+
 impl Algorithm for IknnBaseline {
-    fn run(&self, db: &Database<'_>, query: &UotsQuery) -> Result<QueryResult, CoreError> {
+    fn run_with(
+        &self,
+        db: &Database<'_>,
+        query: &UotsQuery,
+        ctl: &RunControl,
+    ) -> Result<QueryResult, CoreError> {
         db.validate(query)?;
+        if ctl.is_cancelled() || ctl.deadline_passed() {
+            return Ok(QueryResult::interrupted_empty());
+        }
         let start = std::time::Instant::now();
+        let mut gate = Gate::new(&query.options().budget, ctl);
         let opts = query.options();
         let w = opts.weights;
         let mut metrics = SearchMetrics::for_one_query();
@@ -105,13 +174,21 @@ impl Algorithm for IknnBaseline {
             });
         }
 
-        loop {
+        let mut interrupted = false;
+        'rounds: loop {
             let mut any_live = false;
 
             // one lockstep round over every source
-            for i in 0..m {
+            for (i, source) in spatial.iter_mut().enumerate() {
                 for _ in 0..per_round {
-                    let Some(settled) = spatial[i].next_settled() else {
+                    if gate.should_stop(
+                        metrics.visited_trajectories,
+                        metrics.settled_vertices + metrics.scanned_timestamps,
+                    ) {
+                        interrupted = true;
+                        break 'rounds;
+                    }
+                    let Some(settled) = source.next_settled() else {
                         break;
                     };
                     metrics.settled_vertices += 1;
@@ -132,11 +209,18 @@ impl Algorithm for IknnBaseline {
                         }
                     }
                 }
-                any_live |= !spatial[i].is_exhausted();
+                any_live |= !source.is_exhausted();
             }
-            for j in 0..qt {
+            for (j, channel) in temporal.iter_mut().enumerate() {
                 for _ in 0..per_round {
-                    let Some(scanned) = temporal[j].next_scanned() else {
+                    if gate.should_stop(
+                        metrics.visited_trajectories,
+                        metrics.settled_vertices + metrics.scanned_timestamps,
+                    ) {
+                        interrupted = true;
+                        break 'rounds;
+                    }
+                    let Some(scanned) = channel.next_scanned() else {
                         break;
                     };
                     metrics.scanned_timestamps += 1;
@@ -155,7 +239,7 @@ impl Algorithm for IknnBaseline {
                         st.t_remaining -= 1;
                     }
                 }
-                any_live |= !temporal[j].is_exhausted();
+                any_live |= !channel.is_exhausted();
             }
 
             // settle exhausted sources' distances to exact ∞
@@ -199,53 +283,7 @@ impl Algorithm for IknnBaseline {
             // textual term stays at its trivial bound 1 and the partly
             // scanned set is re-scanned wholesale every round — this is the
             // baseline's inefficiency, not an error.
-            let s_radii: Vec<f64> = spatial
-                .iter()
-                .map(|e| e.unsettled_lower_bound())
-                .collect();
-            let t_radii: Vec<f64> = temporal
-                .iter()
-                .map(|e| {
-                    if e.is_exhausted() {
-                        f64::INFINITY
-                    } else {
-                        e.radius()
-                    }
-                })
-                .collect();
-            let coarse = |sdists: Option<&[f64]>, tdists: Option<&[f64]>| {
-                let spatial_ub = (0..m)
-                    .map(|i| {
-                        let d = match sdists {
-                            Some(ds) if !ds[i].is_nan() => ds[i],
-                            _ => s_radii[i],
-                        };
-                        (-d / opts.decay_km).exp()
-                    })
-                    .sum::<f64>()
-                    / m as f64;
-                let temporal_ub = if qt == 0 {
-                    0.0
-                } else {
-                    (0..qt)
-                        .map(|j| {
-                            let d = match tdists {
-                                Some(ds) if !ds[j].is_nan() => ds[j],
-                                _ => t_radii[j],
-                            };
-                            (-d / opts.decay_s).exp()
-                        })
-                        .sum::<f64>()
-                        / qt as f64
-                };
-                w.spatial * spatial_ub + w.textual * 1.0 + w.temporal * temporal_ub
-            };
-            let mut ub = coarse(None, None);
-            for st in states.values() {
-                if !st.done {
-                    ub = ub.max(coarse(Some(&st.sdists), Some(&st.tdists)));
-                }
-            }
+            let ub = coarse_round_ub(&spatial, &temporal, &states, opts);
             if topk.threshold() >= ub {
                 break;
             }
@@ -258,6 +296,13 @@ impl Algorithm for IknnBaseline {
                     .filter(|tid| !states.contains_key(tid))
                     .collect();
                 for tid in untouched {
+                    if gate.should_stop(
+                        metrics.visited_trajectories,
+                        metrics.settled_vertices + metrics.scanned_timestamps,
+                    ) {
+                        interrupted = true;
+                        break 'rounds;
+                    }
                     metrics.visited_trajectories += 1;
                     let mut st = State {
                         sdists: vec![f64::INFINITY; m],
@@ -276,10 +321,22 @@ impl Algorithm for IknnBaseline {
             }
         }
 
+        let completeness = if interrupted {
+            // the round bound at the moment of interruption certifies every
+            // unfinalized and never-touched trajectory (radii only grew)
+            metrics.interrupted = 1;
+            let ub = coarse_round_ub(&spatial, &temporal, &states, opts);
+            Completeness::BestEffort {
+                bound_gap: (ub - topk.threshold().max(0.0)).clamp(0.0, 1.0),
+            }
+        } else {
+            Completeness::Exact
+        };
         metrics.runtime = start.elapsed();
         Ok(QueryResult {
             matches: topk.into_sorted(),
             metrics,
+            completeness,
         })
     }
 

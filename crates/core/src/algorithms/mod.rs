@@ -21,17 +21,42 @@ pub use expansion::Expansion;
 pub use iknn::IknnBaseline;
 pub use text_first::TextFirst;
 
+use crate::budget::RunControl;
 use crate::{CoreError, Database, QueryResult, UotsQuery};
 
 /// A UOTS query algorithm.
+///
+/// Every implementation is **anytime**: it honors the query's
+/// [`crate::ExecutionBudget`] and the run's [`RunControl`] (cancellation
+/// token + external deadline) and, when interrupted, returns its current
+/// top-k tagged [`crate::Completeness::BestEffort`] with a certified bound
+/// gap instead of failing.
 pub trait Algorithm {
-    /// Answers `query` over `db`.
+    /// Answers `query` over `db` under explicit run control. A run whose
+    /// token is already cancelled (or whose deadline already passed)
+    /// returns the empty best-effort answer with `bound_gap = 1.0`.
     ///
     /// # Errors
     ///
     /// Validation errors from [`Database::validate`] plus any
-    /// algorithm-specific index requirements.
-    fn run(&self, db: &Database<'_>, query: &UotsQuery) -> Result<QueryResult, CoreError>;
+    /// algorithm-specific index requirements. Interruption is *not* an
+    /// error.
+    fn run_with(
+        &self,
+        db: &Database<'_>,
+        query: &UotsQuery,
+        ctl: &RunControl,
+    ) -> Result<QueryResult, CoreError>;
+
+    /// Answers `query` over `db` with no external control (the query's own
+    /// budget, if any, still applies).
+    ///
+    /// # Errors
+    ///
+    /// See [`Algorithm::run_with`].
+    fn run(&self, db: &Database<'_>, query: &UotsQuery) -> Result<QueryResult, CoreError> {
+        self.run_with(db, query, &RunControl::unbounded())
+    }
 
     /// Display name used in experiment output.
     fn name(&self) -> &'static str;
@@ -83,7 +108,7 @@ mod tests {
             );
             for spec in specs {
                 let k = rng.gen_range(1..=5);
-                let lambda = [0.1, 0.5, 0.9][rng.gen_range(0..3)];
+                let lambda = [0.1, 0.5, 0.9][rng.gen_range(0..3usize)];
                 let query = UotsQuery::with_options(
                     spec.locations.clone(),
                     spec.keywords.clone(),

@@ -18,6 +18,7 @@
 //! to baselines that are not driven by the spatial domain.
 
 use crate::algorithms::Algorithm;
+use crate::budget::{Completeness, Gate, RunControl};
 use crate::similarity;
 use crate::topk::TopK;
 use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
@@ -30,10 +31,19 @@ use uots_trajectory::TrajectoryId;
 pub struct TextFirst;
 
 impl Algorithm for TextFirst {
-    fn run(&self, db: &Database<'_>, query: &UotsQuery) -> Result<QueryResult, CoreError> {
+    fn run_with(
+        &self,
+        db: &Database<'_>,
+        query: &UotsQuery,
+        ctl: &RunControl,
+    ) -> Result<QueryResult, CoreError> {
         db.validate(query)?;
         let keyword_index = db.keyword_index.ok_or(CoreError::MissingIndex("keyword"))?;
+        if ctl.is_cancelled() || ctl.deadline_passed() {
+            return Ok(QueryResult::interrupted_empty());
+        }
         let start = std::time::Instant::now();
+        let mut gate = Gate::new(&query.options().budget, ctl);
         let mut metrics = SearchMetrics::for_one_query();
         let opts = query.options();
         let w = opts.weights;
@@ -47,7 +57,8 @@ impl Algorithm for TextFirst {
             db.store
                 .iter()
                 .map(|(id, t)| {
-                    let ub = w.spatial + w.textual * similarity::textual_component(query, t)
+                    let ub = w.spatial
+                        + w.textual * similarity::textual_component(query, t)
                         + w.temporal;
                     (ub, id)
                 })
@@ -58,7 +69,8 @@ impl Algorithm for TextFirst {
                 .iter()
                 .map(|&id| {
                     let t = db.store.get(id);
-                    let ub = w.spatial + w.textual * similarity::textual_component(query, t)
+                    let ub = w.spatial
+                        + w.textual * similarity::textual_component(query, t)
                         + w.temporal;
                     (ub, id)
                 })
@@ -82,32 +94,56 @@ impl Algorithm for TextFirst {
         scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
 
         // ---- refine: exact evaluation in bound order ----
-        let trees: Vec<_> = query
-            .locations()
-            .iter()
-            .map(|&v| {
-                let t = shortest_path_tree(db.network, v);
-                metrics.settled_vertices += t.reached_count();
-                t
-            })
-            .collect();
-
-        let mut topk = TopK::new(opts.k);
-        for &(ub, id) in &scored {
-            if topk.threshold() >= ub {
-                break; // no later trajectory can beat the k-th best
+        let mut trees = Vec::with_capacity(query.num_locations());
+        let mut interrupted = false;
+        for &v in query.locations() {
+            if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
+                interrupted = true;
+                break;
             }
-            metrics.visited_trajectories += 1;
-            metrics.candidates += 1;
-            let m = similarity::evaluate_with_trees(&trees, query, id, db.store.get(id));
-            debug_assert!(m.similarity <= ub + 1e-9, "bound must dominate exact");
-            topk.offer(m);
+            let t = shortest_path_tree(db.network, v);
+            metrics.settled_vertices += t.reached_count();
+            trees.push(t);
         }
 
+        let mut topk = TopK::new(opts.k);
+        // index of the first bound not yet refined — the interruption
+        // certificate: every unrefined trajectory scores at most its bound,
+        // and bounds are sorted descending
+        let mut next_bound = scored.first().map_or(0.0, |&(ub, _)| ub);
+        if !interrupted {
+            for &(ub, id) in &scored {
+                next_bound = ub;
+                if topk.threshold() >= ub {
+                    next_bound = 0.0;
+                    break; // no later trajectory can beat the k-th best
+                }
+                if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
+                    interrupted = true;
+                    break;
+                }
+                metrics.visited_trajectories += 1;
+                metrics.candidates += 1;
+                let m = similarity::evaluate_with_trees(&trees, query, id, db.store.get(id));
+                debug_assert!(m.similarity <= ub + 1e-9, "bound must dominate exact");
+                topk.offer(m);
+                next_bound = 0.0; // consumed: exact if the loop ends here
+            }
+        }
+
+        let completeness = if interrupted {
+            metrics.interrupted = 1;
+            Completeness::BestEffort {
+                bound_gap: (next_bound - topk.threshold().max(0.0)).clamp(0.0, 1.0),
+            }
+        } else {
+            Completeness::Exact
+        };
         metrics.runtime = start.elapsed();
         Ok(QueryResult {
             matches: topk.into_sorted(),
             metrics,
+            completeness,
         })
     }
 

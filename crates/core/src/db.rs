@@ -134,9 +134,8 @@ mod tests {
             weights: crate::Weights::new(1.0, 0.0, 1.0).unwrap(),
             ..Default::default()
         };
-        let q =
-            UotsQuery::with_options(vec![NodeId(0)], KeywordSet::empty(), vec![100.0], opts)
-                .unwrap();
+        let q = UotsQuery::with_options(vec![NodeId(0)], KeywordSet::empty(), vec![100.0], opts)
+            .unwrap();
         assert!(matches!(db.validate(&q), Err(CoreError::MissingIndex(_))));
 
         let tidx = store.build_timestamp_index();

@@ -37,6 +37,7 @@
 //! Both conditions together guarantee the returned top-k equals the
 //! exhaustive answer — property-tested against the brute-force oracle.
 
+use crate::budget::{Completeness, Gate, RunControl};
 use crate::query::UotsQuery;
 use crate::result::{Match, QueryResult};
 use crate::scheduling::Scheduler;
@@ -134,6 +135,17 @@ impl Collector {
             }
         }
     }
+
+    /// Whether a zero interrupt gap proves exactness: it does once the
+    /// pruning threshold is real (top-k full, or any fixed θ). With an
+    /// unfilled top-k even a zero-bound unseen trajectory still belongs in
+    /// the answer, so the interrupted result must stay best-effort.
+    fn zero_gap_is_exact(&self) -> bool {
+        match self {
+            Collector::TopK(t) => t.threshold() != f64::NEG_INFINITY,
+            Collector::Threshold { .. } => true,
+        }
+    }
 }
 
 /// Runs the expansion search for `query` over `db` under `scheduler`.
@@ -150,12 +162,35 @@ pub fn expansion_search(
     query: &UotsQuery,
     scheduler: Scheduler,
 ) -> Result<QueryResult, CoreError> {
+    expansion_search_with(db, query, scheduler, &RunControl::unbounded())
+}
+
+/// [`expansion_search`] under explicit run control: a cancellation token
+/// and/or an external deadline, combined with the query's own
+/// [`crate::ExecutionBudget`]. Interruption is not an error — the current
+/// top-k comes back tagged [`Completeness::BestEffort`] with a certified
+/// bound gap. A run cancelled before its first step returns the empty
+/// best-effort answer (`bound_gap = 1.0`).
+///
+/// # Errors
+///
+/// Propagates [`Database::validate`] failures.
+pub fn expansion_search_with(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    scheduler: Scheduler,
+    ctl: &RunControl,
+) -> Result<QueryResult, CoreError> {
     db.validate(query)?;
+    if ctl.is_cancelled() || ctl.deadline_passed() {
+        return Ok(QueryResult::interrupted_empty());
+    }
     let start = std::time::Instant::now();
+    let mut gate = Gate::new(&query.options().budget, ctl);
     let collector = Collector::TopK(TopK::new(query.options().k));
     let mut engine = Engine::new(db, query, scheduler, collector);
-    engine.run();
-    let mut result = engine.into_result();
+    let interrupt = engine.run(&mut gate);
+    let mut result = engine.into_result(interrupt);
     result.metrics.runtime = start.elapsed();
     Ok(result)
 }
@@ -176,20 +211,43 @@ pub fn threshold_search(
     theta: f64,
     scheduler: Scheduler,
 ) -> Result<QueryResult, CoreError> {
+    threshold_search_with(db, query, theta, scheduler, &RunControl::unbounded())
+}
+
+/// [`threshold_search`] under explicit run control; see
+/// [`expansion_search_with`]. An interrupted threshold search returns the
+/// qualifying matches found so far; its `bound_gap` certifies how far
+/// above `θ` a missed trajectory could score.
+///
+/// # Errors
+///
+/// Propagates [`Database::validate`] failures and rejects `theta` outside
+/// `(0, 1]`.
+pub fn threshold_search_with(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    theta: f64,
+    scheduler: Scheduler,
+    ctl: &RunControl,
+) -> Result<QueryResult, CoreError> {
     if !(theta > 0.0 && theta <= 1.0) {
         return Err(CoreError::BadParameter(format!(
             "theta must be in (0, 1], got {theta}"
         )));
     }
     db.validate(query)?;
+    if ctl.is_cancelled() || ctl.deadline_passed() {
+        return Ok(QueryResult::interrupted_empty());
+    }
     let start = std::time::Instant::now();
+    let mut gate = Gate::new(&query.options().budget, ctl);
     let collector = Collector::Threshold {
         theta,
         matches: Vec::new(),
     };
     let mut engine = Engine::new(db, query, scheduler, collector);
-    engine.run();
-    let mut result = engine.into_result();
+    let interrupt = engine.run(&mut gate);
+    let mut result = engine.into_result(interrupt);
     result.metrics.runtime = start.elapsed();
     Ok(result)
 }
@@ -250,25 +308,24 @@ impl<'a, 'q> Engine<'a, 'q> {
                 Vec::new()
             };
         let num_sources = spatial.len() + temporal.len();
-        let (text_rank, text_rank_usable) =
-            match (query.keywords().is_empty(), db.keyword_index) {
-                (false, Some(kidx)) => {
-                    let mut rank: Vec<(f64, TrajectoryId)> = kidx
-                        .union_of(query.keywords().iter())
-                        .into_iter()
-                        .map(|tid| {
-                            let sim = query
-                                .options()
-                                .text_measure
-                                .similarity(query.keywords(), db.store.get(tid).keywords());
-                            (sim, tid)
-                        })
-                        .collect();
-                    rank.sort_by(|a, b| b.0.total_cmp(&a.0));
-                    (rank, true)
-                }
-                _ => (Vec::new(), false),
-            };
+        let (text_rank, text_rank_usable) = match (query.keywords().is_empty(), db.keyword_index) {
+            (false, Some(kidx)) => {
+                let mut rank: Vec<(f64, TrajectoryId)> = kidx
+                    .union_of(query.keywords().iter())
+                    .into_iter()
+                    .map(|tid| {
+                        let sim = query
+                            .options()
+                            .text_measure
+                            .similarity(query.keywords(), db.store.get(tid).keywords());
+                        (sim, tid)
+                    })
+                    .collect();
+                rank.sort_by(|a, b| b.0.total_cmp(&a.0));
+                (rank, true)
+            }
+            _ => (Vec::new(), false),
+        };
         Engine {
             db,
             query,
@@ -405,8 +462,17 @@ impl<'a, 'q> Engine<'a, 'q> {
         w.spatial * spatial_ub + w.textual * text_ub + w.temporal * temporal_ub
     }
 
-    fn run(&mut self) {
+    /// Drives the search to termination, exhaustion, or interruption.
+    /// Returns `Some(bound_gap)` when `gate` tripped first — the certified
+    /// slack of the best-effort answer — and `None` for exact ends.
+    fn run(&mut self, gate: &mut Gate) -> Option<f64> {
         loop {
+            if gate.should_stop(
+                self.metrics.visited_trajectories,
+                self.metrics.settled_vertices + self.metrics.scanned_timestamps,
+            ) {
+                return Some(self.interrupt_gap());
+            }
             let Some(src) = self.pick_source() else {
                 // all sources exhausted
                 self.exhausted_end = true;
@@ -414,12 +480,39 @@ impl<'a, 'q> Engine<'a, 'q> {
             };
             self.step(src);
             if self.terminated() {
-                return;
+                return None;
             }
         }
         if self.exhausted_end {
-            self.sweep_unvisited();
+            return self.sweep_unvisited(gate);
         }
+        None
+    }
+
+    /// Certified slack at the moment of interruption: how much similarity
+    /// any unreported trajectory could have above the pruning threshold.
+    ///
+    /// Sound because (a) `ub_unscanned` bounds every never-touched
+    /// trajectory, (b) the heap's stale top bound over-estimates every
+    /// live partly-scanned trajectory (bounds only decrease as radii
+    /// grow), and (c) entries popped earlier were already `≤` a k-th best
+    /// that only increases.
+    fn interrupt_gap(&mut self) -> f64 {
+        let base = self.collector.pruning_threshold().max(0.0);
+        let mut ub = self.ub_unscanned();
+        while let Some(entry) = self.bound_heap.peek() {
+            let (tid, stale_ub) = (entry.tid, entry.ub.0);
+            match self.states.get(&tid) {
+                Some(st) if !st.done => {
+                    ub = ub.max(stale_ub);
+                    break;
+                }
+                _ => {
+                    self.bound_heap.pop(); // finalized: entry is obsolete
+                }
+            }
+        }
+        (ub - base).clamp(0.0, 1.0)
     }
 
     /// One settle/scan step on source `src`.
@@ -430,8 +523,7 @@ impl<'a, 'q> Engine<'a, 'q> {
                     self.metrics.settled_vertices += 1;
                     // the posting slice borrows the 'a-lived index, not
                     // `self`, so no copy is needed on this hot path
-                    let tids: &'a [TrajectoryId] =
-                        self.db.vertex_index.values_at(settled.node);
+                    let tids: &'a [TrajectoryId] = self.db.vertex_index.values_at(settled.node);
                     for &tid in tids {
                         self.record_spatial(tid, src, settled.dist);
                     }
@@ -605,7 +697,7 @@ impl<'a, 'q> Engine<'a, 'q> {
     /// never-touched trajectory exactly. All sources are exhausted here, so
     /// spatial distances are exactly `∞`; textual and temporal channels are
     /// evaluated directly.
-    fn sweep_unvisited(&mut self) {
+    fn sweep_unvisited(&mut self, gate: &mut Gate) -> Option<f64> {
         let o = self.query.options();
         let ids: Vec<TrajectoryId> = self
             .db
@@ -614,6 +706,20 @@ impl<'a, 'q> Engine<'a, 'q> {
             .filter(|tid| !self.states.contains_key(tid))
             .collect();
         for tid in ids {
+            if gate.should_stop(
+                self.metrics.visited_trajectories,
+                self.metrics.settled_vertices + self.metrics.scanned_timestamps,
+            ) {
+                // every source is exhausted, so a missed trajectory's
+                // spatial contribution is exactly 0; its textual score is
+                // bounded by the rank of the best unseen entry and its
+                // temporal score trivially by 1
+                let base = self.collector.pruning_threshold().max(0.0);
+                let w = o.weights;
+                let text_ub = self.unscanned_text_bound();
+                let tm_ub = if w.uses_temporal() { 1.0 } else { 0.0 };
+                return Some((w.textual * text_ub + w.temporal * tm_ub - base).clamp(0.0, 1.0));
+            }
             let traj = self.db.store.get(tid);
             self.metrics.visited_trajectories += 1;
             self.metrics.candidates += 1;
@@ -634,6 +740,7 @@ impl<'a, 'q> Engine<'a, 'q> {
                 temporal,
             });
         }
+        None
     }
 
     /// Checks the two-part termination condition, cleaning the bound heap
@@ -747,10 +854,27 @@ impl<'a, 'q> Engine<'a, 'q> {
         self.labels = labels;
     }
 
-    fn into_result(self) -> QueryResult {
+    /// Consumes the engine; `interrupt` is [`Engine::run`]'s return value.
+    /// A gap of zero certifies the answer exact even when the gate tripped
+    /// — provided the collector's threshold is real (see
+    /// [`Collector::zero_gap_is_exact`]): at that point the normal
+    /// termination test would have fired on the same state.
+    fn into_result(self, interrupt: Option<f64>) -> QueryResult {
+        let completeness = match interrupt {
+            Some(gap) if gap <= 0.0 && self.collector.zero_gap_is_exact() => Completeness::Exact,
+            Some(gap) => Completeness::BestEffort {
+                bound_gap: gap.clamp(0.0, 1.0),
+            },
+            None => Completeness::Exact,
+        };
+        let mut metrics = self.metrics;
+        if !completeness.is_exact() {
+            metrics.interrupted = 1;
+        }
         QueryResult {
             matches: self.collector.into_sorted(),
-            metrics: self.metrics,
+            metrics,
+            completeness,
         }
     }
 }
@@ -969,8 +1093,7 @@ mod tests {
                     ..Default::default()
                 })
                 .unwrap();
-            crate::algorithms::Algorithm::run(&crate::algorithms::BruteForce, &db, &q_all)
-                .unwrap()
+            crate::algorithms::Algorithm::run(&crate::algorithms::BruteForce, &db, &q_all).unwrap()
         };
         for theta in [0.2, 0.5, 0.8] {
             let got = threshold_search(&db, &q, theta, Scheduler::heuristic()).unwrap();

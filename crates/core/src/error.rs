@@ -10,6 +10,19 @@ pub enum CoreError {
     /// The algorithm requires an index the database was not given (e.g. the
     /// temporal channel without a timestamp index).
     MissingIndex(&'static str),
+    /// A query's worker panicked during batch execution; the payload is the
+    /// panic message. Only the panicking query is affected — under
+    /// [`crate::parallel::BatchPolicy::Partial`] the rest of the batch
+    /// still returns.
+    QueryPanicked(String),
+    /// A batch exceeded the executor's admission bound and was rejected
+    /// before any query ran.
+    Overloaded {
+        /// Queries submitted in the batch.
+        submitted: usize,
+        /// The executor's admission capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -21,6 +34,18 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::MissingIndex(which) => {
                 write!(f, "database is missing the required {which} index")
+            }
+            CoreError::QueryPanicked(msg) => {
+                write!(f, "query worker panicked: {msg}")
+            }
+            CoreError::Overloaded {
+                submitted,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "batch of {submitted} queries exceeds the admission capacity of {capacity}"
+                )
             }
         }
     }
@@ -35,12 +60,23 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(CoreError::BadParameter("k".into()).to_string().contains("k"));
+        assert!(CoreError::BadParameter("k".into())
+            .to_string()
+            .contains("k"));
         assert!(CoreError::UnknownLocation(NodeId(4))
             .to_string()
             .contains("v4"));
         assert!(CoreError::MissingIndex("timestamp")
             .to_string()
             .contains("timestamp"));
+        assert!(CoreError::QueryPanicked("boom".into())
+            .to_string()
+            .contains("boom"));
+        let over = CoreError::Overloaded {
+            submitted: 10,
+            capacity: 4,
+        }
+        .to_string();
+        assert!(over.contains("10") && over.contains("4"));
     }
 }

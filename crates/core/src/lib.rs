@@ -39,11 +39,21 @@
 //! All algorithms return identical rankings; the evaluation compares their
 //! cost ([`SearchMetrics`]). Batches of queries run in parallel via
 //! [`parallel::run_batch`].
+//!
+//! ## Anytime execution
+//!
+//! Every algorithm honors an [`ExecutionBudget`] (wall clock, visited
+//! trajectories, settled vertices — carried in [`QueryOptions`]) and a
+//! [`CancellationToken`]/deadline pair ([`RunControl`], passed to
+//! [`algorithms::Algorithm::run_with`]). Interrupted runs are not errors:
+//! they return the current top-k tagged [`Completeness::BestEffort`] with
+//! a certified `bound_gap` — see [`budget`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod algorithms;
+pub mod budget;
 mod db;
 mod engine;
 mod error;
@@ -54,12 +64,17 @@ mod query;
 mod result;
 mod scheduling;
 pub mod similarity;
+pub mod testing;
 mod topk;
 
+pub use budget::{CancellationToken, Completeness, ExecutionBudget, RunControl};
 pub use db::Database;
-pub use engine::{expansion_search, threshold_search};
+pub use engine::{
+    expansion_search, expansion_search_with, threshold_search, threshold_search_with,
+};
 pub use error::CoreError;
 pub use metrics::SearchMetrics;
+pub use parallel::{BatchOptions, BatchPolicy};
 pub use query::{QueryOptions, UotsQuery, Weights, MAX_LOCATIONS};
 pub use result::{Match, QueryResult};
 pub use scheduling::Scheduler;

@@ -25,6 +25,9 @@ pub struct SearchMetrics {
     /// Trajectories that became candidates (fully scanned / exactly
     /// evaluated).
     pub candidates: usize,
+    /// Queries that ended best-effort (budget exhausted, deadline hit, or
+    /// cancelled) instead of proving exactness.
+    pub interrupted: usize,
     /// Wall-clock time spent answering.
     pub runtime: Duration,
 }
@@ -75,6 +78,7 @@ impl SearchMetrics {
         self.settled_vertices += other.settled_vertices;
         self.scanned_timestamps += other.scanned_timestamps;
         self.candidates += other.candidates;
+        self.interrupted += other.interrupted;
         self.runtime += other.runtime;
     }
 
@@ -112,6 +116,7 @@ mod tests {
             settled_vertices: 100,
             scanned_timestamps: 5,
             candidates: 3,
+            interrupted: 1,
             runtime: Duration::from_millis(20),
         };
         let b = SearchMetrics {
@@ -120,6 +125,7 @@ mod tests {
             settled_vertices: 50,
             scanned_timestamps: 0,
             candidates: 7,
+            interrupted: 0,
             runtime: Duration::from_millis(10),
         };
         a.merge(&b);
@@ -127,6 +133,7 @@ mod tests {
         assert_eq!(a.visited_trajectories, 40);
         assert_eq!(a.settled_vertices, 150);
         assert_eq!(a.candidates, 10);
+        assert_eq!(a.interrupted, 1);
         assert_eq!(a.runtime, Duration::from_millis(30));
         assert!((a.visited_per_query() - 20.0).abs() < 1e-12);
         assert_eq!(a.runtime_per_query(), Duration::from_millis(15));

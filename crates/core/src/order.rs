@@ -136,8 +136,7 @@ mod tests {
         let vidx = store.build_vertex_index(net.num_nodes());
         let db = Database::new(&net, &store, &vidx);
         // places in left→right order
-        let q = UotsQuery::new(vec![NodeId(0), NodeId(3), NodeId(6)], KeywordSet::empty())
-            .unwrap();
+        let q = UotsQuery::new(vec![NodeId(0), NodeId(3), NodeId(6)], KeywordSet::empty()).unwrap();
         let mk = |id| Match {
             id,
             similarity: 0.5,
@@ -154,6 +153,7 @@ mod tests {
         let mut result = QueryResult {
             matches: vec![mk(fwd), mk(rev)],
             metrics: SearchMetrics::for_one_query(),
+            completeness: crate::budget::Completeness::Exact,
         };
         rerank_by_order(&db, &q, &mut result, 0.5);
         assert_eq!(result.matches[0].id, fwd);
@@ -187,6 +187,7 @@ mod tests {
                 },
             ],
             metrics: SearchMetrics::for_one_query(),
+            completeness: crate::budget::Completeness::Exact,
         };
         rerank_by_order(&db, &q, &mut result, 0.0);
         assert_eq!(result.matches[0].id, a);

@@ -1,4 +1,4 @@
-//! Parallel batch query execution.
+//! Parallel batch query execution, hardened for production use.
 //!
 //! UOTS trajectory searches are independent of each other — the property the
 //! paper exploits for parallelism ("the search processes of different
@@ -6,10 +6,146 @@
 //! cost uncorrelated to the thread count; in the *search* setting there is
 //! nothing to merge at all). This module fans a batch of queries over a
 //! rayon thread pool and preserves input order in the output.
+//!
+//! The hardened entry point is [`run_batch_with`]:
+//!
+//! - **Panic isolation** — a query whose worker panics is reported as
+//!   [`CoreError::QueryPanicked`] for that slot; the other queries in the
+//!   batch still complete (under [`BatchPolicy::Partial`]).
+//! - **Batch deadlines** — [`BatchOptions::deadline`] folds a per-batch
+//!   wall-clock limit into each query's [`RunControl`], so in-flight
+//!   queries cancel cooperatively and return certified best-effort results
+//!   instead of running away.
+//! - **Bounded admission** — [`BatchOptions::max_batch`] rejects oversized
+//!   batches up front with [`CoreError::Overloaded`] rather than queueing
+//!   unbounded work.
 
 use crate::algorithms::Algorithm;
+use crate::budget::{CancellationToken, RunControl};
 use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// How a batch reacts to a failing query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// The first error (by input order) fails the whole batch.
+    #[default]
+    FailFast,
+    /// Every query gets a slot; failures are reported per slot and do not
+    /// affect their neighbours.
+    Partial,
+}
+
+/// Knobs for [`run_batch_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOptions {
+    /// Failure handling across the batch.
+    pub policy: BatchPolicy,
+    /// Wall-clock limit for the whole batch; queries still in flight when
+    /// it expires are cancelled cooperatively and return best-effort
+    /// results (they do **not** error).
+    pub deadline: Option<Duration>,
+    /// Admission bound: batches larger than this are rejected with
+    /// [`CoreError::Overloaded`] before any work starts.
+    pub max_batch: Option<usize>,
+    /// Worker threads (0 and 1 both mean sequential-through-the-pool).
+    pub threads: usize,
+}
+
+impl BatchOptions {
+    /// Fail-fast execution on `threads` workers, no deadline, no admission
+    /// bound — the behaviour of the plain [`run_batch`].
+    pub fn fail_fast(threads: usize) -> Self {
+        BatchOptions {
+            policy: BatchPolicy::FailFast,
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// Partial execution on `threads` workers.
+    pub fn partial(threads: usize) -> Self {
+        BatchOptions {
+            policy: BatchPolicy::Partial,
+            threads,
+            ..Default::default()
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn run_isolated<A: Algorithm + ?Sized>(
+    db: &Database<'_>,
+    algorithm: &A,
+    query: &UotsQuery,
+    ctl: &RunControl,
+) -> Result<QueryResult, CoreError> {
+    catch_unwind(AssertUnwindSafe(|| algorithm.run_with(db, query, ctl)))
+        .unwrap_or_else(|payload| Err(CoreError::QueryPanicked(panic_message(payload))))
+}
+
+/// Runs `queries` over `db` with `algorithm` under the given batch options
+/// and a shared cancellation token, returning per-query outcomes in input
+/// order.
+///
+/// Cancelling `token` mid-batch makes in-flight and not-yet-started queries
+/// return empty best-effort results; it is cloned into every query's
+/// [`RunControl`] together with the batch deadline (if any).
+///
+/// # Errors
+///
+/// Batch-level errors (the outer `Result`): pool construction failure,
+/// [`CoreError::Overloaded`] from the admission bound, and — under
+/// [`BatchPolicy::FailFast`] — the first per-query error by input order.
+/// Under [`BatchPolicy::Partial`], per-query errors (including
+/// [`CoreError::QueryPanicked`]) stay in their slot of the inner `Vec`.
+pub fn run_batch_with<A: Algorithm + Sync>(
+    db: &Database<'_>,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    opts: &BatchOptions,
+    token: &CancellationToken,
+) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
+    if let Some(cap) = opts.max_batch {
+        if queries.len() > cap {
+            return Err(CoreError::Overloaded {
+                submitted: queries.len(),
+                capacity: cap,
+            });
+        }
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(opts.threads.max(1))
+        .build()
+        .map_err(|e| CoreError::BadParameter(format!("thread pool: {e}")))?;
+    let mut ctl = RunControl::with_token(token.clone());
+    if let Some(d) = opts.deadline {
+        ctl = ctl.with_deadline(Instant::now() + d);
+    }
+    let results: Vec<Result<QueryResult, CoreError>> = pool.install(|| {
+        queries
+            .par_iter()
+            .map(|q| run_isolated(db, algorithm, q, &ctl))
+            .collect()
+    });
+    if opts.policy == BatchPolicy::FailFast {
+        if let Some(err) = results.iter().find_map(|r| r.as_ref().err()) {
+            return Err(err.clone());
+        }
+    }
+    Ok(results)
+}
 
 /// Runs `queries` over `db` with `algorithm` on a dedicated pool of
 /// `threads` workers, returning per-query results in input order.
@@ -20,25 +156,24 @@ use rayon::prelude::*;
 ///
 /// # Errors
 ///
-/// Returns the first query error encountered (by input order). Pool
-/// construction failures are reported as [`CoreError::BadParameter`].
+/// Returns the first query error encountered (by input order) — including
+/// [`CoreError::QueryPanicked`] if a worker panics. Pool construction
+/// failures are reported as [`CoreError::BadParameter`].
 pub fn run_batch<A: Algorithm + Sync>(
     db: &Database<'_>,
     algorithm: &A,
     queries: &[UotsQuery],
     threads: usize,
 ) -> Result<Vec<QueryResult>, CoreError> {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .map_err(|e| CoreError::BadParameter(format!("thread pool: {e}")))?;
-    let results: Vec<Result<QueryResult, CoreError>> = pool.install(|| {
-        queries
-            .par_iter()
-            .map(|q| algorithm.run(db, q))
-            .collect()
-    });
-    results.into_iter().collect()
+    run_batch_with(
+        db,
+        algorithm,
+        queries,
+        &BatchOptions::fail_fast(threads),
+        &CancellationToken::new(),
+    )?
+    .into_iter()
+    .collect()
 }
 
 /// Alternative executor on crossbeam scoped threads with a shared atomic
@@ -49,7 +184,9 @@ pub fn run_batch<A: Algorithm + Sync>(
 ///
 /// # Errors
 ///
-/// Returns the first query error encountered (by input order).
+/// Returns the first query error encountered (by input order). A panicking
+/// query is caught inside its worker and surfaced as
+/// [`CoreError::QueryPanicked`]; it cannot take the other workers down.
 pub fn run_batch_crossbeam<A: Algorithm + Sync>(
     db: &Database<'_>,
     algorithm: &A,
@@ -62,6 +199,7 @@ pub fn run_batch_crossbeam<A: Algorithm + Sync>(
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<Result<QueryResult, CoreError>>> = Vec::new();
     slots.resize_with(queries.len(), || None);
+    let ctl = RunControl::unbounded();
 
     // Collect per-thread (index, result) pairs and scatter afterwards —
     // simpler than sharing &mut slots across threads.
@@ -70,6 +208,7 @@ pub fn run_batch_crossbeam<A: Algorithm + Sync>(
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let cursor = &cursor;
+                    let ctl = &ctl;
                     scope.spawn(move |_| {
                         let mut mine = Vec::new();
                         loop {
@@ -77,7 +216,7 @@ pub fn run_batch_crossbeam<A: Algorithm + Sync>(
                             if i >= queries.len() {
                                 break;
                             }
-                            mine.push((i, algorithm.run(db, &queries[i])));
+                            mine.push((i, run_isolated(db, algorithm, &queries[i], ctl)));
                         }
                         mine
                     })
@@ -85,15 +224,33 @@ pub fn run_batch_crossbeam<A: Algorithm + Sync>(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread must not panic"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        // run_isolated catches query panics, so reaching
+                        // this means the worker loop itself died; report
+                        // it rather than poisoning the whole process.
+                        vec![(
+                            usize::MAX,
+                            Err(CoreError::QueryPanicked(panic_message(payload))),
+                        )]
+                    })
+                })
                 .collect()
         })
-        .expect("crossbeam scope must not panic");
+        .map_err(|payload| CoreError::QueryPanicked(panic_message(payload)))?;
 
+    let mut stray: Option<CoreError> = None;
     for per_thread in gathered {
         for (i, r) in per_thread {
-            slots[i] = Some(r);
+            if i == usize::MAX {
+                stray = Some(r.expect_err("sentinel slot always carries an error"));
+            } else {
+                slots[i] = Some(r);
+            }
         }
+    }
+    if let Some(err) = stray {
+        return Err(err);
     }
     slots
         .into_iter()
@@ -121,6 +278,7 @@ pub fn run_batch_aggregated<A: Algorithm + Sync>(
 mod tests {
     use super::*;
     use crate::algorithms::Expansion;
+    use crate::testing::{FaultyAlgorithm, SlowAlgorithm};
     use uots_datagen::{workload, Dataset, DatasetConfig};
 
     fn setup() -> (Dataset, Vec<UotsQuery>) {
@@ -207,5 +365,116 @@ mod tests {
         .unwrap();
         let err = run_batch(&db, &Expansion::default(), &[bad], 2);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn partial_policy_isolates_a_panicking_query() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let algo = FaultyAlgorithm::new(Expansion::default(), 0, "injected fault");
+        let out = run_batch_with(
+            &db,
+            &algo,
+            &queries,
+            &BatchOptions::partial(1),
+            &CancellationToken::new(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), queries.len());
+        // threads=1 makes call order deterministic: exactly slot 0 panicked
+        assert!(matches!(out[0], Err(CoreError::QueryPanicked(_))));
+        for (i, r) in out.iter().enumerate().skip(1) {
+            assert!(r.is_ok(), "slot {i} must survive the panic in slot 0");
+        }
+    }
+
+    #[test]
+    fn fail_fast_policy_surfaces_the_panic_as_an_error() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let algo = FaultyAlgorithm::new(Expansion::default(), 0, "injected fault");
+        let err = run_batch_with(
+            &db,
+            &algo,
+            &queries,
+            &BatchOptions::fail_fast(1),
+            &CancellationToken::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::QueryPanicked(ref m) if m.contains("injected")));
+    }
+
+    #[test]
+    fn crossbeam_executor_survives_a_panicking_query() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let algo = FaultyAlgorithm::new(Expansion::default(), 2, "boom");
+        let err = run_batch_crossbeam(&db, &algo, &queries, 3).unwrap_err();
+        assert!(matches!(err, CoreError::QueryPanicked(ref m) if m.contains("boom")));
+        // every query was still dispatched despite the panic
+        assert_eq!(algo.calls(), queries.len());
+    }
+
+    #[test]
+    fn admission_bound_rejects_oversized_batches() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let opts = BatchOptions {
+            max_batch: Some(4),
+            ..BatchOptions::partial(2)
+        };
+        let err = run_batch_with(
+            &db,
+            &Expansion::default(),
+            &queries,
+            &opts,
+            &CancellationToken::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Overloaded {
+                submitted: 12,
+                capacity: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn batch_deadline_cancels_in_flight_queries() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let algo = SlowAlgorithm::new(Expansion::default(), Duration::from_secs(3600));
+        let opts = BatchOptions {
+            deadline: Some(Duration::from_millis(20)),
+            ..BatchOptions::partial(2)
+        };
+        let out = run_batch_with(&db, &algo, &queries, &opts, &CancellationToken::new()).unwrap();
+        assert_eq!(out.len(), queries.len());
+        for r in &out {
+            let r = r.as_ref().unwrap();
+            assert!(!r.completeness.is_exact(), "deadline must interrupt");
+        }
+    }
+
+    #[test]
+    fn shared_token_cancels_the_whole_batch() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let token = CancellationToken::new();
+        token.cancel();
+        let out = run_batch_with(
+            &db,
+            &Expansion::default(),
+            &queries,
+            &BatchOptions::partial(2),
+            &token,
+        )
+        .unwrap();
+        for r in &out {
+            let r = r.as_ref().unwrap();
+            assert!(!r.completeness.is_exact());
+            assert!(r.matches.is_empty());
+        }
     }
 }

@@ -102,6 +102,10 @@ pub struct QueryOptions {
     pub weights: Weights,
     /// Answer size (top-k); `k ≥ 1`.
     pub k: usize,
+    /// Resource limits; unlimited by default. Exhausting the budget ends
+    /// the search early with a [`crate::Completeness::BestEffort`] answer
+    /// instead of an error.
+    pub budget: crate::budget::ExecutionBudget,
     /// Spatial decay scale in kilometres: the spatial similarity of one
     /// query place is `e^(−d / decay_km)`. The paper writes `e^(−d)`, i.e.
     /// a unit decay scale; exposing it keeps the measure meaningful on any
@@ -118,6 +122,7 @@ impl Default for QueryOptions {
         QueryOptions {
             weights: Weights::default(),
             k: 1,
+            budget: crate::budget::ExecutionBudget::UNLIMITED,
             decay_km: 1.0,
             decay_s: 1_800.0,
             text_measure: TextSimilarity::Jaccard,
@@ -183,7 +188,11 @@ impl UotsQuery {
         if options.k == 0 {
             return Err(CoreError::BadParameter("k must be at least 1".into()));
         }
-        if !(options.decay_km > 0.0) || !(options.decay_s > 0.0) {
+        if options.decay_km <= 0.0
+            || options.decay_km.is_nan()
+            || options.decay_s <= 0.0
+            || options.decay_s.is_nan()
+        {
             return Err(CoreError::BadParameter(
                 "decay scales must be positive".into(),
             ));
@@ -312,26 +321,29 @@ mod tests {
         let too_many: Vec<NodeId> = (0..65).map(NodeId).collect();
         assert!(UotsQuery::new(too_many, kws(&[])).is_err());
 
-        let mut opts = QueryOptions::default();
-        opts.k = 0;
+        let opts = QueryOptions {
+            k: 0,
+            ..Default::default()
+        };
         assert!(UotsQuery::with_options(vec![NodeId(0)], kws(&[]), vec![], opts).is_err());
 
-        let mut opts = QueryOptions::default();
-        opts.decay_km = 0.0;
+        let opts = QueryOptions {
+            decay_km: 0.0,
+            ..Default::default()
+        };
         assert!(UotsQuery::with_options(vec![NodeId(0)], kws(&[]), vec![], opts).is_err());
     }
 
     #[test]
     fn temporal_consistency_is_enforced() {
-        let mut opts = QueryOptions::default();
-        opts.weights = Weights::new(1.0, 1.0, 1.0).unwrap();
+        let opts = QueryOptions {
+            weights: Weights::new(1.0, 1.0, 1.0).unwrap(),
+            ..Default::default()
+        };
         // temporal weight without timestamps
-        assert!(
-            UotsQuery::with_options(vec![NodeId(0)], kws(&[]), vec![], opts.clone()).is_err()
-        );
+        assert!(UotsQuery::with_options(vec![NodeId(0)], kws(&[]), vec![], opts.clone()).is_err());
         // with timestamps it works
-        let q =
-            UotsQuery::with_options(vec![NodeId(0)], kws(&[]), vec![30_000.0], opts).unwrap();
+        let q = UotsQuery::with_options(vec![NodeId(0)], kws(&[]), vec![30_000.0], opts).unwrap();
         assert_eq!(q.times(), &[30_000.0]);
 
         // timestamps without temporal weight
@@ -339,22 +351,26 @@ mod tests {
         assert!(UotsQuery::with_options(vec![NodeId(0)], kws(&[]), vec![1.0], opts).is_err());
 
         // out-of-range timestamp
-        let mut opts = QueryOptions::default();
-        opts.weights = Weights::new(1.0, 0.0, 1.0).unwrap();
-        assert!(
-            UotsQuery::with_options(vec![NodeId(0)], kws(&[]), vec![1e9], opts).is_err()
-        );
+        let opts = QueryOptions {
+            weights: Weights::new(1.0, 0.0, 1.0).unwrap(),
+            ..Default::default()
+        };
+        assert!(UotsQuery::with_options(vec![NodeId(0)], kws(&[]), vec![1e9], opts).is_err());
     }
 
     #[test]
     fn reoptioned_revalidates() {
         let q = UotsQuery::new(vec![NodeId(0)], kws(&[1])).unwrap();
-        let mut opts = QueryOptions::default();
-        opts.k = 5;
+        let opts = QueryOptions {
+            k: 5,
+            ..Default::default()
+        };
         let q5 = q.reoptioned(opts).unwrap();
         assert_eq!(q5.options().k, 5);
-        let mut bad = QueryOptions::default();
-        bad.k = 0;
+        let bad = QueryOptions {
+            k: 0,
+            ..Default::default()
+        };
         assert!(q.reoptioned(bad).is_err());
     }
 

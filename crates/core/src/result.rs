@@ -1,5 +1,6 @@
 //! Query results: ranked matches with per-channel similarity breakdowns.
 
+use crate::budget::Completeness;
 use crate::SearchMetrics;
 use serde::{Deserialize, Serialize};
 use uots_trajectory::TrajectoryId;
@@ -37,9 +38,24 @@ pub struct QueryResult {
     pub matches: Vec<Match>,
     /// Search-effort counters.
     pub metrics: SearchMetrics,
+    /// Whether this answer is exact or a certified best effort (budget
+    /// exhausted, deadline hit, or cancelled).
+    pub completeness: Completeness,
 }
 
 impl QueryResult {
+    /// The uninformative answer of a run interrupted before any work: no
+    /// matches, `bound_gap = 1.0` (nothing certified).
+    pub fn interrupted_empty() -> Self {
+        let mut metrics = SearchMetrics::for_one_query();
+        metrics.interrupted = 1;
+        QueryResult {
+            matches: vec![],
+            metrics,
+            completeness: Completeness::BestEffort { bound_gap: 1.0 },
+        }
+    }
+
     /// The best match, if any trajectory was found at all.
     pub fn best(&self) -> Option<&Match> {
         self.matches.first()
@@ -76,7 +92,10 @@ mod tests {
     #[test]
     fn ranking_prefers_higher_similarity_then_lower_id() {
         assert_eq!(m(0, 0.9).ranking_cmp(&m(1, 0.5)), std::cmp::Ordering::Less);
-        assert_eq!(m(1, 0.5).ranking_cmp(&m(0, 0.9)), std::cmp::Ordering::Greater);
+        assert_eq!(
+            m(1, 0.5).ranking_cmp(&m(0, 0.9)),
+            std::cmp::Ordering::Greater
+        );
         assert_eq!(m(0, 0.5).ranking_cmp(&m(1, 0.5)), std::cmp::Ordering::Less);
         assert_eq!(m(3, 0.5).ranking_cmp(&m(3, 0.5)), std::cmp::Ordering::Equal);
     }
@@ -86,6 +105,7 @@ mod tests {
         let r = QueryResult {
             matches: vec![m(2, 0.8), m(0, 0.8), m(1, 0.3)],
             metrics: SearchMetrics::for_one_query(),
+            completeness: Completeness::Exact,
         };
         assert_eq!(r.best().unwrap().id, TrajectoryId(2));
         assert_eq!(
@@ -97,6 +117,7 @@ mod tests {
         let ok = QueryResult {
             matches: vec![m(0, 0.8), m(2, 0.8), m(1, 0.3)],
             metrics: SearchMetrics::for_one_query(),
+            completeness: Completeness::Exact,
         };
         assert!(ok.is_ranked());
     }
@@ -106,8 +127,18 @@ mod tests {
         let r = QueryResult {
             matches: vec![],
             metrics: SearchMetrics::for_one_query(),
+            completeness: Completeness::Exact,
         };
         assert!(r.best().is_none());
         assert!(r.is_ranked());
+    }
+
+    #[test]
+    fn interrupted_empty_is_a_total_miss() {
+        let r = QueryResult::interrupted_empty();
+        assert!(r.matches.is_empty());
+        assert!(!r.completeness.is_exact());
+        assert_eq!(r.completeness.bound_gap(), 1.0);
+        assert_eq!(r.metrics.interrupted, 1);
     }
 }

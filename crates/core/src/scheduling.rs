@@ -76,7 +76,9 @@ mod tests {
         assert_eq!(Scheduler::heuristic().name(), "heuristic");
         assert!(matches!(
             Scheduler::default(),
-            Scheduler::Heuristic { recompute_every: 128 }
+            Scheduler::Heuristic {
+                recompute_every: 128
+            }
         ));
     }
 

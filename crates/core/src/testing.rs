@@ -1,0 +1,170 @@
+//! Fault-injection wrappers for robustness testing.
+//!
+//! These adapters wrap any [`Algorithm`] to simulate the two failure modes
+//! the batch executor must survive: a worker that **panics** mid-batch
+//! ([`FaultyAlgorithm`]) and a query that is **too slow** for its deadline
+//! but honors cooperative cancellation ([`SlowAlgorithm`]). They live in
+//! the library (not `#[cfg(test)]`) so integration tests, benches, and
+//! downstream crates can exercise the same faults.
+
+use crate::algorithms::Algorithm;
+use crate::budget::{Gate, RunControl};
+use crate::{CoreError, Database, QueryResult, UotsQuery};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Wraps an algorithm and panics on the `panic_on`-th call (0-based),
+/// counted across threads; every other call delegates untouched. Use it to
+/// verify that one poisoned query cannot take down a batch.
+pub struct FaultyAlgorithm<A> {
+    inner: A,
+    panic_on: usize,
+    calls: AtomicUsize,
+    message: &'static str,
+}
+
+impl<A> FaultyAlgorithm<A> {
+    /// Panics (with `message`) on call number `panic_on`, 0-based.
+    pub fn new(inner: A, panic_on: usize, message: &'static str) -> Self {
+        FaultyAlgorithm {
+            inner,
+            panic_on,
+            calls: AtomicUsize::new(0),
+            message,
+        }
+    }
+
+    /// Total calls observed so far.
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl<A: Algorithm> Algorithm for FaultyAlgorithm<A> {
+    fn run_with(
+        &self,
+        db: &Database<'_>,
+        query: &UotsQuery,
+        ctl: &RunControl,
+    ) -> Result<QueryResult, CoreError> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        if call == self.panic_on {
+            panic!("{}", self.message);
+        }
+        self.inner.run_with(db, query, ctl)
+    }
+
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+}
+
+/// Wraps an algorithm and stalls for `delay` before delegating, polling the
+/// gate while stalling: a deadline or cancellation arriving during the
+/// stall yields the empty best-effort answer, exactly like a real query
+/// that could not finish in time.
+pub struct SlowAlgorithm<A> {
+    inner: A,
+    delay: Duration,
+}
+
+impl<A> SlowAlgorithm<A> {
+    /// Stalls `delay` per query before running `inner`.
+    pub fn new(inner: A, delay: Duration) -> Self {
+        SlowAlgorithm { inner, delay }
+    }
+}
+
+impl<A: Algorithm> Algorithm for SlowAlgorithm<A> {
+    fn run_with(
+        &self,
+        db: &Database<'_>,
+        query: &UotsQuery,
+        ctl: &RunControl,
+    ) -> Result<QueryResult, CoreError> {
+        let mut gate = Gate::new(&query.options().budget, ctl);
+        let start = Instant::now();
+        while start.elapsed() < self.delay {
+            if gate.interrupted_now() {
+                return Ok(QueryResult::interrupted_empty());
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        self.inner.run_with(db, query, ctl)
+    }
+
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::BruteForce;
+    use crate::budget::CancellationToken;
+    use uots_network::generators::{grid_city, GridCityConfig};
+    use uots_network::NodeId;
+    use uots_text::KeywordSet;
+    use uots_trajectory::{Sample, Trajectory, TrajectoryStore};
+
+    fn tiny() -> (uots_network::RoadNetwork, TrajectoryStore) {
+        let net = grid_city(&GridCityConfig::tiny(4)).unwrap();
+        let mut s = TrajectoryStore::new();
+        s.push(
+            Trajectory::new(
+                vec![Sample {
+                    node: NodeId(0),
+                    time: 100.0,
+                }],
+                KeywordSet::empty(),
+            )
+            .unwrap(),
+        );
+        (net, s)
+    }
+
+    #[test]
+    fn faulty_panics_only_on_the_configured_call() {
+        let (net, s) = tiny();
+        let vidx = s.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &s, &vidx);
+        let q = UotsQuery::new(vec![NodeId(0)], KeywordSet::empty()).unwrap();
+        let algo = FaultyAlgorithm::new(BruteForce, 1, "injected");
+        assert!(algo.run(&db, &q).is_ok()); // call 0
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = algo.run(&db, &q); // call 1: boom
+        }));
+        assert!(caught.is_err());
+        assert!(algo.run(&db, &q).is_ok()); // call 2
+        assert_eq!(algo.calls(), 3);
+    }
+
+    #[test]
+    fn slow_algorithm_yields_best_effort_on_cancellation() {
+        let (net, s) = tiny();
+        let vidx = s.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &s, &vidx);
+        let q = UotsQuery::new(vec![NodeId(0)], KeywordSet::empty()).unwrap();
+        let algo = SlowAlgorithm::new(BruteForce, Duration::from_secs(3600));
+        let token = CancellationToken::new();
+        token.cancel();
+        let r = algo
+            .run_with(&db, &q, &RunControl::with_token(token))
+            .unwrap();
+        assert!(!r.completeness.is_exact());
+        assert!(r.matches.is_empty());
+    }
+
+    #[test]
+    fn slow_algorithm_eventually_delegates() {
+        let (net, s) = tiny();
+        let vidx = s.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &s, &vidx);
+        let q = UotsQuery::new(vec![NodeId(0)], KeywordSet::empty()).unwrap();
+        let algo = SlowAlgorithm::new(BruteForce, Duration::from_millis(1));
+        let r = algo.run(&db, &q).unwrap();
+        assert!(r.completeness.is_exact());
+        assert_eq!(r.matches.len(), 1);
+    }
+}

@@ -223,8 +223,8 @@ fn read_vocab(buf: &mut &[u8]) -> Result<Vocabulary, PersistError> {
         need(buf, len, "vocab word")?;
         let mut raw = vec![0u8; len];
         buf.copy_to_slice(&mut raw);
-        let word = String::from_utf8(raw)
-            .map_err(|_| PersistError::Invalid("vocab: bad utf8".into()))?;
+        let word =
+            String::from_utf8(raw).map_err(|_| PersistError::Invalid("vocab: bad utf8".into()))?;
         vocab
             .intern(&word)
             .ok_or_else(|| PersistError::Invalid("vocab: empty word".into()))?;
@@ -392,16 +392,13 @@ mod tests {
             corrupted[i + 2] = 0xff;
             corrupted[i + 3] = 0xff;
         }
-        match load(&corrupted) {
-            Ok(back) => {
-                // extraordinarily unlikely, but if it parses it must be valid
-                for (_, t) in back.store.iter() {
-                    for v in t.nodes() {
-                        assert!(back.network.contains_node(v));
-                    }
+        if let Ok(back) = load(&corrupted) {
+            // extraordinarily unlikely, but if it parses it must be valid
+            for (_, t) in back.store.iter() {
+                for v in t.nodes() {
+                    assert!(back.network.contains_node(v));
                 }
             }
-            Err(_) => {}
         }
     }
 

@@ -67,7 +67,10 @@ impl Default for WorkloadConfig {
 /// Panics when `locations_per_query == 0` or the dataset store is empty
 /// while `data_anchored_prob > 0`.
 pub fn generate(ds: &Dataset, cfg: &WorkloadConfig) -> Vec<QuerySpec> {
-    assert!(cfg.locations_per_query > 0, "queries need at least one place");
+    assert!(
+        cfg.locations_per_query > 0,
+        "queries need at least one place"
+    );
     assert!((0.0..=1.0).contains(&cfg.data_anchored_prob));
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     (0..cfg.num_queries)

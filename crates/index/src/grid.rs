@@ -38,10 +38,7 @@ impl GridIndex {
         // degenerate extents (single point / collinear) get a tiny pad so
         // cell math stays finite
         if bbox.width() == 0.0 || bbox.height() == 0.0 {
-            bbox = BBox::new(
-                bbox.min.translate(-0.5, -0.5),
-                bbox.max.translate(0.5, 0.5),
-            );
+            bbox = BBox::new(bbox.min.translate(-0.5, -0.5), bbox.max.translate(0.5, 0.5));
         }
         let cells_wanted = (points.len() as f64 / target as f64).max(1.0);
         let aspect = bbox.width() / bbox.height();
@@ -221,7 +218,10 @@ mod tests {
         let grid = GridIndex::build(&pts, 8);
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..200 {
-            let q = Point::new(rng.gen::<f64>() * 120.0 - 10.0, rng.gen::<f64>() * 80.0 - 10.0);
+            let q = Point::new(
+                rng.gen::<f64>() * 120.0 - 10.0,
+                rng.gen::<f64>() * 80.0 - 10.0,
+            );
             let (gi, gd) = grid.nearest(&q);
             let (_li, ld) = nearest_linear(&pts, &q);
             assert!(

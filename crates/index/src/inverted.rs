@@ -12,8 +12,8 @@
 //! and membership checks cheap and iteration deterministic.
 
 use serde::{Deserialize, Serialize};
-use uots_text::KeywordId;
 use uots_network::NodeId;
+use uots_text::KeywordId;
 
 /// Maps every vertex of a road network to the sorted list of values (e.g.
 /// trajectory ids) registered on it.
@@ -32,7 +32,10 @@ impl<V: Copy + Ord> VertexInvertedIndex<V> {
     /// # Panics
     ///
     /// Panics when a registration references a vertex `>= num_vertices`.
-    pub fn build(num_vertices: usize, registrations: impl IntoIterator<Item = (NodeId, V)>) -> Self {
+    pub fn build(
+        num_vertices: usize,
+        registrations: impl IntoIterator<Item = (NodeId, V)>,
+    ) -> Self {
         let mut per_vertex: Vec<Vec<V>> = vec![Vec::new(); num_vertices];
         for (v, val) in registrations {
             assert!(v.index() < num_vertices, "vertex out of range");
@@ -88,7 +91,10 @@ impl<V: Copy + Ord> KeywordInvertedIndex<V> {
     /// # Panics
     ///
     /// Panics when a registration references a keyword `>= vocab_len`.
-    pub fn build(vocab_len: usize, registrations: impl IntoIterator<Item = (KeywordId, V)>) -> Self {
+    pub fn build(
+        vocab_len: usize,
+        registrations: impl IntoIterator<Item = (KeywordId, V)>,
+    ) -> Self {
         let mut per_kw: Vec<Vec<V>> = vec![Vec::new(); vocab_len];
         for (k, val) in registrations {
             assert!(k.index() < vocab_len, "keyword out of range");

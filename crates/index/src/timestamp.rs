@@ -119,8 +119,8 @@ impl<'a, V: Copy> TimeExpansion<'a, V> {
     /// Scans the next-nearest sample in time.
     pub fn next_scanned(&mut self) -> Option<TimeScanned<V>> {
         let lt = (self.left >= 0).then(|| self.t - self.index.times[self.left as usize]);
-        let rt = (self.right < self.index.times.len())
-            .then(|| self.index.times[self.right] - self.t);
+        let rt =
+            (self.right < self.index.times.len()).then(|| self.index.times[self.right] - self.t);
         let take_left = match (lt, rt) {
             (None, None) => return None,
             (Some(_), None) => true,

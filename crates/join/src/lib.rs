@@ -51,7 +51,9 @@ use search::{SearchStats, Worker};
 use serde::{Deserialize, Serialize};
 use similarity::Half;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+use uots_core::{Completeness, ExecutionBudget, RunControl};
 use uots_index::{TimestampIndex, VertexInvertedIndex};
 use uots_network::dijkstra::shortest_path_tree;
 use uots_network::RoadNetwork;
@@ -125,6 +127,73 @@ pub struct JoinResult {
     pub candidates: usize,
     /// Wall-clock time of the whole join.
     pub runtime: Duration,
+    /// [`Completeness::Exact`] when every probe ran to completion;
+    /// otherwise a conservative certificate (see [`ts_join_with`]).
+    pub completeness: Completeness,
+}
+
+/// Thread-safe interruption checker for the join's search phase. Probes
+/// are coarse units of work (each expands a whole trajectory), so the gate
+/// is consulted once per probe: cheap relative to the probe itself, and a
+/// skipped probe only *removes* pairs — budgeted joins return a subset of
+/// the exact answer.
+pub(crate) struct JoinGate {
+    token: uots_core::CancellationToken,
+    deadline: Option<Instant>,
+    max_visited: usize,
+    max_settled: usize,
+    visited: AtomicUsize,
+    settled: AtomicUsize,
+    tripped: AtomicBool,
+}
+
+impl JoinGate {
+    pub(crate) fn new(budget: &ExecutionBudget, ctl: &RunControl) -> Self {
+        let budget_deadline = budget.max_wall.map(|w| Instant::now() + w);
+        let deadline = match (ctl.deadline(), budget_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        JoinGate {
+            token: ctl.token().clone(),
+            deadline,
+            max_visited: budget.max_visited.unwrap_or(usize::MAX),
+            max_settled: budget.max_settled.unwrap_or(usize::MAX),
+            visited: AtomicUsize::new(0),
+            settled: AtomicUsize::new(0),
+            tripped: AtomicBool::new(ctl.is_cancelled()),
+        }
+    }
+
+    /// Whether the next probe may run. Trips (stickily, across all
+    /// workers) on cancellation, deadline expiry, or exhausted counters.
+    pub(crate) fn admit(&self) -> bool {
+        if self.tripped.load(Ordering::Relaxed) {
+            return false;
+        }
+        let over = self.visited.load(Ordering::Relaxed) >= self.max_visited
+            || self.settled.load(Ordering::Relaxed) >= self.max_settled
+            || self.token.is_cancelled()
+            || self.deadline.is_some_and(|d| Instant::now() >= d);
+        if over {
+            self.tripped.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Folds one probe's effort into the shared counters.
+    pub(crate) fn record(&self, stats: &SearchStats) {
+        self.visited.fetch_add(stats.visited, Ordering::Relaxed);
+        self.settled.fetch_add(
+            stats.settled_vertices + stats.scanned_timestamps,
+            Ordering::Relaxed,
+        );
+    }
+
+    pub(crate) fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
 }
 
 /// Errors from [`ts_join`].
@@ -146,7 +215,10 @@ impl std::fmt::Display for JoinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             JoinError::BadParameter(m) => write!(f, "bad join parameter: {m}"),
-            JoinError::TooManySources { trajectory, sources } => write!(
+            JoinError::TooManySources {
+                trajectory,
+                sources,
+            } => write!(
                 f,
                 "trajectory {trajectory} has {sources} distinct vertices; raise max_sources"
             ),
@@ -170,7 +242,7 @@ pub(crate) fn validate_config(cfg: &JoinConfig) -> Result<(), JoinError> {
             cfg.lambda
         )));
     }
-    if !(cfg.decay_km > 0.0) || !(cfg.decay_s > 0.0) {
+    if cfg.decay_km <= 0.0 || cfg.decay_km.is_nan() || cfg.decay_s <= 0.0 || cfg.decay_s.is_nan() {
         return Err(JoinError::BadParameter(
             "decay scales must be positive".into(),
         ));
@@ -192,9 +264,11 @@ fn validate(cfg: &JoinConfig, store: &TrajectoryStore) -> Result<(), JoinError> 
     Ok(())
 }
 
-/// The two-phase trajectory similarity self-join.
+/// The two-phase trajectory similarity self-join, unbudgeted.
 ///
 /// `threads` sizes the rayon pool for the search phase (`1` = sequential).
+/// Equivalent to [`ts_join_with`] under an unlimited budget; the result is
+/// always [`Completeness::Exact`].
 ///
 /// # Errors
 ///
@@ -207,9 +281,47 @@ pub fn ts_join(
     cfg: &JoinConfig,
     threads: usize,
 ) -> Result<JoinResult, JoinError> {
+    ts_join_with(
+        net,
+        store,
+        vertex_index,
+        timestamp_index,
+        cfg,
+        threads,
+        &ExecutionBudget::UNLIMITED,
+        &RunControl::unbounded(),
+    )
+}
+
+/// The two-phase trajectory similarity self-join under a budget.
+///
+/// The gate is consulted before each probe (one probe = one trajectory's
+/// candidate search): on cancellation, deadline expiry, or an exhausted
+/// counter, remaining probes are skipped across all workers. A skipped
+/// probe can only *remove* pairs, so the budgeted answer is a **subset**
+/// of the exact one and every reported pair's similarity is still exact
+/// and `≥ θ`. The completeness certificate is conservative: a missed pair
+/// exceeds `θ` by at most `1 − θ`, hence
+/// `BestEffort { bound_gap: 1 − θ }` whenever any probe was skipped.
+///
+/// # Errors
+///
+/// See [`JoinError`]. Budget exhaustion is **not** an error.
+#[allow(clippy::too_many_arguments)]
+pub fn ts_join_with(
+    net: &RoadNetwork,
+    store: &TrajectoryStore,
+    vertex_index: &VertexInvertedIndex<TrajectoryId>,
+    timestamp_index: &TimestampIndex<TrajectoryId>,
+    cfg: &JoinConfig,
+    threads: usize,
+    budget: &ExecutionBudget,
+    ctl: &RunControl,
+) -> Result<JoinResult, JoinError> {
     validate(cfg, store)?;
     let start = Instant::now();
     let ids: Vec<TrajectoryId> = store.ids().collect();
+    let gate = JoinGate::new(budget, ctl);
 
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
@@ -228,7 +340,11 @@ pub fn ts_join(
                 let mut stats = SearchStats::default();
                 let mut out = Vec::with_capacity(probe_chunk.len());
                 for &probe in probe_chunk {
+                    if !gate.admit() {
+                        break;
+                    }
                     let (cands, s) = worker.search(cfg, probe);
+                    gate.record(&s);
                     stats.visited += s.visited;
                     stats.settled_vertices += s.settled_vertices;
                     stats.scanned_timestamps += s.scanned_timestamps;
@@ -241,8 +357,7 @@ pub fn ts_join(
     });
 
     // --- phase 2: merge (constant relative to thread count) ---
-    let mut candidate_maps: Vec<HashMap<TrajectoryId, Half>> =
-        vec![HashMap::new(); store.len()];
+    let mut candidate_maps: Vec<HashMap<TrajectoryId, Half>> = vec![HashMap::new(); store.len()];
     let mut totals = SearchStats::default();
     for (chunk_out, stats) in per_chunk {
         totals.visited += stats.visited;
@@ -282,6 +397,13 @@ pub fn ts_join(
             .then_with(|| x.b.cmp(&y.b))
     });
 
+    let completeness = if gate.tripped() {
+        Completeness::BestEffort {
+            bound_gap: (1.0 - cfg.theta).clamp(0.0, 1.0),
+        }
+    } else {
+        Completeness::Exact
+    };
     Ok(JoinResult {
         pairs,
         visited_trajectories: totals.visited,
@@ -289,6 +411,7 @@ pub fn ts_join(
         scanned_timestamps: totals.scanned_timestamps,
         candidates: totals.candidates,
         runtime: start.elapsed(),
+        completeness,
     })
 }
 
@@ -343,8 +466,15 @@ mod tests {
 
     fn join_all(ds: &Dataset, cfg: &JoinConfig, threads: usize) -> JoinResult {
         let tidx = ds.store.build_timestamp_index();
-        ts_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, cfg, threads)
-            .expect("join runs")
+        ts_join(
+            &ds.network,
+            &ds.store,
+            &ds.vertex_index,
+            &tidx,
+            cfg,
+            threads,
+        )
+        .expect("join runs")
     }
 
     #[test]
@@ -472,6 +602,80 @@ mod tests {
         assert_eq!(r.pairs.len(), 1);
         assert_eq!((r.pairs[0].a, r.pairs[0].b), (a, b));
         assert!((r.pairs[0].similarity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbudgeted_join_is_exact() {
+        let ds = Dataset::build(&DatasetConfig::small(30, 21)).unwrap();
+        let r = join_all(
+            &ds,
+            &JoinConfig {
+                theta: 0.6,
+                ..Default::default()
+            },
+            2,
+        );
+        assert!(r.completeness.is_exact());
+    }
+
+    #[test]
+    fn budgeted_join_returns_a_certified_subset() {
+        let ds = Dataset::build(&DatasetConfig::small(60, 22)).unwrap();
+        let tidx = ds.store.build_timestamp_index();
+        let cfg = JoinConfig {
+            theta: 0.6,
+            ..Default::default()
+        };
+        let exact = ts_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, &cfg, 1).unwrap();
+        let exact_set: std::collections::HashSet<(TrajectoryId, TrajectoryId)> =
+            exact.pairs.iter().map(|p| (p.a, p.b)).collect();
+        // a visited-trajectory cap small enough to trip mid-join
+        let budget =
+            ExecutionBudget::default().with_max_visited(exact.visited_trajectories / 4 + 1);
+        let r = ts_join_with(
+            &ds.network,
+            &ds.store,
+            &ds.vertex_index,
+            &tidx,
+            &cfg,
+            1,
+            &budget,
+            &RunControl::unbounded(),
+        )
+        .unwrap();
+        assert!(!r.completeness.is_exact(), "tiny budget must interrupt");
+        assert!((r.completeness.bound_gap() - (1.0 - cfg.theta)).abs() < 1e-12);
+        assert!(r.pairs.len() <= exact.pairs.len());
+        for p in &r.pairs {
+            assert!(exact_set.contains(&(p.a, p.b)), "subset semantics");
+            assert!(p.similarity >= cfg.theta, "reported pairs stay exact");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_join_returns_empty_best_effort() {
+        let ds = Dataset::build(&DatasetConfig::small(20, 23)).unwrap();
+        let tidx = ds.store.build_timestamp_index();
+        let cfg = JoinConfig {
+            theta: 0.7,
+            ..Default::default()
+        };
+        let token = uots_core::CancellationToken::new();
+        token.cancel();
+        let r = ts_join_with(
+            &ds.network,
+            &ds.store,
+            &ds.vertex_index,
+            &tidx,
+            &cfg,
+            2,
+            &ExecutionBudget::UNLIMITED,
+            &RunControl::with_token(token),
+        )
+        .unwrap();
+        assert!(r.pairs.is_empty());
+        assert!(!r.completeness.is_exact());
+        assert_eq!(r.visited_trajectories, 0);
     }
 
     #[test]

@@ -75,7 +75,9 @@ impl PartialOrd for BoundEntry {
 
 impl Ord for BoundEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.ub.cmp(&other.ub).then_with(|| other.tid.cmp(&self.tid))
+        self.ub
+            .cmp(&other.ub)
+            .then_with(|| other.tid.cmp(&self.tid))
     }
 }
 
@@ -284,16 +286,15 @@ impl<'a> Worker<'a> {
 
         loop {
             // ---- pick a live source ----
-            let live =
-                |s: usize,
-                 expansions: &Vec<NetworkExpansion<'a>>,
-                 temporal: &Vec<TimeExpansion<'a, TrajectoryId>>| {
-                    if s < active_s {
-                        !expansions[s].is_exhausted()
-                    } else {
-                        !temporal[s - active_s].is_exhausted()
-                    }
-                };
+            let live = |s: usize,
+                        expansions: &Vec<NetworkExpansion<'a>>,
+                        temporal: &Vec<TimeExpansion<'a, TrajectoryId>>| {
+                if s < active_s {
+                    !expansions[s].is_exhausted()
+                } else {
+                    !temporal[s - active_s].is_exhausted()
+                }
+            };
             let src = match cfg.scheduling {
                 JoinScheduling::RoundRobin => {
                     let mut found = None;
@@ -332,8 +333,7 @@ impl<'a> Worker<'a> {
                 match self.expansions[src].next_settled() {
                     Some(settled) => {
                         stats.settled_vertices += 1;
-                        let tids: &'a [TrajectoryId] =
-                            self.vertex_index.values_at(settled.node);
+                        let tids: &'a [TrajectoryId] = self.vertex_index.values_at(settled.node);
                         for &tid in tids {
                             if Some(tid) == skip {
                                 continue;
@@ -439,10 +439,10 @@ impl<'a> Worker<'a> {
             if use_spatial {
                 let mut acc = 0.0;
                 let mut min_r = f64::INFINITY;
-                for i in 0..ns {
-                    let r = s_lb(&self.expansions[i]);
+                for (w, e) in node_weights.iter().zip(&self.expansions).take(ns) {
+                    let r = s_lb(e);
                     min_r = min_r.min(r);
-                    acc += node_weights[i] * (-r / cfg.decay_km).exp();
+                    acc += w * (-r / cfg.decay_km).exp();
                 }
                 ub_unseen += cfg.lambda * (acc + (-min_r / cfg.decay_km).exp()) / 2.0;
             }

@@ -148,7 +148,10 @@ mod tests {
         let (nb, wb) = distinct_nodes_weighted(b);
         let ta: Vec<_> = na.iter().map(|&v| shortest_path_tree(net, v)).collect();
         let tb: Vec<_> = nb.iter().map(|&v| shortest_path_tree(net, v)).collect();
-        (exact_half(cfg, &ta, &wa, a, b), exact_half(cfg, &tb, &wb, b, a))
+        (
+            exact_half(cfg, &ta, &wa, a, b),
+            exact_half(cfg, &tb, &wb, b, a),
+        )
     }
 
     #[test]
@@ -188,9 +191,18 @@ mod tests {
     fn distinct_times_group_duplicates() {
         let t = Trajectory::new(
             vec![
-                Sample { node: NodeId(0), time: 10.0 },
-                Sample { node: NodeId(1), time: 10.0 },
-                Sample { node: NodeId(2), time: 20.0 },
+                Sample {
+                    node: NodeId(0),
+                    time: 10.0,
+                },
+                Sample {
+                    node: NodeId(1),
+                    time: 10.0,
+                },
+                Sample {
+                    node: NodeId(2),
+                    time: 20.0,
+                },
             ],
             KeywordSet::empty(),
         )
@@ -203,8 +215,10 @@ mod tests {
     #[test]
     fn spatially_distant_pairs_decay_toward_temporal_only() {
         let net = grid_city(&GridCityConfig::tiny(12)).unwrap();
-        let mut cfg = JoinConfig::default();
-        cfg.decay_km = 0.5;
+        let cfg = JoinConfig {
+            decay_km: 0.5,
+            ..Default::default()
+        };
         let a = traj(&[0, 1], 1_000.0);
         let far = traj(&[142, 143], 1_000.0); // opposite corner
         let (h1, h2) = halves(&cfg, &net, &a, &far);

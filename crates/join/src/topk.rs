@@ -67,7 +67,14 @@ pub fn top_k_join(
             theta,
             ..cfg.clone()
         };
-        let result = ts_join(net, store, vertex_index, timestamp_index, &round_cfg, threads)?;
+        let result = ts_join(
+            net,
+            store,
+            vertex_index,
+            timestamp_index,
+            &round_cfg,
+            threads,
+        )?;
         if result.pairs.len() >= k || theta <= FLOOR {
             let mut pairs = result.pairs.clone();
             pairs.truncate(k);
@@ -101,16 +108,8 @@ mod tests {
         let (ds, tidx) = setup();
         let cfg = JoinConfig::default();
         for k in [1usize, 3, 10] {
-            let got = top_k_join(
-                &ds.network,
-                &ds.store,
-                &ds.vertex_index,
-                &tidx,
-                &cfg,
-                k,
-                2,
-            )
-            .unwrap();
+            let got =
+                top_k_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, &cfg, k, 2).unwrap();
             // oracle: all pairs above a tiny floor, ranked
             let all = ts_join_brute(
                 &ds.network,

@@ -9,13 +9,20 @@
 
 use crate::search::{SearchStats, Worker};
 use crate::similarity::Half;
-use crate::{validate_config, JoinConfig, JoinError, JoinPair, JoinResult};
+use crate::{validate_config, JoinConfig, JoinError, JoinGate, JoinPair, JoinResult};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::time::Instant;
+use uots_core::{Completeness, ExecutionBudget, RunControl};
 use uots_index::{TimestampIndex, VertexInvertedIndex};
 use uots_network::RoadNetwork;
 use uots_trajectory::{TrajectoryId, TrajectoryStore};
+
+/// One worker chunk's output: per-probe candidate lists + search stats.
+type ChunkResults = (
+    Vec<(TrajectoryId, Vec<crate::search::Candidate>)>,
+    SearchStats,
+);
 
 /// One side of a non-self join: a trajectory set with its query-time
 /// indexes (vertex → trajectory and sample-timestamp → trajectory).
@@ -72,6 +79,10 @@ pub struct CrossJoinResult {
     pub candidates: usize,
     /// Wall-clock time of the whole join.
     pub runtime: std::time::Duration,
+    /// [`Completeness::Exact`] when every probe of both directions ran;
+    /// otherwise a conservative certificate (see
+    /// [`crate::ts_join_with`] for the argument).
+    pub completeness: Completeness,
 }
 
 fn run_side(
@@ -80,6 +91,7 @@ fn run_side(
     targets: JoinSide<'_>,
     cfg: &JoinConfig,
     pool: &rayon::ThreadPool,
+    gate: &JoinGate,
 ) -> Result<(Vec<HashMap<TrajectoryId, Half>>, SearchStats), JoinError> {
     for (id, t) in probes.iter() {
         let distinct = crate::similarity::distinct_nodes_weighted(t).0.len();
@@ -91,33 +103,39 @@ fn run_side(
         }
     }
     let ids: Vec<TrajectoryId> = probes.ids().collect();
-    let chunk = ids.len().div_ceil(pool.current_num_threads().max(1) * 4).max(1);
-    let per_chunk: Vec<(Vec<(TrajectoryId, Vec<crate::search::Candidate>)>, SearchStats)> =
-        pool.install(|| {
-            ids.par_chunks(chunk)
-                .map(|probe_chunk| {
-                    let mut worker = Worker::new(
-                        net,
-                        targets.store,
-                        targets.vertex_index,
-                        targets.timestamp_index,
-                    );
-                    let mut stats = SearchStats::default();
-                    let mut out = Vec::with_capacity(probe_chunk.len());
-                    for &probe in probe_chunk {
-                        let traj = probes.get(probe);
-                        // cross-set: never skip any target id
-                        let (cands, s) = worker.search_trajectory(cfg, traj, None);
-                        stats.visited += s.visited;
-                        stats.settled_vertices += s.settled_vertices;
-                        stats.scanned_timestamps += s.scanned_timestamps;
-                        stats.candidates += s.candidates;
-                        out.push((probe, cands));
+    let chunk = ids
+        .len()
+        .div_ceil(pool.current_num_threads().max(1) * 4)
+        .max(1);
+    let per_chunk: Vec<ChunkResults> = pool.install(|| {
+        ids.par_chunks(chunk)
+            .map(|probe_chunk| {
+                let mut worker = Worker::new(
+                    net,
+                    targets.store,
+                    targets.vertex_index,
+                    targets.timestamp_index,
+                );
+                let mut stats = SearchStats::default();
+                let mut out = Vec::with_capacity(probe_chunk.len());
+                for &probe in probe_chunk {
+                    if !gate.admit() {
+                        break;
                     }
-                    (out, stats)
-                })
-                .collect()
-        });
+                    let traj = probes.get(probe);
+                    // cross-set: never skip any target id
+                    let (cands, s) = worker.search_trajectory(cfg, traj, None);
+                    gate.record(&s);
+                    stats.visited += s.visited;
+                    stats.settled_vertices += s.settled_vertices;
+                    stats.scanned_timestamps += s.scanned_timestamps;
+                    stats.candidates += s.candidates;
+                    out.push((probe, cands));
+                }
+                (out, stats)
+            })
+            .collect()
+    });
     let mut maps: Vec<HashMap<TrajectoryId, Half>> = vec![HashMap::new(); probes.len()];
     let mut totals = SearchStats::default();
     for (chunk_out, stats) in per_chunk {
@@ -136,7 +154,8 @@ fn run_side(
 }
 
 /// The non-self trajectory similarity join between sets `P` and `Q` over
-/// one shared road network.
+/// one shared road network, unbudgeted. Equivalent to [`ts_join_two_with`]
+/// under an unlimited budget.
 ///
 /// # Errors
 ///
@@ -148,16 +167,44 @@ pub fn ts_join_two(
     cfg: &JoinConfig,
     threads: usize,
 ) -> Result<CrossJoinResult, JoinError> {
+    ts_join_two_with(
+        net,
+        p,
+        q,
+        cfg,
+        threads,
+        &ExecutionBudget::UNLIMITED,
+        &RunControl::unbounded(),
+    )
+}
+
+/// The non-self join under a budget: probe-granularity interruption with
+/// the same subset semantics and conservative `1 − θ` certificate as
+/// [`crate::ts_join_with`]. The budget spans both probe directions.
+///
+/// # Errors
+///
+/// See [`JoinError`]. Budget exhaustion is **not** an error.
+pub fn ts_join_two_with(
+    net: &RoadNetwork,
+    p: JoinSide<'_>,
+    q: JoinSide<'_>,
+    cfg: &JoinConfig,
+    threads: usize,
+    budget: &ExecutionBudget,
+    ctl: &RunControl,
+) -> Result<CrossJoinResult, JoinError> {
     validate_config(cfg)?;
     let start = Instant::now();
+    let gate = JoinGate::new(budget, ctl);
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads.max(1))
         .build()
         .map_err(|e| JoinError::BadParameter(format!("thread pool: {e}")))?;
 
     // P probes against Q's indexes, and vice versa
-    let (p_maps, p_stats) = run_side(net, p.store, q, cfg, &pool)?;
-    let (q_maps, q_stats) = run_side(net, q.store, p, cfg, &pool)?;
+    let (p_maps, p_stats) = run_side(net, p.store, q, cfg, &pool, &gate)?;
+    let (q_maps, q_stats) = run_side(net, q.store, p, cfg, &pool, &gate)?;
 
     let mut pairs = Vec::new();
     for pid in p.store.ids() {
@@ -181,6 +228,13 @@ pub fn ts_join_two(
             .then_with(|| x.q.cmp(&y.q))
     });
 
+    let completeness = if gate.tripped() {
+        Completeness::BestEffort {
+            bound_gap: (1.0 - cfg.theta).clamp(0.0, 1.0),
+        }
+    } else {
+        Completeness::Exact
+    };
     Ok(CrossJoinResult {
         pairs,
         visited_trajectories: p_stats.visited + q_stats.visited,
@@ -188,6 +242,7 @@ pub fn ts_join_two(
         scanned_timestamps: p_stats.scanned_timestamps + q_stats.scanned_timestamps,
         candidates: p_stats.candidates + q_stats.candidates,
         runtime: start.elapsed(),
+        completeness,
     })
 }
 
@@ -265,6 +320,7 @@ impl From<CrossJoinResult> for JoinResult {
             scanned_timestamps: r.scanned_timestamps,
             candidates: r.candidates,
             runtime: r.runtime,
+            completeness: r.completeness,
         }
     }
 }
@@ -347,6 +403,39 @@ mod tests {
         let n = cross.pairs.len();
         let generic: JoinResult = cross.into();
         assert_eq!(generic.pairs.len(), n);
+    }
+
+    #[test]
+    fn budgeted_cross_join_returns_a_certified_subset() {
+        let ds = Dataset::build(&DatasetConfig::small(40, 41)).unwrap();
+        let v = ds.store.build_vertex_index(ds.network.num_nodes());
+        let t = ds.store.build_timestamp_index();
+        let side = JoinSide::new(&ds.store, &v, &t);
+        let cfg = JoinConfig {
+            theta: 0.6,
+            ..Default::default()
+        };
+        let exact = ts_join_two(&ds.network, side, side, &cfg, 1).unwrap();
+        assert!(exact.completeness.is_exact());
+        let exact_set: std::collections::HashSet<(TrajectoryId, TrajectoryId)> =
+            exact.pairs.iter().map(|x| (x.p, x.q)).collect();
+        let budget =
+            ExecutionBudget::default().with_max_visited(exact.visited_trajectories / 4 + 1);
+        let r = ts_join_two_with(
+            &ds.network,
+            side,
+            side,
+            &cfg,
+            1,
+            &budget,
+            &RunControl::unbounded(),
+        )
+        .unwrap();
+        assert!(!r.completeness.is_exact());
+        assert!((r.completeness.bound_gap() - (1.0 - cfg.theta)).abs() < 1e-12);
+        for x in &r.pairs {
+            assert!(exact_set.contains(&(x.p, x.q)), "subset semantics");
+        }
     }
 
     #[test]

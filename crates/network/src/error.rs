@@ -51,7 +51,10 @@ mod tests {
             NetworkError::UnknownNode(NodeId(3)).to_string(),
             "unknown node v3"
         );
-        assert_eq!(NetworkError::SelfLoop(NodeId(1)).to_string(), "self-loop at v1");
+        assert_eq!(
+            NetworkError::SelfLoop(NodeId(1)).to_string(),
+            "self-loop at v1"
+        );
         assert!(NetworkError::BadWeight(-1.0).to_string().contains("-1"));
         assert!(NetworkError::Parse {
             line: 7,

@@ -165,7 +165,10 @@ impl<'a> NetworkExpansion<'a> {
             debug_assert!(self.is_current(v));
             self.settled[i] = true;
             self.settled_count += 1;
-            debug_assert!(d >= self.radius - 1e-12, "settle order must be nondecreasing");
+            debug_assert!(
+                d >= self.radius - 1e-12,
+                "settle order must be nondecreasing"
+            );
             self.radius = d;
             for (u, w) in self.net.neighbors(v) {
                 let nd = d + w;

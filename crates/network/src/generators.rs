@@ -130,7 +130,7 @@ impl GridCityConfig {
                 "grid_city requires nx >= 2 and ny >= 2".into(),
             ));
         }
-        if !(self.spacing_km > 0.0) {
+        if self.spacing_km <= 0.0 || self.spacing_km.is_nan() {
             return Err(NetworkError::BadGeneratorConfig(
                 "spacing_km must be positive".into(),
             ));
@@ -282,7 +282,11 @@ pub fn ring_radial(cfg: &RingRadialConfig) -> Result<RoadNetwork, NetworkError> 
             "ring_radial requires rings >= 1 and spokes >= 3".into(),
         ));
     }
-    if !(cfg.ring_gap_km > 0.0) || !(0.0..1.0).contains(&cfg.removal_prob) || cfg.roughness < 0.0 {
+    if cfg.ring_gap_km <= 0.0
+        || cfg.ring_gap_km.is_nan()
+        || !(0.0..1.0).contains(&cfg.removal_prob)
+        || cfg.roughness < 0.0
+    {
         return Err(NetworkError::BadGeneratorConfig(
             "ring_gap_km must be positive, removal_prob in [0,1), roughness >= 0".into(),
         ));

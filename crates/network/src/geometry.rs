@@ -224,7 +224,11 @@ mod tests {
 
     #[test]
     fn bbox_of_iterator() {
-        let pts = [Point::new(0.0, 1.0), Point::new(4.0, -2.0), Point::new(2.0, 2.0)];
+        let pts = [
+            Point::new(0.0, 1.0),
+            Point::new(4.0, -2.0),
+            Point::new(2.0, 2.0),
+        ];
         let b = BBox::of(pts.iter());
         assert_eq!(b.min, Point::new(0.0, -2.0));
         assert_eq!(b.max, Point::new(4.0, 2.0));

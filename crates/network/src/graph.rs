@@ -300,7 +300,10 @@ impl RoadNetwork {
 
     /// Neighbours of `v` as `(neighbour, weight, edge id)` triples.
     #[inline]
-    pub fn neighbors_with_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64, EdgeId)> + '_ {
+    pub fn neighbors_with_edges(
+        &self,
+        v: NodeId,
+    ) -> impl Iterator<Item = (NodeId, f64, EdgeId)> + '_ {
         let lo = self.offsets[v.index()] as usize;
         let hi = self.offsets[v.index() + 1] as usize;
         (lo..hi).map(move |i| (self.targets[i], self.weights[i], self.edge_ids[i]))

@@ -17,7 +17,12 @@ use std::fmt::Write as _;
 pub fn to_edge_list(net: &RoadNetwork) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# uots edge-list v1");
-    let _ = writeln!(out, "# {} nodes, {} edges", net.num_nodes(), net.num_edges());
+    let _ = writeln!(
+        out,
+        "# {} nodes, {} edges",
+        net.num_nodes(),
+        net.num_edges()
+    );
     for v in net.node_ids() {
         let p = net.point(v);
         let _ = writeln!(out, "v {} {} {}", v.0, p.x, p.y);

@@ -167,10 +167,7 @@ mod tests {
     fn construction_sorts_and_dedups() {
         let s = set(&[5, 1, 3, 1, 5]);
         assert_eq!(s.len(), 3);
-        assert_eq!(
-            s.ids(),
-            &[KeywordId(1), KeywordId(3), KeywordId(5)]
-        );
+        assert_eq!(s.ids(), &[KeywordId(1), KeywordId(3), KeywordId(5)]);
     }
 
     #[test]

@@ -79,7 +79,7 @@ impl TripGeneratorConfig {
                 "sample_stride must be >= 1".into(),
             ));
         }
-        if !(self.speed_kmh_mean > 0.0) || self.speed_kmh_std < 0.0 {
+        if self.speed_kmh_mean <= 0.0 || self.speed_kmh_mean.is_nan() || self.speed_kmh_std < 0.0 {
             return Err(TrajectoryError::BadGeneratorConfig(
                 "speed must be positive".into(),
             ));
@@ -202,7 +202,7 @@ impl<'a> TripGenerator<'a> {
                     break;
                 }
                 // remember the longest reject as a fallback
-                if best.as_ref().map_or(true, |(_, d)| route.distance > *d) {
+                if best.as_ref().is_none_or(|(_, d)| route.distance > *d) {
                     best = Some((route.path, route.distance));
                 }
             }
@@ -217,8 +217,12 @@ impl<'a> TripGenerator<'a> {
         }
 
         // speed and timestamps from cumulative route distance
-        let speed_kmh = normal(&mut self.rng, self.cfg.speed_kmh_mean, self.cfg.speed_kmh_std)
-            .clamp(8.0, 90.0);
+        let speed_kmh = normal(
+            &mut self.rng,
+            self.cfg.speed_kmh_mean,
+            self.cfg.speed_kmh_std,
+        )
+        .clamp(8.0, 90.0);
         let duration_s = distance / speed_kmh * 3_600.0;
         let mut start = start_time(&mut self.rng);
         if start + duration_s > DAY_SECONDS {
@@ -314,7 +318,9 @@ mod tests {
             ..Default::default()
         }
         .with_seed(77);
-        let s1 = TripGenerator::new(&net, cfg.clone()).unwrap().generate(&tags);
+        let s1 = TripGenerator::new(&net, cfg.clone())
+            .unwrap()
+            .generate(&tags);
         let s2 = TripGenerator::new(&net, cfg).unwrap().generate(&tags);
         for (a, b) in s1.iter().zip(s2.iter()) {
             assert_eq!(a.1, b.1);

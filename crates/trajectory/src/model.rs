@@ -304,10 +304,8 @@ mod tests {
     #[test]
     fn store_ids_are_dense() {
         let mut s = TrajectoryStore::new();
-        let a = s
-            .push(Trajectory::new(vec![sample(0, 0.0)], kws(&[])).unwrap());
-        let b = s
-            .push(Trajectory::new(vec![sample(1, 0.0)], kws(&[])).unwrap());
+        let a = s.push(Trajectory::new(vec![sample(0, 0.0)], kws(&[])).unwrap());
+        let b = s.push(Trajectory::new(vec![sample(1, 0.0)], kws(&[])).unwrap());
         assert_eq!(a, TrajectoryId(0));
         assert_eq!(b, TrajectoryId(1));
         assert_eq!(s.len(), 2);

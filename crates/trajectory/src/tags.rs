@@ -209,7 +209,10 @@ mod tests {
             let c1 = s1.sample_category(&mut r1);
             let c2 = s2.sample_category(&mut r2);
             assert_eq!(c1, c2);
-            assert_eq!(s1.sample_tags(c1, 3, &mut r1), s2.sample_tags(c2, 3, &mut r2));
+            assert_eq!(
+                s1.sample_tags(c1, 3, &mut r1),
+                s2.sample_tags(c2, 3, &mut r2)
+            );
         }
     }
 

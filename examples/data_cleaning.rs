@@ -42,8 +42,7 @@ fn main() {
         lambda: 0.5,
         ..Default::default()
     };
-    let result =
-        ts_join(&ds.network, &store, &vidx, &tidx, &cfg, 2).expect("join runs");
+    let result = ts_join(&ds.network, &store, &vidx, &tidx, &cfg, 2).expect("join runs");
     println!(
         "join found {} near-duplicate pairs in {:?}",
         result.pairs.len(),
@@ -86,8 +85,7 @@ fn main() {
             dynamic.insert(v, id);
         }
     }
-    let retired_set: std::collections::HashSet<TrajectoryId> =
-        retired.iter().copied().collect();
+    let retired_set: std::collections::HashSet<TrajectoryId> = retired.iter().copied().collect();
     for &id in &retired {
         for v in store.get(id).nodes() {
             dynamic.remove(v, id);
@@ -95,8 +93,8 @@ fn main() {
     }
     let cleaned_vidx = dynamic.freeze();
 
-    let db = Database::new(&ds.network, &store, &cleaned_vidx)
-        .with_keyword_index(&ds.keyword_index);
+    let db =
+        Database::new(&ds.network, &store, &cleaned_vidx).with_keyword_index(&ds.keyword_index);
     let spec = &workload::generate(&ds, &workload::WorkloadConfig::default())[0];
     let q = UotsQuery::with_options(
         spec.locations.clone(),
@@ -109,10 +107,7 @@ fn main() {
     )
     .expect("valid query");
     let r = Expansion::default().run(&db, &q).expect("query runs");
-    println!(
-        "\ntop-5 over the cleaned database: {:?}",
-        r.ids()
-    );
+    println!("\ntop-5 over the cleaned database: {:?}", r.ids());
     assert!(
         r.ids().iter().all(|id| !retired_set.contains(id)),
         "retired trajectories must not be recommended"

@@ -33,7 +33,9 @@ fn main() {
         if a == b {
             continue;
         }
-        let Some(route) = astar.route(a, b) else { continue };
+        let Some(route) = astar.route(a, b) else {
+            continue;
+        };
         if route.distance < 2.0 {
             continue;
         }

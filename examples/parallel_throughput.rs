@@ -40,7 +40,9 @@ fn main() {
 
     let algo = Expansion::default();
     let mut reference: Option<Vec<Vec<TrajectoryId>>> = None;
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     for threads in [1usize, 2, 4, hw.max(4) * 2] {
         let start = Instant::now();
         let (results, agg) =

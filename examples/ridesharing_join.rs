@@ -23,22 +23,25 @@ fn main() {
             lambda: 0.5, // space and schedule matter equally
             ..Default::default()
         };
-        let result = ts_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, &cfg, 2)
-            .expect("join runs");
+        let result =
+            ts_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, &cfg, 2).expect("join runs");
         println!(
             "θ = {theta}: {} matched pairs in {:?} (visited {} trajectory states, \
              {:.1}% candidate ratio)",
             result.pairs.len(),
             result.runtime,
             result.visited_trajectories,
-            100.0 * result.candidates as f64
-                / (ds.store.len() * ds.store.len()) as f64
+            100.0 * result.candidates as f64 / (ds.store.len() * ds.store.len()) as f64
         );
         for p in result.pairs.iter().take(3) {
             let (ta, tb) = (ds.store.get(p.a), ds.store.get(p.b));
             let dep = |t: &uots::Trajectory| {
                 let (t0, _) = t.time_range();
-                format!("{:02}:{:02}", (t0 / 3600.0) as u32, ((t0 % 3600.0) / 60.0) as u32)
+                format!(
+                    "{:02}:{:02}",
+                    (t0 / 3600.0) as u32,
+                    ((t0 % 3600.0) / 60.0) as u32
+                )
             };
             println!(
                 "    {} ↔ {}  sim {:.3}  (departures {} / {})",

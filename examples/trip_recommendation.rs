@@ -37,7 +37,10 @@ fn main() {
             .collect::<Vec<_>>()
     );
 
-    println!("{:<6} {:>10} {:>9} {:>9} {:>9}  tags of the winner", "λ", "winner", "sim", "spatial", "textual");
+    println!(
+        "{:<6} {:>10} {:>9} {:>9} {:>9}  tags of the winner",
+        "λ", "winner", "sim", "spatial", "textual"
+    );
     for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let query = UotsQuery::with_options(
             places.clone(),

@@ -12,8 +12,9 @@
 //! a preset + seed, the other commands load it.
 
 use uots::datagen::persist;
-use uots::join::{ts_join, JoinConfig};
+use uots::join::{ts_join_with, JoinConfig};
 use uots::prelude::*;
+use uots::RunControl;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,7 +44,11 @@ fn print_usage() {
          \x20 stats    --data FILE\n\
          \x20 query    --data FILE --at x,y --at x,y ... [--tags a,b,c]\n\
          \x20          [--lambda L=0.5] [--k K=3]\n\
-         \x20 join     --data FILE --theta T=0.8 [--lambda L=0.5] [--threads N=2]"
+         \x20          [--deadline-ms MS] [--max-visited N]\n\
+         \x20 join     --data FILE --theta T=0.8 [--lambda L=0.5] [--threads N=2]\n\
+         \x20          [--deadline-ms MS] [--max-visited N]\n\n\
+         --deadline-ms / --max-visited bound the work; when a bound trips,\n\
+         the best results found so far are returned with a certified gap."
     );
 }
 
@@ -93,6 +98,34 @@ impl Flags {
 fn fail(msg: impl std::fmt::Display) -> i32 {
     eprintln!("error: {msg}");
     1
+}
+
+/// Parses the shared `--deadline-ms` / `--max-visited` budget flags.
+fn parse_budget(flags: &Flags) -> Result<ExecutionBudget, String> {
+    let mut budget = ExecutionBudget::default();
+    if let Some(ms) = flags.get("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| "--deadline-ms must be an integer".to_string())?;
+        budget = budget.with_deadline_ms(ms);
+    }
+    if let Some(n) = flags.get("max-visited") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| "--max-visited must be an integer".to_string())?;
+        budget = budget.with_max_visited(n);
+    }
+    Ok(budget)
+}
+
+/// One-line completeness report for interrupted runs.
+fn report_completeness(c: &Completeness) {
+    if let Completeness::BestEffort { bound_gap } = c {
+        println!(
+            "note: budget exhausted — best-effort result, certified gap {bound_gap:.4} \
+             (no missed answer beats the reported ones by more)"
+        );
+    }
 }
 
 fn cmd_generate(args: &[String]) -> i32 {
@@ -204,6 +237,10 @@ fn cmd_query(args: &[String]) -> i32 {
         Ok(w) => w,
         Err(e) => return fail(e),
     };
+    let budget = match parse_budget(&flags) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
     let query = match UotsQuery::with_options(
         places,
         KeywordSet::from_ids(keywords),
@@ -211,6 +248,7 @@ fn cmd_query(args: &[String]) -> i32 {
         QueryOptions {
             weights,
             k,
+            budget,
             ..Default::default()
         },
     ) {
@@ -253,6 +291,7 @@ fn cmd_query(args: &[String]) -> i32 {
         ds.store.len(),
         result.metrics.runtime
     );
+    report_completeness(&result.completeness);
     0
 }
 
@@ -282,8 +321,21 @@ fn cmd_join(args: &[String]) -> i32 {
         lambda,
         ..Default::default()
     };
+    let budget = match parse_budget(&flags) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
     let tidx = ds.store.build_timestamp_index();
-    let result = match ts_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, &cfg, threads) {
+    let result = match ts_join_with(
+        &ds.network,
+        &ds.store,
+        &ds.vertex_index,
+        &tidx,
+        &cfg,
+        threads,
+        &budget,
+        &RunControl::unbounded(),
+    ) {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
@@ -298,5 +350,6 @@ fn cmd_join(args: &[String]) -> i32 {
     if result.pairs.len() > 20 {
         println!("  ... and {} more", result.pairs.len() - 20);
     }
+    report_completeness(&result.completeness);
     0
 }

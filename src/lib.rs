@@ -53,9 +53,9 @@ pub use uots_text as text;
 pub use uots_trajectory as trajectory;
 
 pub use uots_core::{
-    algorithms, expansion_search, order, parallel, similarity, threshold_search, CoreError,
-    Database, Match, QueryOptions, QueryResult, Scheduler, SearchMetrics, TopK, UotsQuery,
-    Weights,
+    algorithms, expansion_search, order, parallel, similarity, threshold_search, BatchOptions,
+    BatchPolicy, CancellationToken, Completeness, CoreError, Database, ExecutionBudget, Match,
+    QueryOptions, QueryResult, RunControl, Scheduler, SearchMetrics, TopK, UotsQuery, Weights,
 };
 pub use uots_datagen::{workload, Dataset, DatasetConfig};
 pub use uots_network::{NetworkBuilder, NodeId, Point, RoadNetwork};
@@ -73,8 +73,9 @@ pub fn db(ds: &Dataset) -> Database<'_> {
 pub mod prelude {
     pub use crate::algorithms::{Algorithm, BruteForce, Expansion, IknnBaseline, TextFirst};
     pub use crate::{
-        workload, Database, Dataset, DatasetConfig, KeywordSet, Match, NodeId, Point,
-        QueryOptions, QueryResult, Scheduler, SearchMetrics, TrajectoryId, UotsQuery, Weights,
+        workload, CancellationToken, Completeness, Database, Dataset, DatasetConfig,
+        ExecutionBudget, KeywordSet, Match, NodeId, Point, QueryOptions, QueryResult, RunControl,
+        Scheduler, SearchMetrics, TrajectoryId, UotsQuery, Weights,
     };
 }
 

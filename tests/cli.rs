@@ -22,7 +22,11 @@ fn generate(path: &PathBuf) {
         .arg(path)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -42,20 +46,28 @@ fn generate_stats_query_join_pipeline() {
     generate(&path);
     assert!(path.exists());
 
-    let out = uots().args(["stats", "--data"]).arg(&path).output().unwrap();
+    let out = uots()
+        .args(["stats", "--data"])
+        .arg(&path)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("trajectories        : 120"), "{text}");
 
     let out = uots()
-        .args([
-            "query", "--data",
-        ])
+        .args(["query", "--data"])
         .arg(&path)
-        .args(["--at", "2.0,2.0", "--at", "5.0,3.0", "--k", "2", "--lambda", "0.7"])
+        .args([
+            "--at", "2.0,2.0", "--at", "5.0,3.0", "--k", "2", "--lambda", "0.7",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("top 2 trips"), "{text}");
     assert!(text.contains("visited"), "{text}");
@@ -66,7 +78,11 @@ fn generate_stats_query_join_pipeline() {
         .args(["--theta", "0.9"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("similarity >= 0.9"));
 
     std::fs::remove_file(&path).ok();
@@ -78,7 +94,11 @@ fn query_rejects_bad_flags() {
     generate(&path);
 
     // no --at place
-    let out = uots().args(["query", "--data"]).arg(&path).output().unwrap();
+    let out = uots()
+        .args(["query", "--data"])
+        .arg(&path)
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--at"));
 
@@ -114,10 +134,107 @@ fn missing_dataset_file_is_a_clean_error() {
 }
 
 #[test]
+fn corrupt_dataset_is_a_one_line_error() {
+    let path = temp_dataset("corrupt.uotsds");
+    std::fs::write(&path, b"this is not a uots dataset at all").unwrap();
+    for cmd in ["stats", "query", "join"] {
+        let mut c = uots();
+        c.args([cmd, "--data"]).arg(&path);
+        if cmd == "query" {
+            c.args(["--at", "1,1"]);
+        }
+        let out = c.output().unwrap();
+        assert!(!out.status.success(), "{cmd} must fail on garbage input");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.starts_with("error: "), "{cmd}: {stderr}");
+        assert_eq!(
+            stderr.trim_end().lines().count(),
+            1,
+            "{cmd}: one-line diagnostic\n{stderr}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_dataset_is_a_one_line_error() {
+    let path = temp_dataset("whole.uotsds");
+    generate(&path);
+    let bytes = std::fs::read(&path).unwrap();
+    let cut = temp_dataset("truncated.uotsds");
+    std::fs::write(&cut, &bytes[..bytes.len() / 3]).unwrap();
+    let out = uots().args(["stats", "--data"]).arg(&cut).output().unwrap();
+    assert!(!out.status.success(), "truncated dataset must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error: "), "{stderr}");
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "one-line diagnostic\n{stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&cut).ok();
+}
+
+#[test]
+fn budget_flags_produce_best_effort_output() {
+    let path = temp_dataset("budget.uotsds");
+    generate(&path);
+
+    // a zero-trajectory visit budget must trip immediately but still exit 0
+    let out = uots()
+        .args(["query", "--data"])
+        .arg(&path)
+        .args(["--at", "2.0,2.0", "--max-visited", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best-effort"), "{text}");
+    assert!(text.contains("certified gap"), "{text}");
+
+    // bad budget values are rejected
+    let out = uots()
+        .args(["query", "--data"])
+        .arg(&path)
+        .args(["--at", "1,1", "--deadline-ms", "soon"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deadline-ms"));
+
+    // the join accepts the same budget flags
+    let out = uots()
+        .args(["join", "--data"])
+        .arg(&path)
+        .args(["--theta", "0.9", "--max-visited", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("best-effort"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn generate_rejects_unknown_preset() {
     let out = uots()
         .args([
-            "generate", "--preset", "mars", "--trips", "10", "--out", "/tmp/x.uotsds",
+            "generate",
+            "--preset",
+            "mars",
+            "--trips",
+            "10",
+            "--out",
+            "/tmp/x.uotsds",
         ])
         .output()
         .unwrap();

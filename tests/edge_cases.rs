@@ -150,7 +150,10 @@ fn lambda_zero_is_pure_jaccard() {
         // τ1 has Jaccard 1.0 (exact match), τ0 has 2/3
         assert_eq!(r.matches[0].id, TrajectoryId(1), "{name}");
         assert!((r.matches[0].similarity - 1.0).abs() < 1e-12, "{name}");
-        assert!((r.matches[1].similarity - 2.0 / 3.0).abs() < 1e-12, "{name}");
+        assert!(
+            (r.matches[1].similarity - 2.0 / 3.0).abs() < 1e-12,
+            "{name}"
+        );
     }
 }
 
@@ -160,11 +163,8 @@ fn duplicate_query_locations_collapse() {
     let mut store = TrajectoryStore::new();
     store.push(traj(&[0, 1], 0.0, &[1]));
     store.push(traj(&[20, 21], 0.0, &[1]));
-    let q_dup = UotsQuery::new(
-        vec![NodeId(2), NodeId(2), NodeId(2), NodeId(14)],
-        kws(&[1]),
-    )
-    .unwrap();
+    let q_dup =
+        UotsQuery::new(vec![NodeId(2), NodeId(2), NodeId(2), NodeId(14)], kws(&[1])).unwrap();
     let q_clean = UotsQuery::new(vec![NodeId(2), NodeId(14)], kws(&[1])).unwrap();
     assert_eq!(q_dup.num_locations(), 2);
     let vidx = store.build_vertex_index(net.num_nodes());
@@ -244,7 +244,11 @@ fn extreme_decay_scales_still_agree_with_oracle() {
     let net = grid_city(&GridCityConfig::tiny(8)).unwrap();
     let mut store = TrajectoryStore::new();
     for i in 0..15u32 {
-        store.push(traj(&[i * 4 % 64, (i * 4 + 1) % 64], 1_000.0 * i as f64, &[i % 5]));
+        store.push(traj(
+            &[i * 4 % 64, (i * 4 + 1) % 64],
+            1_000.0 * i as f64,
+            &[i % 5],
+        ));
     }
     for decay_km in [0.01, 100.0] {
         let q = UotsQuery::with_options(

@@ -70,7 +70,10 @@ fn results_serialize_and_deserialize() {
     let json = serde_json::to_string(&r).expect("serializes");
     let back: QueryResult = serde_json::from_str(&json).expect("deserializes");
     assert_eq!(r.ids(), back.ids());
-    assert_eq!(r.metrics.visited_trajectories, back.metrics.visited_trajectories);
+    assert_eq!(
+        r.metrics.visited_trajectories,
+        back.metrics.visited_trajectories
+    );
 }
 
 #[test]
@@ -159,7 +162,15 @@ fn gps_ingestion_pipeline_feeds_queries() {
         if route.path.len() < 2 {
             continue;
         }
-        let fixes = simulate_gps(&ds.network, &route.path, 3_600.0, 30.0, 10.0, 0.02, &mut rng);
+        let fixes = simulate_gps(
+            &ds.network,
+            &route.path,
+            3_600.0,
+            30.0,
+            10.0,
+            0.02,
+            &mut rng,
+        );
         let kws = tags.sample_tags(0, 3, &mut rng);
         store.push(map_match(&fixes, &grid, kws).expect("matches"));
     }

@@ -10,12 +10,12 @@
 //! * top-k equals sort-and-truncate.
 
 use proptest::prelude::*;
-use uots::prelude::*;
 use uots::core::TopK;
 use uots::index::GridIndex;
 use uots::network::expansion::NetworkExpansion;
 use uots::network::matrix::DistanceMatrix;
 use uots::network::{dijkstra, NetworkBuilder};
+use uots::prelude::*;
 use uots::text::{KeywordId, TextSimilarity};
 use uots::trajectory::{Sample, Trajectory};
 use uots::{RoadNetwork, TrajectoryStore};

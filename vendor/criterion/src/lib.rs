@@ -1,0 +1,299 @@
+//! Vendored, dependency-free benchmark harness exposing the `criterion`
+//! surface this workspace's benches use: `criterion_group!`/
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`/
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the group tuning
+//! knobs (`sample_size`, `warm_up_time`, `measurement_time`).
+//!
+//! No statistics engine: each benchmark is warmed up, then timed over
+//! `sample_size` batches within the measurement window; the per-iteration
+//! mean and min are printed as a table row. `--test` (the CI smoke mode,
+//! `cargo bench -- --test`) runs every body exactly once and prints
+//! nothing but a pass marker — identical contract to upstream.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work (same contract as `criterion::black_box`).
+pub fn black_box<T>(dummy: T) -> T {
+    std::hint::black_box(dummy)
+}
+
+/// Identifier for a parameterized benchmark (`name/param`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter display.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter display (inside a named group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(full: String) -> Self {
+        BenchmarkId { full }
+    }
+}
+
+/// Per-benchmark timing driver handed to the bench closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Filled by `iter`: (total iterations, total elapsed).
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `inner` repeatedly; in `--test` mode runs it exactly once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut inner: R) {
+        if self.test_mode {
+            black_box(inner());
+            self.measured = Some((1, Duration::ZERO));
+            return;
+        }
+        // warm-up: run until the warm-up window elapses
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(inner());
+            warm_iters += 1;
+        }
+        // derive a batch size from warm-up throughput so each sample is
+        // long enough to time meaningfully
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target_sample = self.measurement_time.as_secs_f64() / self.sample_size.max(1) as f64;
+        let batch = ((target_sample / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(inner());
+            }
+            total_time += t0.elapsed();
+            total_iters += batch;
+            if measure_start.elapsed() > self.measurement_time * 2 {
+                break; // runaway benchmark: stop at 2× the window
+            }
+        }
+        self.measured = Some((total_iters, total_time));
+    }
+}
+
+#[derive(Clone)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: GroupConfig,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Warm-up window before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Total timing window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.config.sample_size,
+            warm_up_time: self.config.warm_up_time,
+            measurement_time: self.config.measurement_time,
+            measured: None,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.test_mode {
+            println!("test {full} ... ok");
+            return;
+        }
+        match b.measured {
+            Some((iters, total)) if iters > 0 => {
+                let mean_ns = total.as_nanos() as f64 / iters as f64;
+                println!("bench {full:<60} {mean_ns:>14.1} ns/iter ({iters} iters)");
+            }
+            _ => println!("bench {full:<60} (no measurement)"),
+        }
+    }
+
+    /// Runs one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        self.run_one(id.full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark; the closure receives `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (separator line in normal mode).
+    pub fn finish(self) {
+        if !self.criterion.test_mode {
+            println!();
+        }
+    }
+}
+
+/// The harness entry object.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` smoke mode: execute each body once.
+        // `--bench` is what cargo passes to harness=false bench targets.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Returns self; upstream reads CLI flags here, the vendored harness
+    /// already did in `default()`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("group {name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            config: GroupConfig::default(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "bench".to_owned(),
+            config: GroupConfig::default(),
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::new("param", 42), &42usize, |b, &x| {
+            b.iter(|| seen = x)
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+}

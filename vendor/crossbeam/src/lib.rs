@@ -1,0 +1,133 @@
+//! Vendored stand-in for the `crossbeam::thread` scoped-spawn API, layered
+//! over `std::thread::scope` (which stabilized after crossbeam's design
+//! and covers this workspace's entire usage).
+//!
+//! Semantics preserved from crossbeam: `spawn` closures receive the scope
+//! handle, `join` returns `Err(payload)` if the worker panicked (the panic
+//! is captured, not propagated), and `scope` itself returns `Err` only if
+//! the orchestrating closure panics.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Payload of a panicked thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// worker.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // manual impls: the std scope reference is freely copyable
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped worker; joining yields the closure's result or
+    /// the captured panic payload.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, std::thread::Result<T>>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// The worker's panic payload, if it panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            match self.inner.join() {
+                Ok(caught) => caught,
+                // unreachable in practice: the worker catches its own
+                // panics; kept total for safety
+                Err(payload) => Err(payload),
+            }
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The closure receives the
+        /// scope handle (crossbeam signature) to allow nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            ScopedJoinHandle {
+                inner: self
+                    .inner
+                    .spawn(move || catch_unwind(AssertUnwindSafe(|| f(&handle)))),
+            }
+        }
+    }
+
+    /// Creates a scope in which borrowed-data threads can be spawned; all
+    /// workers are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// The panic payload of `f` itself, if it panics. Worker panics are
+    /// reported through each handle's `join`, never here.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn spawned_workers_share_borrows_and_join_in_order() {
+            let counter = AtomicUsize::new(0);
+            let outputs = super::scope(|s| {
+                let handles: Vec<_> = (0..8)
+                    .map(|i| {
+                        let counter = &counter;
+                        s.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            i * 10
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .unwrap();
+            assert_eq!(outputs, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+            assert_eq!(counter.load(Ordering::Relaxed), 8);
+        }
+
+        #[test]
+        fn worker_panic_is_captured_by_join_not_scope() {
+            let r = super::scope(|s| {
+                let good = s.spawn(|_| 1u32);
+                let bad = s.spawn(|_| -> u32 { panic!("injected") });
+                let bad_result = bad.join();
+                assert!(bad_result.is_err());
+                good.join().unwrap()
+            });
+            assert_eq!(r.unwrap(), 1);
+        }
+
+        #[test]
+        fn scope_closure_panic_is_reported() {
+            let r: Result<(), _> = super::scope(|_| panic!("orchestrator"));
+            assert!(r.is_err());
+        }
+    }
+}

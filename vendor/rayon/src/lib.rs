@@ -1,0 +1,327 @@
+//! Vendored, dependency-free stand-in for the `rayon` API surface this
+//! workspace uses: `ThreadPoolBuilder`/`ThreadPool::install`, and
+//! `par_iter()`/`par_chunks()` + `map` + `collect` on slices.
+//!
+//! Execution model: `install` records the pool's thread count in a
+//! thread-local; `collect` fans work items over `std::thread::scope`
+//! workers pulling indices from a shared atomic cursor (the same dynamic
+//! scheduling rayon's work stealing degenerates to for independent,
+//! similarly-sized items). Results are reassembled in input order. A panic
+//! in any work item propagates out of `collect`, matching rayon.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static CURRENT_POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Number of workers `collect` will use in the current context.
+fn current_threads() -> usize {
+    let n = CURRENT_POOL_THREADS.with(Cell::get);
+    if n == 0 {
+        default_threads()
+    } else {
+        n
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; the vendored pool cannot
+/// actually fail to build, the type exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A logical pool: just a thread-count context for `install`ed closures
+/// (workers are spawned per `collect`, scoped, and joined eagerly).
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count as the parallelism context.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = CURRENT_POOL_THREADS.with(|c| c.replace(self.threads));
+        let result = op();
+        CURRENT_POOL_THREADS.with(|c| c.set(prev));
+        result
+    }
+
+    /// The configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder (defaults to the machine's parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (`0` = machine default).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the vendored implementation; `Result` kept for
+    /// signature compatibility with rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Runs `f` over `0..len` items on the current pool, gathering
+/// `(index, output)` pairs and restoring input order.
+fn run_indexed<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = current_threads().clamp(1, len.max(1));
+    if workers <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut gathered: Vec<(usize, U)> = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        mine.push((i, f(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(mine) => gathered.extend(mine),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    gathered.sort_by_key(|&(i, _)| i);
+    gathered.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` (runs at `collect`).
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Executes the map over the current pool and collects in input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        let items = self.items;
+        let f = &self.f;
+        run_indexed(items.len(), |i| f(&items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Parallel iterator over contiguous chunks of a slice.
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Maps each chunk through `f` (runs at `collect`).
+    pub fn map<U, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a [T]) -> U + Sync,
+    {
+        ParChunksMap {
+            items: self.items,
+            chunk: self.chunk,
+            f,
+        }
+    }
+}
+
+/// Mapped chunk iterator, ready to collect.
+pub struct ParChunksMap<'a, T, F> {
+    items: &'a [T],
+    chunk: usize,
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParChunksMap<'a, T, F> {
+    /// Executes the map over the current pool and collects in input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(&'a [T]) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        let items = self.items;
+        let chunk = self.chunk.max(1);
+        let n_chunks = items.len().div_ceil(chunk);
+        let f = &self.f;
+        run_indexed(n_chunks, |i| {
+            let start = i * chunk;
+            let end = (start + chunk).min(items.len());
+            f(&items[start..end])
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+/// Entry points for slice parallelism, imported via the prelude.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel per-item iterator.
+    fn par_iter(&self) -> ParIter<'_, T>;
+
+    /// Parallel iterator over `chunk_size`-sized contiguous chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        ParChunks {
+            items: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+/// The rayon-style glob-import module.
+pub mod prelude {
+    pub use crate::ParallelSlice;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let doubled: Vec<u64> = pool.install(|| xs.par_iter().map(|x| x * 2).collect());
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let xs: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = xs.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        let total: u32 = sums.iter().sum();
+        assert_eq!(total, (0..103).sum());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err_value() {
+        let xs: Vec<u32> = (0..50).collect();
+        let mapped: Vec<Result<u32, String>> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 33 {
+                    Err("boom".to_owned())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        let r: Result<Vec<u32>, String> = mapped.into_iter().collect();
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn panics_propagate_out_of_collect() {
+        let xs: Vec<u32> = (0..64).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Vec<u32> = pool.install(|| {
+                xs.par_iter()
+                    .map(|&x| {
+                        assert!(x != 40, "injected");
+                        x
+                    })
+                    .collect()
+            });
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(super::current_threads(), 3));
+    }
+}

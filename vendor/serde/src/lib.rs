@@ -1,0 +1,446 @@
+//! Vendored, dependency-free stand-in for the `serde` facade.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the small serialization surface it actually uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs/enums plus a JSON backend
+//! (`vendor/serde_json`). Instead of serde's visitor architecture, both
+//! traits go through a self-describing [`Content`] tree — more allocation
+//! per value, but identical observable behavior for the formats and types
+//! this workspace touches (externally tagged enums, newtype transparency,
+//! `#[serde(skip)]`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized value, the interchange model between
+/// [`Serialize`]/[`Deserialize`] impls and format backends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer outside `i64` range (or any unsigned source).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered string-keyed map (JSON object).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map view, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence view, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// First value under `key` in a map.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization error (message-carrying, like `serde::de::Error`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Free-form error.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(name: &str) -> Self {
+        DeError(format!("missing field `{name}`"))
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(tag: &str) -> Self {
+        DeError(format!("unknown variant `{tag}`"))
+    }
+
+    /// The content kind did not match what the type expected.
+    pub fn invalid_type(expected: &str, got: &Content) -> Self {
+        let kind = match got {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        };
+        DeError(format!("invalid type: expected {expected}, found {kind}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the interchange model.
+    fn serialize(&self) -> Content;
+}
+
+/// Types that can rebuild themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from the interchange model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on shape or range mismatches.
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------- primitive impls ----------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::invalid_type("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::custom("unsigned value out of signed range"))?,
+                    other => return Err(DeError::invalid_type("integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(format!("{v} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| DeError::custom("negative value for unsigned type"))?,
+                    other => return Err(DeError::invalid_type("integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(format!("{v} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(DeError::invalid_type("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        f64::deserialize(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::invalid_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::invalid_type("single-char string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(s) => s.iter().map(T::deserialize).collect(),
+            other => Err(DeError::invalid_type("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let v = Vec::<T>::deserialize(c)?;
+        <[T; N]>::try_from(v)
+            .map_err(|v| DeError::custom(format!("expected {N} elements, got {}", v.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| DeError::invalid_type("tuple", c))?;
+                let expected = [$( stringify!($n) ),+].len();
+                if s.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected}, got {}", s.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let m = c.as_map().ok_or_else(|| DeError::invalid_type("map", c))?;
+        m.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let m = c.as_map().ok_or_else(|| DeError::invalid_type("map", c))?;
+        m.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        T::deserialize(c).map(Box::new)
+    }
+}
+
+// serde serializes Duration as {"secs": u64, "nanos": u32}; kept
+// bit-compatible so persisted metrics stay readable by real serde.
+impl Serialize for Duration {
+    fn serialize(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_owned(), Content::U64(self.as_secs())),
+            (
+                "nanos".to_owned(),
+                Content::U64(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let secs = u64::deserialize(
+            c.get("secs")
+                .ok_or_else(|| DeError::missing_field("secs"))?,
+        )?;
+        let nanos = u32::deserialize(
+            c.get("nanos")
+                .ok_or_else(|| DeError::missing_field("nanos"))?,
+        )?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(
+            String::deserialize(&"hi".to_owned().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u8>::deserialize(&vec![1u8, 2, 3].serialize()).unwrap(),
+            vec![1, 2, 3]
+        );
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::deserialize(&d.serialize()).unwrap(), d);
+    }
+
+    #[test]
+    fn range_errors_are_reported() {
+        assert!(u8::deserialize(&Content::U64(300)).is_err());
+        assert!(u32::deserialize(&Content::I64(-1)).is_err());
+        assert!(bool::deserialize(&Content::Str("true".into())).is_err());
+    }
+}

@@ -1,0 +1,590 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the minimal serde
+//! facade in `vendor/serde`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no `syn`/`quote`), covering exactly the shapes this workspace derives:
+//! named structs, tuple/newtype structs, unit structs, and enums with unit,
+//! newtype, tuple and struct variants; plain type generics (`Foo<V>`); and
+//! the `#[serde(skip)]` field attribute (omitted on serialize, rebuilt via
+//! `Default` on deserialize). Encoding matches serde's defaults: maps for
+//! named fields, transparent newtypes, externally tagged enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String, // field name, or index as string for tuple fields
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Generic parameters verbatim, e.g. `["'a", "V"]`.
+    params: Vec<String>,
+    kind: Kind,
+}
+
+// ---------- token-level parsing ----------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes a run of `#[...]` attributes; reports whether any of them
+    /// was `#[serde(skip)]` (or `skip_serializing`/`skip_deserializing`,
+    /// treated identically here since we always control both sides).
+    fn eat_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let mut inner = g.stream().into_iter();
+                    if let Some(TokenTree::Ident(name)) = inner.next() {
+                        if name.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.next() {
+                                let text = args.stream().to_string();
+                                if text.split(',').any(|a| a.trim().starts_with("skip")) {
+                                    skip = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => panic!("serde_derive: malformed attribute"),
+            }
+        }
+        skip
+    }
+
+    /// Consumes `pub`, `pub(...)` if present.
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes `<...>` generics, returning each parameter verbatim
+    /// (lifetimes keep their tick, type params are bare idents; bounds and
+    /// defaults are stripped).
+    fn eat_generics(&mut self) -> Vec<String> {
+        if !self.eat_punct('<') {
+            return Vec::new();
+        }
+        let mut params = Vec::new();
+        let mut depth = 1usize;
+        let mut current = String::new();
+        let mut in_bound_or_default = false;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            if !current.is_empty() {
+                                params.push(current);
+                            }
+                            return params;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        if !current.is_empty() {
+                            params.push(std::mem::take(&mut current));
+                        }
+                        in_bound_or_default = false;
+                        continue;
+                    }
+                    ':' | '=' if depth == 1 => {
+                        in_bound_or_default = true;
+                        continue;
+                    }
+                    '\'' if depth == 1 && !in_bound_or_default => {
+                        current.push('\'');
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if depth == 1 && !in_bound_or_default {
+                if let TokenTree::Ident(i) = &t {
+                    current.push_str(&i.to_string());
+                }
+            }
+        }
+        panic!("serde_derive: unterminated generics");
+    }
+
+    /// Skips tokens until a top-level `,` (consumed) or end of stream,
+    /// tracking `<...>` depth so type arguments don't terminate the field.
+    fn skip_type_until_comma(&mut self) {
+        let mut angle = 0usize;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle = angle.saturating_sub(1),
+                    ',' if angle == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let skip = c.eat_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.eat_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        assert!(
+            c.eat_punct(':'),
+            "serde_derive: expected `:` after field name"
+        );
+        c.skip_type_until_comma();
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    let mut idx = 0usize;
+    while c.peek().is_some() {
+        let skip = c.eat_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.eat_visibility();
+        c.skip_type_until_comma();
+        fields.push(Field {
+            name: idx.to_string(),
+            skip,
+        });
+        idx += 1;
+    }
+    fields
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.eat_attrs(); // e.g. #[default], doc comments
+        if c.peek().is_none() {
+            break;
+        }
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                c.pos += 1;
+                Shape::Tuple(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // optional discriminant `= expr`
+        if c.eat_punct('=') {
+            c.skip_type_until_comma();
+        } else {
+            c.eat_punct(',');
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    c.eat_attrs();
+    c.eat_visibility();
+    let kind_word = loop {
+        match c.next() {
+            Some(TokenTree::Ident(i)) => {
+                let w = i.to_string();
+                if w == "struct" || w == "enum" {
+                    break w;
+                }
+                // e.g. `union` unsupported; other idents (none expected) skipped
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: no struct/enum found"),
+        }
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    let params = c.eat_generics();
+    // skip a possible `where` clause up to the body group / semicolon
+    let kind = if kind_word == "struct" {
+        loop {
+            match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    break Kind::Struct(Shape::Named(fields));
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let fields = parse_tuple_fields(g.stream());
+                    break Kind::Struct(Shape::Tuple(fields));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    break Kind::Struct(Shape::Unit);
+                }
+                Some(_) => {
+                    c.pos += 1;
+                }
+                None => break Kind::Struct(Shape::Unit),
+            }
+        }
+    } else {
+        loop {
+            match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    break Kind::Enum(parse_variants(g.stream()));
+                }
+                Some(_) => {
+                    c.pos += 1;
+                }
+                None => panic!("serde_derive: enum without body"),
+            }
+        }
+    };
+    Input { name, params, kind }
+}
+
+// ---------- code generation ----------
+
+/// `impl<'a, V: ::serde::Serialize> Trait for Name<'a, V>` header pieces.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut impl_params = Vec::new();
+    let mut type_args = Vec::new();
+    for p in &input.params {
+        if p.starts_with('\'') {
+            impl_params.push(p.clone());
+        } else {
+            impl_params.push(format!("{p}: {bound}"));
+        }
+        type_args.push(p.clone());
+    }
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", type_args.join(", ")),
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_generics, ty_generics) = impl_header(input, "::serde::Serialize");
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Content::Null".to_owned(),
+        Kind::Struct(Shape::Named(fields)) => {
+            let mut s = String::from("::serde::Content::Map(::std::vec![");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize(&self.{0})),",
+                    f.name
+                ));
+            }
+            s.push_str("])");
+            s
+        }
+        Kind::Struct(Shape::Tuple(fields)) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if live.len() == 1 {
+                format!("::serde::Serialize::serialize(&self.{})", live[0].name)
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|f| format!("::serde::Serialize::serialize(&self.{})", f.name))
+                    .collect();
+                format!("::serde::Content::Seq(::std::vec![{}])", items.join(","))
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    Shape::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut entries = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            entries.push_str(&format!(
+                                "(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize({0})),",
+                                f.name
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Content::Map(::std::vec![{entries}]))]),",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let binders: Vec<String> = (0..fields.len())
+                            .map(|i| format!("f{i}"))
+                            .collect();
+                        let inner = if fields.len() == 1 {
+                            "::serde::Serialize::serialize(f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(::std::vec![{}])", items.join(","))
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_field_exprs(fields: &[Field], source: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!("{}: ::core::default::Default::default(),", f.name));
+        } else {
+            s.push_str(&format!(
+                "{0}: ::serde::Deserialize::deserialize({source}.get(\"{0}\").ok_or_else(|| ::serde::DeError::missing_field(\"{0}\"))?)?,",
+                f.name
+            ));
+        }
+    }
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_generics, ty_generics) = impl_header(input, "::serde::Deserialize");
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => format!("::core::result::Result::Ok({name})"),
+        Kind::Struct(Shape::Named(fields)) => {
+            format!(
+                "if content.as_map().is_none() {{ return ::core::result::Result::Err(::serde::DeError::invalid_type(\"map\", content)); }}\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                named_field_exprs(fields, "content")
+            )
+        }
+        Kind::Struct(Shape::Tuple(fields)) => {
+            let live: Vec<usize> = fields
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.skip)
+                .map(|(i, _)| i)
+                .collect();
+            if live.len() == 1 && fields.len() == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(content)?))"
+                )
+            } else {
+                let mut s = format!(
+                    "let seq = content.as_seq().ok_or_else(|| ::serde::DeError::invalid_type(\"sequence\", content))?;\n\
+                     if seq.len() != {} {{ return ::core::result::Result::Err(::serde::DeError::custom(\"tuple struct arity mismatch\")); }}\n",
+                    live.len()
+                );
+                let mut items = Vec::new();
+                let mut cursor = 0usize;
+                for (i, f) in fields.iter().enumerate() {
+                    let _ = i;
+                    if f.skip {
+                        items.push("::core::default::Default::default()".to_owned());
+                    } else {
+                        items.push(format!(
+                            "::serde::Deserialize::deserialize(&seq[{cursor}])?"
+                        ));
+                        cursor += 1;
+                    }
+                }
+                s.push_str(&format!(
+                    "::core::result::Result::Ok({name}({}))",
+                    items.join(",")
+                ));
+                s
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),"
+                    )),
+                    Shape::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                             if value.as_map().is_none() {{ return ::core::result::Result::Err(::serde::DeError::invalid_type(\"map\", value)); }}\n\
+                             ::core::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                         }},",
+                        named_field_exprs(fields, "value")
+                    )),
+                    Shape::Tuple(fields) if fields.len() == 1 => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(value)?)),"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let items: Vec<String> = (0..fields.len())
+                            .map(|i| format!("::serde::Deserialize::deserialize(&seq[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let seq = value.as_seq().ok_or_else(|| ::serde::DeError::invalid_type(\"sequence\", value))?;\n\
+                                 if seq.len() != {len} {{ return ::core::result::Result::Err(::serde::DeError::custom(\"variant arity mismatch\")); }}\n\
+                                 ::core::result::Result::Ok({name}::{vn}({items}))\n\
+                             }},",
+                            len = fields.len(),
+                            items = items.join(","),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match content {{\n\
+                     ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::core::result::Result::Err(::serde::DeError::unknown_variant(other)),\n\
+                     }},\n\
+                     ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, value) = &entries[0];\n\
+                         let _ = value;\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::core::result::Result::Err(::serde::DeError::unknown_variant(other)),\n\
+                         }}\n\
+                     }},\n\
+                     other => ::core::result::Result::Err(::serde::DeError::invalid_type(\"enum\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn deserialize(content: &::serde::Content) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Derives `::serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `::serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
