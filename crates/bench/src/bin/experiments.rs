@@ -20,7 +20,7 @@
 //! * `d1` anytime degradation curve: quality vs budget (extension)
 
 use std::collections::HashSet;
-use uots_bench::{algorithms, make_queries, measure, render_table, time, Row, Scale};
+use uots_bench::{algorithms, make_queries, measure, render_table, time, LatencyStats, Row, Scale};
 use uots_core::algorithms::{Algorithm, Expansion};
 use uots_core::{parallel, Database, ExecutionBudget, QueryOptions, Scheduler, UotsQuery, Weights};
 use uots_datagen::{Dataset, DatasetConfig};
@@ -314,7 +314,13 @@ fn main() {
                 time(|| parallel::run_batch(&db, &algo, &queries, threads).expect("batch runs"));
             let visited: usize = results.iter().map(|r| r.metrics.visited_trajectories).sum();
             let candidates: usize = results.iter().map(|r| r.metrics.candidates).sum();
-            rows.push(Row {
+            // per-query latencies come from each result's own clock, so
+            // the percentiles reflect in-worker time, not queueing
+            let mut latencies = LatencyStats::new();
+            for r in &results {
+                latencies.record(r.metrics.runtime);
+            }
+            let mut row = Row {
                 experiment: "f7".into(),
                 dataset: ds.name.clone(),
                 algorithm: "expansion".into(),
@@ -322,13 +328,19 @@ fn main() {
                 value: threads as f64,
                 queries: queries.len(),
                 runtime_ms: wall.as_secs_f64() * 1_000.0 / queries.len() as f64,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                max_ms: 0.0,
                 visited: visited as f64 / queries.len() as f64,
                 candidates: candidates as f64 / queries.len() as f64,
                 candidate_ratio: candidates as f64 / (ds.store.len() * queries.len()) as f64,
                 pruning_ratio: 1.0 - candidates as f64 / (ds.store.len() * queries.len()) as f64,
                 bound_gap: 0.0,
                 recall: 1.0,
-            });
+            };
+            latencies.fill(&mut row);
+            rows.push(row);
         }
         print!(
             "{}",
@@ -468,6 +480,11 @@ fn main() {
                 value: theta,
                 queries: n,
                 runtime_ms: wall.as_secs_f64() * 1_000.0,
+                // one join = one measurement: the distribution is a point
+                p50_ms: wall.as_secs_f64() * 1_000.0,
+                p95_ms: wall.as_secs_f64() * 1_000.0,
+                p99_ms: wall.as_secs_f64() * 1_000.0,
+                max_ms: wall.as_secs_f64() * 1_000.0,
                 visited: result.visited_trajectories as f64 / n as f64,
                 candidates: result.candidates as f64 / n as f64,
                 candidate_ratio: result.candidates as f64 / (n * n) as f64,
@@ -505,6 +522,7 @@ fn main() {
             let mut recall_sum = 0.0;
             let mut visited = 0usize;
             let mut candidates = 0usize;
+            let mut latencies = LatencyStats::new();
             let start = std::time::Instant::now();
             for (q, (settled_full, oracle_ids)) in queries.iter().zip(&reference) {
                 let budget = ExecutionBudget::default()
@@ -515,7 +533,9 @@ fn main() {
                         ..q.options().clone()
                     })
                     .expect("budgeted query");
+                let q_start = std::time::Instant::now();
                 let r = algo.run(&db, &bq).expect("budgeted run");
+                latencies.record(q_start.elapsed());
                 gap_sum += r.completeness.bound_gap();
                 let hit = r.ids().iter().filter(|id| oracle_ids.contains(id)).count();
                 recall_sum += hit as f64 / oracle_ids.len().max(1) as f64;
@@ -524,7 +544,7 @@ fn main() {
             }
             let wall = start.elapsed();
             let nq = queries.len().max(1) as f64;
-            rows.push(Row {
+            let mut row = Row {
                 experiment: "d1".into(),
                 dataset: ds.name.clone(),
                 algorithm: "expansion".into(),
@@ -532,13 +552,19 @@ fn main() {
                 value: frac,
                 queries: queries.len(),
                 runtime_ms: wall.as_secs_f64() * 1_000.0 / nq,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                max_ms: 0.0,
                 visited: visited as f64 / nq,
                 candidates: candidates as f64 / nq,
                 candidate_ratio: candidates as f64 / (ds.store.len() as f64 * nq),
                 pruning_ratio: 1.0 - candidates as f64 / (ds.store.len() as f64 * nq),
                 bound_gap: gap_sum / nq,
                 recall: recall_sum / nq,
-            });
+            };
+            latencies.fill(&mut row);
+            rows.push(row);
         }
         print!(
             "{}",

@@ -19,6 +19,7 @@ use uots_datagen::workload::{self, WorkloadConfig};
 use uots_datagen::NetworkPreset;
 use uots_datagen::{Dataset, DatasetConfig};
 use uots_network::generators::GridCityConfig;
+use uots_obs::LogHistogram;
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +172,14 @@ pub struct Row {
     pub queries: usize,
     /// Mean per-query runtime, milliseconds.
     pub runtime_ms: f64,
+    /// Median per-query runtime, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-query runtime, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile per-query runtime, milliseconds.
+    pub p99_ms: f64,
+    /// Worst per-query runtime, milliseconds.
+    pub max_ms: f64,
     /// Mean per-query visited trajectories.
     pub visited: f64,
     /// Mean per-query candidates.
@@ -185,7 +194,52 @@ pub struct Row {
     pub recall: f64,
 }
 
-/// Runs `algo` over every query sequentially and aggregates a [`Row`].
+/// Per-query latency distribution, microsecond-bucketed. Wraps
+/// [`LogHistogram`] so experiment code reports percentiles, not just means.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    hist: LogHistogram,
+}
+
+impl LatencyStats {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one query's wall time.
+    pub fn record(&mut self, elapsed: Duration) {
+        self.hist
+            .record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Quantile in milliseconds (`q ∈ [0, 1]`).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.hist.quantile(q) as f64 / 1_000.0
+    }
+
+    /// Largest recorded latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.hist.max() as f64 / 1_000.0
+    }
+
+    /// Number of recorded queries.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Fills a row's percentile columns from this distribution.
+    pub fn fill(&self, row: &mut Row) {
+        row.p50_ms = self.quantile_ms(0.5);
+        row.p95_ms = self.quantile_ms(0.95);
+        row.p99_ms = self.quantile_ms(0.99);
+        row.max_ms = self.max_ms();
+    }
+}
+
+/// Runs `algo` over every query sequentially and aggregates a [`Row`],
+/// recording each query's wall time so the row carries percentile
+/// latencies alongside the mean.
 #[allow(clippy::too_many_arguments)]
 pub fn measure(
     experiment: &str,
@@ -200,14 +254,17 @@ pub fn measure(
     let start = Instant::now();
     let mut agg = SearchMetrics::default();
     let mut gap_sum = 0.0;
+    let mut latencies = LatencyStats::new();
     for q in queries {
+        let q_start = Instant::now();
         let r = algo.run(db, q).expect("experiment query runs");
+        latencies.record(q_start.elapsed());
         gap_sum += r.completeness.bound_gap();
         agg.merge(&r.metrics);
     }
     let wall = start.elapsed();
     let nq = queries.len().max(1);
-    Row {
+    let mut row = Row {
         experiment: experiment.to_string(),
         dataset: ds.name.clone(),
         algorithm: algo_name.to_string(),
@@ -215,13 +272,19 @@ pub fn measure(
         value,
         queries: queries.len(),
         runtime_ms: wall.as_secs_f64() * 1_000.0 / nq as f64,
+        p50_ms: 0.0,
+        p95_ms: 0.0,
+        p99_ms: 0.0,
+        max_ms: 0.0,
         visited: agg.visited_per_query(),
         candidates: agg.candidates as f64 / nq as f64,
         candidate_ratio: agg.candidate_ratio(ds.store.len()),
         pruning_ratio: agg.pruning_ratio(ds.store.len()),
         bound_gap: gap_sum / nq as f64,
         recall: 1.0, // exact runs recover the true top-k by construction
-    }
+    };
+    latencies.fill(&mut row);
+    row
 }
 
 /// Renders rows as an aligned text table grouped by parameter value.
@@ -231,11 +294,14 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
     let _ = writeln!(out, "\n## {title}");
     let _ = writeln!(
         out,
-        "{:<12} {:>10} {:<18} {:>12} {:>12} {:>12} {:>10} {:>9} {:>8}",
+        "{:<12} {:>10} {:<18} {:>12} {:>9} {:>9} {:>9} {:>12} {:>12} {:>10} {:>9} {:>8}",
         "param",
         "value",
         "algorithm",
         "ms/query",
+        "p50",
+        "p95",
+        "p99",
         "visited",
         "candidates",
         "pruning",
@@ -245,11 +311,14 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<12} {:>10} {:<18} {:>12.3} {:>12.1} {:>12.1} {:>9.1}% {:>9.4} {:>8.3}",
+            "{:<12} {:>10} {:<18} {:>12.3} {:>9.3} {:>9.3} {:>9.3} {:>12.1} {:>12.1} {:>9.1}% {:>9.4} {:>8.3}",
             r.parameter,
             format_value(r.value),
             r.algorithm,
             r.runtime_ms,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
             r.visited,
             r.candidates,
             r.pruning_ratio * 100.0,
@@ -300,7 +369,44 @@ mod tests {
             assert!(row.visited > 0.0);
             assert!((0.0..=1.0).contains(&row.candidate_ratio));
             assert!((row.pruning_ratio + row.candidate_ratio - 1.0).abs() < 1e-12);
+            // percentile columns must be populated and ordered
+            assert!(row.p50_ms <= row.p95_ms);
+            assert!(row.p95_ms <= row.p99_ms);
+            assert!(row.p99_ms <= row.max_ms);
+            assert!(row.max_ms > 0.0);
         }
+    }
+
+    #[test]
+    fn latency_stats_quantiles_track_a_known_distribution() {
+        // 100 queries: 90 at ~1ms, 9 at ~10ms, 1 at ~100ms. The log buckets
+        // guarantee ≤12.5% relative error on each quantile.
+        let mut stats = LatencyStats::new();
+        for _ in 0..90 {
+            stats.record(Duration::from_micros(1_000));
+        }
+        for _ in 0..9 {
+            stats.record(Duration::from_micros(10_000));
+        }
+        stats.record(Duration::from_micros(100_000));
+        assert_eq!(stats.count(), 100);
+        let close = |got: f64, want: f64| (got - want).abs() / want <= 0.125;
+        assert!(
+            close(stats.quantile_ms(0.5), 1.0),
+            "{}",
+            stats.quantile_ms(0.5)
+        );
+        assert!(
+            close(stats.quantile_ms(0.95), 10.0),
+            "{}",
+            stats.quantile_ms(0.95)
+        );
+        assert!(
+            close(stats.quantile_ms(0.99), 10.0),
+            "{}",
+            stats.quantile_ms(0.99)
+        );
+        assert!(close(stats.max_ms(), 100.0), "{}", stats.max_ms());
     }
 
     #[test]
@@ -336,6 +442,10 @@ mod tests {
             value: 4.0,
             queries: 8,
             runtime_ms: 1.25,
+            p50_ms: 1.1,
+            p95_ms: 2.4,
+            p99_ms: 2.9,
+            max_ms: 3.0,
             visited: 10.0,
             candidates: 3.0,
             candidate_ratio: 0.1,

@@ -6,6 +6,7 @@ use crate::similarity;
 use crate::topk::TopK;
 use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
 use uots_network::dijkstra::shortest_path_tree;
+use uots_obs::{Phase, Recorder};
 
 /// Computes one full shortest-path tree per query location, then evaluates
 /// the exact similarity of *every* trajectory. `O(m · |V| log |V| + m · Σ|τ|)`
@@ -14,11 +15,12 @@ use uots_network::dijkstra::shortest_path_tree;
 pub struct BruteForce;
 
 impl Algorithm for BruteForce {
-    fn run_with(
+    fn run_recorded(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
+        rec: &mut Recorder,
     ) -> Result<QueryResult, CoreError> {
         db.validate(query)?;
         if ctl.is_cancelled() || ctl.deadline_passed() {
@@ -28,6 +30,7 @@ impl Algorithm for BruteForce {
         let mut gate = Gate::new(&query.options().budget, ctl);
         let mut metrics = SearchMetrics::for_one_query();
 
+        rec.enter(Phase::NetworkExpansion);
         let mut trees = Vec::with_capacity(query.num_locations());
         let mut interrupted = false;
         for &v in query.locations() {
@@ -42,6 +45,7 @@ impl Algorithm for BruteForce {
             trees.push(t);
         }
 
+        rec.enter(Phase::CandidateRefine);
         let mut topk = TopK::new(query.options().k);
         if !interrupted {
             for (id, traj) in db.store.iter() {
@@ -51,9 +55,11 @@ impl Algorithm for BruteForce {
                 }
                 metrics.visited_trajectories += 1;
                 metrics.candidates += 1;
+                metrics.heap_pushes += 1;
                 topk.offer(similarity::evaluate_with_trees(&trees, query, id, traj));
             }
         }
+        rec.leave();
         // conservative certificate: with no per-trajectory bounds, an
         // unevaluated trajectory could score up to 1 (gap 1.0 when nothing
         // was evaluated, 1 − kth-best once the top-k filled)
@@ -65,6 +71,7 @@ impl Algorithm for BruteForce {
         } else {
             Completeness::Exact
         };
+        metrics.phases = rec.phases_snapshot();
         metrics.runtime = start.elapsed();
         Ok(QueryResult {
             matches: topk.into_sorted(),

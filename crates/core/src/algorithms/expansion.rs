@@ -3,9 +3,10 @@
 
 use crate::algorithms::Algorithm;
 use crate::budget::RunControl;
-use crate::engine::expansion_search_with;
+use crate::engine::expansion_search_recorded;
 use crate::scheduling::Scheduler;
 use crate::{CoreError, Database, QueryResult, UotsQuery};
+use uots_obs::Recorder;
 
 /// The UOTS expansion search (see [`crate::engine`] for the machinery).
 ///
@@ -30,13 +31,14 @@ impl Expansion {
 }
 
 impl Algorithm for Expansion {
-    fn run_with(
+    fn run_recorded(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
+        rec: &mut Recorder,
     ) -> Result<QueryResult, CoreError> {
-        expansion_search_with(db, query, self.scheduler, ctl)
+        expansion_search_recorded(db, query, self.scheduler, ctl, rec)
     }
 
     fn name(&self) -> &'static str {

@@ -23,6 +23,7 @@ use crate::{CoreError, Database, QueryOptions, QueryResult, SearchMetrics, UotsQ
 use std::collections::HashMap;
 use uots_index::TimeExpansion;
 use uots_network::expansion::NetworkExpansion;
+use uots_obs::{Phase, Recorder};
 use uots_trajectory::TrajectoryId;
 
 /// The lockstep baseline. `settles_per_round` controls the round
@@ -109,11 +110,12 @@ fn coarse_round_ub(
 }
 
 impl Algorithm for IknnBaseline {
-    fn run_with(
+    fn run_recorded(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
+        rec: &mut Recorder,
     ) -> Result<QueryResult, CoreError> {
         db.validate(query)?;
         if ctl.is_cancelled() || ctl.deadline_passed() {
@@ -158,6 +160,7 @@ impl Algorithm for IknnBaseline {
             let opts = query.options();
             st.done = true;
             metrics.candidates += 1;
+            metrics.heap_pushes += 1; // top-k offer below
             let spatial_sim = similarity::spatial_component(&st.sdists, opts.decay_km);
             let textual = similarity::textual_component(query, db.store.get(tid));
             let temporal_sim = if st.tdists.is_empty() {
@@ -179,6 +182,7 @@ impl Algorithm for IknnBaseline {
             let mut any_live = false;
 
             // one lockstep round over every source
+            rec.enter(Phase::NetworkExpansion);
             for (i, source) in spatial.iter_mut().enumerate() {
                 for _ in 0..per_round {
                     if gate.should_stop(
@@ -241,8 +245,11 @@ impl Algorithm for IknnBaseline {
                 }
                 any_live |= !channel.is_exhausted();
             }
+            let frontier: usize = spatial.iter().map(NetworkExpansion::frontier_len).sum();
+            metrics.peak_frontier = metrics.peak_frontier.max(frontier);
 
             // settle exhausted sources' distances to exact ∞
+            rec.enter(Phase::CandidateRefine);
             for (i, exp) in spatial.iter().enumerate() {
                 if exp.is_exhausted() {
                     for st in states.values_mut() {
@@ -283,6 +290,7 @@ impl Algorithm for IknnBaseline {
             // textual term stays at its trivial bound 1 and the partly
             // scanned set is re-scanned wholesale every round — this is the
             // baseline's inefficiency, not an error.
+            rec.enter(Phase::HeapMaintenance);
             let ub = coarse_round_ub(&spatial, &temporal, &states, opts);
             if topk.threshold() >= ub {
                 break;
@@ -290,6 +298,7 @@ impl Algorithm for IknnBaseline {
             if !any_live {
                 // everything reachable was scanned; evaluate never-touched
                 // trajectories exactly (disconnected networks / k > |P|)
+                rec.enter(Phase::CandidateRefine);
                 let untouched: Vec<TrajectoryId> = db
                     .store
                     .ids()
@@ -321,6 +330,7 @@ impl Algorithm for IknnBaseline {
             }
         }
 
+        rec.leave();
         let completeness = if interrupted {
             // the round bound at the moment of interruption certifies every
             // unfinalized and never-touched trajectory (radii only grew)
@@ -332,6 +342,7 @@ impl Algorithm for IknnBaseline {
         } else {
             Completeness::Exact
         };
+        metrics.phases = rec.phases_snapshot();
         metrics.runtime = start.elapsed();
         Ok(QueryResult {
             matches: topk.into_sorted(),

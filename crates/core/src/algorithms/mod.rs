@@ -23,6 +23,7 @@ pub use text_first::TextFirst;
 
 use crate::budget::RunControl;
 use crate::{CoreError, Database, QueryResult, UotsQuery};
+use uots_obs::Recorder;
 
 /// A UOTS query algorithm.
 ///
@@ -31,22 +32,51 @@ use crate::{CoreError, Database, QueryResult, UotsQuery};
 /// token + external deadline) and, when interrupted, returns its current
 /// top-k tagged [`crate::Completeness::BestEffort`] with a certified bound
 /// gap instead of failing.
+///
+/// Every implementation is also **observable**: the required entry point
+/// [`Algorithm::run_recorded`] takes a [`Recorder`] and attributes its
+/// wall-clock time to the phase taxonomy of [`uots_obs::Phase`], filling
+/// `metrics.phases`. The plain [`Algorithm::run_with`] / [`Algorithm::run`]
+/// paths pass [`Recorder::disabled`] — the no-op sink, one branch per phase
+/// mark — so uninstrumented callers pay nothing.
 pub trait Algorithm {
-    /// Answers `query` over `db` under explicit run control. A run whose
-    /// token is already cancelled (or whose deadline already passed)
-    /// returns the empty best-effort answer with `bound_gap = 1.0`.
+    /// Answers `query` over `db` under explicit run control, attributing
+    /// phase time to `rec`. A run whose token is already cancelled (or
+    /// whose deadline already passed) returns the empty best-effort answer
+    /// with `bound_gap = 1.0`.
+    ///
+    /// Use one recorder per query: the implementation publishes
+    /// `rec.phases_snapshot()` into the result's `metrics.phases`, so a
+    /// recorder shared across queries would leak earlier time into later
+    /// metrics. The caller keeps ownership of `rec` (call
+    /// [`Recorder::finish`] afterwards for the trace).
     ///
     /// # Errors
     ///
     /// Validation errors from [`Database::validate`] plus any
     /// algorithm-specific index requirements. Interruption is *not* an
     /// error.
+    fn run_recorded(
+        &self,
+        db: &Database<'_>,
+        query: &UotsQuery,
+        ctl: &RunControl,
+        rec: &mut Recorder,
+    ) -> Result<QueryResult, CoreError>;
+
+    /// [`Algorithm::run_recorded`] with the disabled (no-op) recorder.
+    ///
+    /// # Errors
+    ///
+    /// See [`Algorithm::run_recorded`].
     fn run_with(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
-    ) -> Result<QueryResult, CoreError>;
+    ) -> Result<QueryResult, CoreError> {
+        self.run_recorded(db, query, ctl, &mut Recorder::disabled())
+    }
 
     /// Answers `query` over `db` with no external control (the query's own
     /// budget, if any, still applies).

@@ -23,6 +23,7 @@ use crate::similarity;
 use crate::topk::TopK;
 use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
 use uots_network::dijkstra::shortest_path_tree;
+use uots_obs::{Phase, Recorder};
 use uots_trajectory::TrajectoryId;
 
 /// The textual-first baseline. Requires
@@ -31,11 +32,12 @@ use uots_trajectory::TrajectoryId;
 pub struct TextFirst;
 
 impl Algorithm for TextFirst {
-    fn run_with(
+    fn run_recorded(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
+        rec: &mut Recorder,
     ) -> Result<QueryResult, CoreError> {
         db.validate(query)?;
         let keyword_index = db.keyword_index.ok_or(CoreError::MissingIndex("keyword"))?;
@@ -53,6 +55,7 @@ impl Algorithm for TextFirst {
         // query keyword set, Sim_T = 1 exactly when the trajectory is also
         // untagged — the index can't enumerate those, so fall back to a full
         // textual pass in that edge case).
+        rec.enter(Phase::TextFilter);
         let mut scored: Vec<(f64, TrajectoryId)> = if query.keywords().is_empty() {
             db.store
                 .iter()
@@ -94,6 +97,7 @@ impl Algorithm for TextFirst {
         scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
 
         // ---- refine: exact evaluation in bound order ----
+        rec.enter(Phase::NetworkExpansion);
         let mut trees = Vec::with_capacity(query.num_locations());
         let mut interrupted = false;
         for &v in query.locations() {
@@ -106,6 +110,7 @@ impl Algorithm for TextFirst {
             trees.push(t);
         }
 
+        rec.enter(Phase::CandidateRefine);
         let mut topk = TopK::new(opts.k);
         // index of the first bound not yet refined — the interruption
         // certificate: every unrefined trajectory scores at most its bound,
@@ -126,10 +131,12 @@ impl Algorithm for TextFirst {
                 metrics.candidates += 1;
                 let m = similarity::evaluate_with_trees(&trees, query, id, db.store.get(id));
                 debug_assert!(m.similarity <= ub + 1e-9, "bound must dominate exact");
+                metrics.heap_pushes += 1;
                 topk.offer(m);
                 next_bound = 0.0; // consumed: exact if the loop ends here
             }
         }
+        rec.leave();
 
         let completeness = if interrupted {
             metrics.interrupted = 1;
@@ -139,6 +146,7 @@ impl Algorithm for TextFirst {
         } else {
             Completeness::Exact
         };
+        metrics.phases = rec.phases_snapshot();
         metrics.runtime = start.elapsed();
         Ok(QueryResult {
             matches: topk.into_sorted(),

@@ -48,6 +48,7 @@ use std::collections::{BinaryHeap, HashMap};
 use uots_index::TimeExpansion;
 use uots_network::expansion::NetworkExpansion;
 use uots_network::TotalF64;
+use uots_obs::{Phase, Recorder};
 use uots_trajectory::TrajectoryId;
 
 /// Per-trajectory scan state.
@@ -181,6 +182,24 @@ pub fn expansion_search_with(
     scheduler: Scheduler,
     ctl: &RunControl,
 ) -> Result<QueryResult, CoreError> {
+    expansion_search_recorded(db, query, scheduler, ctl, &mut Recorder::disabled())
+}
+
+/// [`expansion_search_with`] attributing phase time to `rec` (use one
+/// recorder per query; the accumulated breakdown is published into the
+/// result's `metrics.phases`). With [`Recorder::disabled`] this *is*
+/// `expansion_search_with` — each phase mark costs one branch.
+///
+/// # Errors
+///
+/// Propagates [`Database::validate`] failures.
+pub fn expansion_search_recorded(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    scheduler: Scheduler,
+    ctl: &RunControl,
+    rec: &mut Recorder,
+) -> Result<QueryResult, CoreError> {
     db.validate(query)?;
     if ctl.is_cancelled() || ctl.deadline_passed() {
         return Ok(QueryResult::interrupted_empty());
@@ -188,9 +207,11 @@ pub fn expansion_search_with(
     let start = std::time::Instant::now();
     let mut gate = Gate::new(&query.options().budget, ctl);
     let collector = Collector::TopK(TopK::new(query.options().k));
-    let mut engine = Engine::new(db, query, scheduler, collector);
+    let mut engine = Engine::new(db, query, scheduler, collector, rec);
     let interrupt = engine.run(&mut gate);
     let mut result = engine.into_result(interrupt);
+    rec.leave();
+    result.metrics.phases = rec.phases_snapshot();
     result.metrics.runtime = start.elapsed();
     Ok(result)
 }
@@ -230,6 +251,24 @@ pub fn threshold_search_with(
     scheduler: Scheduler,
     ctl: &RunControl,
 ) -> Result<QueryResult, CoreError> {
+    threshold_search_recorded(db, query, theta, scheduler, ctl, &mut Recorder::disabled())
+}
+
+/// [`threshold_search_with`] attributing phase time to `rec`; see
+/// [`expansion_search_recorded`] for the recorder contract.
+///
+/// # Errors
+///
+/// Propagates [`Database::validate`] failures and rejects `theta` outside
+/// `(0, 1]`.
+pub fn threshold_search_recorded(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    theta: f64,
+    scheduler: Scheduler,
+    ctl: &RunControl,
+    rec: &mut Recorder,
+) -> Result<QueryResult, CoreError> {
     if !(theta > 0.0 && theta <= 1.0) {
         return Err(CoreError::BadParameter(format!(
             "theta must be in (0, 1], got {theta}"
@@ -245,14 +284,16 @@ pub fn threshold_search_with(
         theta,
         matches: Vec::new(),
     };
-    let mut engine = Engine::new(db, query, scheduler, collector);
+    let mut engine = Engine::new(db, query, scheduler, collector, rec);
     let interrupt = engine.run(&mut gate);
     let mut result = engine.into_result(interrupt);
+    rec.leave();
+    result.metrics.phases = rec.phases_snapshot();
     result.metrics.runtime = start.elapsed();
     Ok(result)
 }
 
-struct Engine<'a, 'q> {
+struct Engine<'a, 'q, 'r> {
     db: &'a Database<'a>,
     query: &'q UotsQuery,
     scheduler: Scheduler,
@@ -284,14 +325,17 @@ struct Engine<'a, 'q> {
     /// applies (no keyword index, or an empty query keyword set whose
     /// perfect matches — untagged trajectories — the index cannot list).
     text_rank_usable: bool,
+    /// Phase-time sink. One branch per mark when disabled.
+    rec: &'r mut Recorder,
 }
 
-impl<'a, 'q> Engine<'a, 'q> {
+impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
     fn new(
         db: &'a Database<'a>,
         query: &'q UotsQuery,
         scheduler: Scheduler,
         collector: Collector,
+        rec: &'r mut Recorder,
     ) -> Self {
         let spatial: Vec<NetworkExpansion<'a>> = query
             .locations()
@@ -308,6 +352,7 @@ impl<'a, 'q> Engine<'a, 'q> {
                 Vec::new()
             };
         let num_sources = spatial.len() + temporal.len();
+        rec.enter(Phase::TextFilter);
         let (text_rank, text_rank_usable) = match (query.keywords().is_empty(), db.keyword_index) {
             (false, Some(kidx)) => {
                 let mut rank: Vec<(f64, TrajectoryId)> = kidx
@@ -326,6 +371,7 @@ impl<'a, 'q> Engine<'a, 'q> {
             }
             _ => (Vec::new(), false),
         };
+        rec.leave();
         Engine {
             db,
             query,
@@ -344,6 +390,7 @@ impl<'a, 'q> Engine<'a, 'q> {
             text_rank,
             text_ptr: 0,
             text_rank_usable,
+            rec,
         }
     }
 
@@ -467,6 +514,10 @@ impl<'a, 'q> Engine<'a, 'q> {
     /// slack of the best-effort answer — and `None` for exact ends.
     fn run(&mut self, gate: &mut Gate) -> Option<f64> {
         loop {
+            // gate check, source scheduling, termination test, and the
+            // interrupt-gap certificate are all heap/bookkeeping work;
+            // consecutive marks of the same phase coalesce into one span
+            self.rec.enter(Phase::HeapMaintenance);
             if gate.should_stop(
                 self.metrics.visited_trajectories,
                 self.metrics.settled_vertices + self.metrics.scanned_timestamps,
@@ -478,7 +529,9 @@ impl<'a, 'q> Engine<'a, 'q> {
                 self.exhausted_end = true;
                 break;
             };
+            self.rec.enter(Phase::NetworkExpansion);
             self.step(src);
+            self.rec.enter(Phase::HeapMaintenance);
             if self.terminated() {
                 return None;
             }
@@ -540,6 +593,12 @@ impl<'a, 'q> Engine<'a, 'q> {
                 None => self.on_temporal_exhausted(j),
             }
         }
+        let frontier: usize = self
+            .spatial
+            .iter()
+            .map(NetworkExpansion::frontier_len)
+            .sum();
+        self.metrics.peak_frontier = self.metrics.peak_frontier.max(frontier);
     }
 
     fn make_state(&mut self, tid: TrajectoryId) -> TrajState {
@@ -627,9 +686,14 @@ impl<'a, 'q> Engine<'a, 'q> {
     fn after_update(&mut self, tid: TrajectoryId) {
         let st = self.states.get(&tid).expect("present");
         if st.fully_scanned() {
+            // every call site is inside a network/temporal settle step, so
+            // restore that attribution after the refine detour
+            self.rec.enter(Phase::CandidateRefine);
             self.finalize(tid);
+            self.rec.enter(Phase::NetworkExpansion);
         } else {
             let ub = self.ub_of(st);
+            self.metrics.heap_pushes += 1;
             self.bound_heap.push(BoundEntry {
                 ub: TotalF64(ub),
                 tid,
@@ -652,6 +716,7 @@ impl<'a, 'q> Engine<'a, 'q> {
         let textual = st.textual;
         st.done = true;
         self.metrics.candidates += 1;
+        self.metrics.heap_pushes += 1; // top-k (or threshold) offer
         self.collector.offer(Match {
             id: tid,
             similarity: similarity::combine(self.query, spatial, textual, temporal),
@@ -698,6 +763,7 @@ impl<'a, 'q> Engine<'a, 'q> {
     /// spatial distances are exactly `∞`; textual and temporal channels are
     /// evaluated directly.
     fn sweep_unvisited(&mut self, gate: &mut Gate) -> Option<f64> {
+        self.rec.enter(Phase::CandidateRefine);
         let o = self.query.options();
         let ids: Vec<TrajectoryId> = self
             .db
@@ -732,6 +798,7 @@ impl<'a, 'q> Engine<'a, 'q> {
                     o.decay_s,
                 )
             };
+            self.metrics.heap_pushes += 1;
             self.collector.offer(Match {
                 id: tid,
                 similarity: similarity::combine(self.query, 0.0, textual, temporal),
@@ -1155,5 +1222,39 @@ mod tests {
         assert!(r.metrics.settled_vertices > 0);
         assert!(r.metrics.visited_trajectories >= r.metrics.candidates);
         assert!(r.metrics.candidates >= r.matches.len());
+        assert!(r.metrics.heap_pushes >= r.metrics.candidates);
+        assert!(r.metrics.peak_frontier > 0);
+        // uninstrumented runs must not fabricate a phase breakdown
+        assert!(r.metrics.phases.is_zero());
+    }
+
+    #[test]
+    fn recorded_run_attributes_time_to_phases() {
+        let (net, store) = fixture();
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let tidx = store.build_timestamp_index();
+        let db = Database::new(&net, &store, &vidx).with_timestamp_index(&tidx);
+        let q = UotsQuery::new(vec![NodeId(0), NodeId(7)], kws(&[1, 2])).unwrap();
+        let plain = expansion_search(&db, &q, Scheduler::heuristic()).unwrap();
+        let mut rec = Recorder::phases_only("engine-test");
+        let r = expansion_search_recorded(
+            &db,
+            &q,
+            Scheduler::heuristic(),
+            &RunControl::unbounded(),
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(r.ids(), plain.ids());
+        assert!(!r.metrics.phases.is_zero());
+        assert!(r.metrics.phases.nanos(Phase::NetworkExpansion) > 0);
+        assert!(r.metrics.phases.nanos(Phase::HeapMaintenance) > 0);
+        // the snapshot is taken before `runtime` is stamped, so the phase
+        // total can never exceed the reported wall clock
+        assert!(r.metrics.phases.total() <= r.metrics.runtime);
+        // instrumentation must not change the work done
+        assert_eq!(r.metrics.heap_pushes, plain.metrics.heap_pushes);
+        assert_eq!(r.metrics.peak_frontier, plain.metrics.peak_frontier);
+        assert_eq!(r.metrics.settled_vertices, plain.metrics.settled_vertices);
     }
 }

@@ -26,6 +26,7 @@ use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+use uots_obs::{Counter, Gauge, Histogram, MetricsRegistry, Recorder};
 
 /// How a batch reacts to a failing query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +76,109 @@ impl BatchOptions {
     }
 }
 
+/// Telemetry hooks for batch execution, backed by a shared
+/// [`MetricsRegistry`].
+///
+/// Construct one per registry and pass it to [`run_batch_observed`] /
+/// [`run_batch_crossbeam_observed`]. The observer registers:
+///
+/// - `uots_batch_pending_queries` (gauge) — admitted queries a worker has
+///   not picked up yet (the queue depth);
+/// - `uots_batch_inflight_queries` (gauge) — queries currently executing;
+/// - `uots_batch_queries_total{outcome=…}` (counters) — finished queries by
+///   outcome (`completed`, `interrupted`, `failed`, `panicked`);
+/// - `uots_batch_rejected_total` (counter) — batches refused by the
+///   admission bound before any work started;
+/// - `uots_query_latency_us` (histogram) — per-query wall-clock latency;
+/// - `uots_query_phase_duration_ns{phase=…}` (histograms) — per-phase time,
+///   recorded from the per-query [`Recorder`] the observed runner enables.
+///
+/// All handles are atomics/mutexes shared with the registry, so gauges stay
+/// correct even when queries panic (the panicking worker is isolated and
+/// its in-flight decrement still runs in the caller).
+pub struct BatchObserver {
+    registry: MetricsRegistry,
+    pending: Gauge,
+    inflight: Gauge,
+    completed: Counter,
+    interrupted: Counter,
+    failed: Counter,
+    panicked: Counter,
+    rejected: Counter,
+    latency_us: Histogram,
+}
+
+impl BatchObserver {
+    /// Registers the batch metric families in `registry` (idempotent: a
+    /// second observer on the same registry shares the same underlying
+    /// metrics).
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        let outcome = |o: &str| {
+            registry.counter_with(
+                "uots_batch_queries_total",
+                "Finished batch queries by outcome",
+                &[("outcome", o)],
+            )
+        };
+        BatchObserver {
+            registry: registry.clone(),
+            pending: registry.gauge(
+                "uots_batch_pending_queries",
+                "Admitted queries not yet picked up by a worker",
+            ),
+            inflight: registry.gauge("uots_batch_inflight_queries", "Queries currently executing"),
+            completed: outcome("completed"),
+            interrupted: outcome("interrupted"),
+            failed: outcome("failed"),
+            panicked: outcome("panicked"),
+            rejected: registry.counter(
+                "uots_batch_rejected_total",
+                "Batches refused by the admission bound",
+            ),
+            latency_us: registry.histogram(
+                "uots_query_latency_us",
+                "Per-query wall-clock latency in microseconds",
+            ),
+        }
+    }
+
+    /// The registry this observer records into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    fn on_admitted(&self, n: usize) {
+        self.pending.add(i64::try_from(n).unwrap_or(i64::MAX));
+    }
+
+    fn on_start(&self) {
+        self.pending.dec();
+        self.inflight.inc();
+    }
+
+    fn on_finish(&self, result: &Result<QueryResult, CoreError>, elapsed: Duration) {
+        self.inflight.dec();
+        self.latency_us
+            .record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        match result {
+            Ok(r) => {
+                if r.completeness.is_exact() {
+                    self.completed.inc();
+                } else {
+                    self.interrupted.inc();
+                }
+                self.registry.observe_phases(
+                    "uots_query_phase_duration_ns",
+                    "Per-query time attributed to each search phase (ns)",
+                    &r.metrics.phases,
+                );
+            }
+            Err(CoreError::QueryPanicked(_)) => self.panicked.inc(),
+            Err(_) => self.failed.inc(),
+        }
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -93,6 +197,30 @@ fn run_isolated<A: Algorithm + ?Sized>(
 ) -> Result<QueryResult, CoreError> {
     catch_unwind(AssertUnwindSafe(|| algorithm.run_with(db, query, ctl)))
         .unwrap_or_else(|payload| Err(CoreError::QueryPanicked(panic_message(payload))))
+}
+
+/// [`run_isolated`], optionally reporting to an observer. Observed queries
+/// run under a phases-only [`Recorder`] so their `metrics.phases` breakdown
+/// is populated; unobserved queries keep the zero-cost disabled recorder.
+fn run_observed<A: Algorithm + ?Sized>(
+    db: &Database<'_>,
+    algorithm: &A,
+    query: &UotsQuery,
+    ctl: &RunControl,
+    obs: Option<&BatchObserver>,
+) -> Result<QueryResult, CoreError> {
+    let Some(obs) = obs else {
+        return run_isolated(db, algorithm, query, ctl);
+    };
+    obs.on_start();
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut rec = Recorder::phases_only(algorithm.name());
+        algorithm.run_recorded(db, query, ctl, &mut rec)
+    }))
+    .unwrap_or_else(|payload| Err(CoreError::QueryPanicked(panic_message(payload))));
+    obs.on_finish(&result, start.elapsed());
+    result
 }
 
 /// Runs `queries` over `db` with `algorithm` under the given batch options
@@ -117,13 +245,49 @@ pub fn run_batch_with<A: Algorithm + Sync>(
     opts: &BatchOptions,
     token: &CancellationToken,
 ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
+    run_batch_inner(db, algorithm, queries, opts, token, None)
+}
+
+/// [`run_batch_with`] reporting queue depth, in-flight count, per-outcome
+/// counters, latency, and per-phase durations to `obs`. Error semantics are
+/// identical; the observer keeps counting even when the batch as a whole
+/// fails (fail-fast) or is rejected by admission — that is the point of it.
+///
+/// # Errors
+///
+/// See [`run_batch_with`].
+pub fn run_batch_observed<A: Algorithm + Sync>(
+    db: &Database<'_>,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    opts: &BatchOptions,
+    token: &CancellationToken,
+    obs: &BatchObserver,
+) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
+    run_batch_inner(db, algorithm, queries, opts, token, Some(obs))
+}
+
+fn run_batch_inner<A: Algorithm + Sync>(
+    db: &Database<'_>,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    opts: &BatchOptions,
+    token: &CancellationToken,
+    obs: Option<&BatchObserver>,
+) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
     if let Some(cap) = opts.max_batch {
         if queries.len() > cap {
+            if let Some(o) = obs {
+                o.rejected.inc();
+            }
             return Err(CoreError::Overloaded {
                 submitted: queries.len(),
                 capacity: cap,
             });
         }
+    }
+    if let Some(o) = obs {
+        o.on_admitted(queries.len());
     }
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(opts.threads.max(1))
@@ -136,7 +300,7 @@ pub fn run_batch_with<A: Algorithm + Sync>(
     let results: Vec<Result<QueryResult, CoreError>> = pool.install(|| {
         queries
             .par_iter()
-            .map(|q| run_isolated(db, algorithm, q, &ctl))
+            .map(|q| run_observed(db, algorithm, q, &ctl, obs))
             .collect()
     });
     if opts.policy == BatchPolicy::FailFast {
@@ -193,6 +357,34 @@ pub fn run_batch_crossbeam<A: Algorithm + Sync>(
     queries: &[UotsQuery],
     threads: usize,
 ) -> Result<Vec<QueryResult>, CoreError> {
+    run_batch_crossbeam_inner(db, algorithm, queries, threads, None)
+}
+
+/// [`run_batch_crossbeam`] reporting to `obs`, with one additional
+/// `uots_worker_queries_total{worker="<i>"}` counter per scoped worker —
+/// the per-worker share of the batch, which makes work-stealing imbalance
+/// (or a worker wedged on one pathological query) visible in the export.
+///
+/// # Errors
+///
+/// See [`run_batch_crossbeam`].
+pub fn run_batch_crossbeam_observed<A: Algorithm + Sync>(
+    db: &Database<'_>,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    threads: usize,
+    obs: &BatchObserver,
+) -> Result<Vec<QueryResult>, CoreError> {
+    run_batch_crossbeam_inner(db, algorithm, queries, threads, Some(obs))
+}
+
+fn run_batch_crossbeam_inner<A: Algorithm + Sync>(
+    db: &Database<'_>,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    threads: usize,
+    obs: Option<&BatchObserver>,
+) -> Result<Vec<QueryResult>, CoreError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let threads = threads.max(1).min(queries.len().max(1));
@@ -200,15 +392,26 @@ pub fn run_batch_crossbeam<A: Algorithm + Sync>(
     let mut slots: Vec<Option<Result<QueryResult, CoreError>>> = Vec::new();
     slots.resize_with(queries.len(), || None);
     let ctl = RunControl::unbounded();
+    if let Some(o) = obs {
+        o.on_admitted(queries.len());
+    }
 
     // Collect per-thread (index, result) pairs and scatter afterwards —
     // simpler than sharing &mut slots across threads.
     let gathered: Vec<Vec<(usize, Result<QueryResult, CoreError>)>> =
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
+                .map(|w| {
                     let cursor = &cursor;
                     let ctl = &ctl;
+                    let per_worker = obs.map(|o| {
+                        let label = w.to_string();
+                        o.registry().counter_with(
+                            "uots_worker_queries_total",
+                            "Queries executed by each batch worker",
+                            &[("worker", label.as_str())],
+                        )
+                    });
                     scope.spawn(move |_| {
                         let mut mine = Vec::new();
                         loop {
@@ -216,7 +419,10 @@ pub fn run_batch_crossbeam<A: Algorithm + Sync>(
                             if i >= queries.len() {
                                 break;
                             }
-                            mine.push((i, run_isolated(db, algorithm, &queries[i], ctl)));
+                            if let Some(c) = &per_worker {
+                                c.inc();
+                            }
+                            mine.push((i, run_observed(db, algorithm, &queries[i], ctl, obs)));
                         }
                         mine
                     })
@@ -455,6 +661,179 @@ mod tests {
             let r = r.as_ref().unwrap();
             assert!(!r.completeness.is_exact(), "deadline must interrupt");
         }
+    }
+
+    #[test]
+    fn observer_isolates_a_panic_and_drains_its_gauges() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let registry = uots_obs::MetricsRegistry::default();
+        let obs = BatchObserver::new(&registry);
+        let algo = FaultyAlgorithm::new(Expansion::default(), 0, "injected fault");
+        let out = run_batch_observed(
+            &db,
+            &algo,
+            &queries,
+            &BatchOptions::partial(1),
+            &CancellationToken::new(),
+            &obs,
+        )
+        .unwrap();
+        assert_eq!(out.len(), queries.len());
+        let snap = registry.snapshot();
+        let outcome = |o| snap.counter("uots_batch_queries_total", &[("outcome", o)]);
+        assert_eq!(outcome("panicked"), Some(1));
+        assert_eq!(outcome("completed"), Some(queries.len() as u64 - 1));
+        // both gauges must return to zero: the panicking slot's in-flight
+        // decrement runs in the caller, outside the unwound closure
+        assert_eq!(snap.gauge("uots_batch_pending_queries", &[]), Some(0));
+        assert_eq!(snap.gauge("uots_batch_inflight_queries", &[]), Some(0));
+        // every query (panicked included) got a latency observation
+        let latency = snap.histogram("uots_query_latency_us", &[]).unwrap();
+        assert_eq!(latency.count, queries.len() as u64);
+    }
+
+    #[test]
+    fn phase_durations_survive_batch_execution_and_reach_the_registry() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
+            .with_keyword_index(&ds.keyword_index);
+        let registry = uots_obs::MetricsRegistry::default();
+        let obs = BatchObserver::new(&registry);
+        let out = run_batch_observed(
+            &db,
+            &Expansion::default(),
+            &queries,
+            &BatchOptions::partial(3),
+            &CancellationToken::new(),
+            &obs,
+        )
+        .unwrap();
+        // every per-query result carries its phase breakdown through the
+        // parallel executor, and the aggregate keeps it additive
+        let results: Vec<QueryResult> = out.into_iter().map(Result::unwrap).collect();
+        for r in &results {
+            assert!(
+                !r.metrics.phases.is_zero(),
+                "observed batch runs must record phases"
+            );
+        }
+        let agg = SearchMetrics::aggregate(results.iter().map(|r| &r.metrics));
+        assert!(agg.phases.total() >= results[0].metrics.phases.total());
+        // and the registry collected a per-phase histogram family
+        let snap = registry.snapshot();
+        let network = snap
+            .histogram(
+                "uots_query_phase_duration_ns",
+                &[("phase", "network_expansion")],
+            )
+            .expect("expansion queries spend time in network_expansion");
+        assert_eq!(network.count, queries.len() as u64);
+    }
+
+    #[test]
+    fn observer_keeps_counting_under_fail_fast_and_admission_rejection() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let registry = uots_obs::MetricsRegistry::default();
+        let obs = BatchObserver::new(&registry);
+        let algo = FaultyAlgorithm::new(Expansion::default(), 0, "boom");
+        let err = run_batch_observed(
+            &db,
+            &algo,
+            &queries,
+            &BatchOptions::fail_fast(1),
+            &CancellationToken::new(),
+            &obs,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::QueryPanicked(_)));
+        // the batch failed as a whole, but the telemetry of what actually
+        // ran must not be lost with it
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("uots_batch_queries_total", &[("outcome", "panicked")]),
+            Some(1)
+        );
+        assert_eq!(snap.gauge("uots_batch_inflight_queries", &[]), Some(0));
+
+        let opts = BatchOptions {
+            max_batch: Some(2),
+            ..BatchOptions::partial(1)
+        };
+        let err = run_batch_observed(
+            &db,
+            &Expansion::default(),
+            &queries,
+            &opts,
+            &CancellationToken::new(),
+            &obs,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Overloaded { .. }));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("uots_batch_rejected_total", &[]), Some(1));
+        // a rejected batch never touches the queue-depth gauge
+        assert_eq!(snap.gauge("uots_batch_pending_queries", &[]), Some(0));
+    }
+
+    #[test]
+    fn interrupted_counts_survive_deadline_under_both_policies() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let algo = SlowAlgorithm::new(Expansion::default(), Duration::from_secs(3600));
+        for opts in [
+            BatchOptions {
+                deadline: Some(Duration::from_millis(20)),
+                ..BatchOptions::partial(2)
+            },
+            BatchOptions {
+                deadline: Some(Duration::from_millis(20)),
+                ..BatchOptions::fail_fast(2)
+            },
+        ] {
+            let registry = uots_obs::MetricsRegistry::default();
+            let obs = BatchObserver::new(&registry);
+            let out =
+                run_batch_observed(&db, &algo, &queries, &opts, &CancellationToken::new(), &obs)
+                    .unwrap();
+            let results: Vec<QueryResult> = out.into_iter().map(Result::unwrap).collect();
+            let agg = SearchMetrics::aggregate(results.iter().map(|r| &r.metrics));
+            // a deadline is an interruption, not an error: FailFast has
+            // nothing to fail on, and each slot's metrics record it
+            assert_eq!(agg.interrupted, queries.len(), "{opts:?}");
+            assert_eq!(
+                registry
+                    .snapshot()
+                    .counter("uots_batch_queries_total", &[("outcome", "interrupted")]),
+                Some(queries.len() as u64),
+                "{opts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crossbeam_observed_attributes_work_to_workers() {
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index);
+        let registry = uots_obs::MetricsRegistry::default();
+        let obs = BatchObserver::new(&registry);
+        let threads = 3;
+        let results =
+            run_batch_crossbeam_observed(&db, &Expansion::default(), &queries, threads, &obs)
+                .unwrap();
+        assert_eq!(results.len(), queries.len());
+        let snap = registry.snapshot();
+        let per_worker: u64 = (0..threads)
+            .filter_map(|w| {
+                snap.counter(
+                    "uots_worker_queries_total",
+                    &[("worker", w.to_string().as_str())],
+                )
+            })
+            .sum();
+        assert_eq!(per_worker, queries.len() as u64);
+        assert_eq!(snap.gauge("uots_batch_pending_queries", &[]), Some(0));
     }
 
     #[test]

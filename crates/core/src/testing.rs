@@ -12,6 +12,7 @@ use crate::budget::{Gate, RunControl};
 use crate::{CoreError, Database, QueryResult, UotsQuery};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+use uots_obs::Recorder;
 
 /// Wraps an algorithm and panics on the `panic_on`-th call (0-based),
 /// counted across threads; every other call delegates untouched. Use it to
@@ -41,17 +42,18 @@ impl<A> FaultyAlgorithm<A> {
 }
 
 impl<A: Algorithm> Algorithm for FaultyAlgorithm<A> {
-    fn run_with(
+    fn run_recorded(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
+        rec: &mut Recorder,
     ) -> Result<QueryResult, CoreError> {
         let call = self.calls.fetch_add(1, Ordering::Relaxed);
         if call == self.panic_on {
             panic!("{}", self.message);
         }
-        self.inner.run_with(db, query, ctl)
+        self.inner.run_recorded(db, query, ctl, rec)
     }
 
     fn name(&self) -> &'static str {
@@ -76,11 +78,12 @@ impl<A> SlowAlgorithm<A> {
 }
 
 impl<A: Algorithm> Algorithm for SlowAlgorithm<A> {
-    fn run_with(
+    fn run_recorded(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
+        rec: &mut Recorder,
     ) -> Result<QueryResult, CoreError> {
         let mut gate = Gate::new(&query.options().budget, ctl);
         let start = Instant::now();
@@ -90,7 +93,7 @@ impl<A: Algorithm> Algorithm for SlowAlgorithm<A> {
             }
             std::thread::sleep(Duration::from_micros(200));
         }
-        self.inner.run_with(db, query, ctl)
+        self.inner.run_recorded(db, query, ctl, rec)
     }
 
     fn name(&self) -> &'static str {

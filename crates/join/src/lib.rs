@@ -57,6 +57,7 @@ use uots_core::{Completeness, ExecutionBudget, RunControl};
 use uots_index::{TimestampIndex, VertexInvertedIndex};
 use uots_network::dijkstra::shortest_path_tree;
 use uots_network::RoadNetwork;
+use uots_obs::{MetricsRegistry, Phase, PhaseNanos};
 use uots_trajectory::{TrajectoryId, TrajectoryStore};
 
 /// Join configuration.
@@ -127,6 +128,11 @@ pub struct JoinResult {
     pub candidates: usize,
     /// Wall-clock time of the whole join.
     pub runtime: Duration,
+    /// Macro-phase breakdown of `runtime`: the parallel candidate-search
+    /// phase is attributed to [`Phase::NetworkExpansion`], the merge and
+    /// pair-formation phase to [`Phase::JoinPair`]. Always populated — the
+    /// cost is two timestamps per join.
+    pub phases: PhaseNanos,
     /// [`Completeness::Exact`] when every probe ran to completion;
     /// otherwise a conservative certificate (see [`ts_join_with`]).
     pub completeness: Completeness,
@@ -331,6 +337,8 @@ pub fn ts_join_with(
     // --- phase 1: per-trajectory candidate searches (parallel) ---
     // Chunk the probes so each worker reuses its expansion scratch across
     // many searches instead of reallocating network-sized buffers.
+    let mut phases = PhaseNanos::ZERO;
+    let search_start = Instant::now();
     let chunk = ids.len().div_ceil(threads.max(1) * 4).max(1);
     type ChunkOut = (Vec<(TrajectoryId, Vec<search::Candidate>)>, SearchStats);
     let per_chunk: Vec<ChunkOut> = pool.install(|| {
@@ -356,7 +364,13 @@ pub fn ts_join_with(
             .collect()
     });
 
+    phases.add(
+        Phase::NetworkExpansion,
+        u64::try_from(search_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
+
     // --- phase 2: merge (constant relative to thread count) ---
+    let merge_start = Instant::now();
     let mut candidate_maps: Vec<HashMap<TrajectoryId, Half>> = vec![HashMap::new(); store.len()];
     let mut totals = SearchStats::default();
     for (chunk_out, stats) in per_chunk {
@@ -397,6 +411,11 @@ pub fn ts_join_with(
             .then_with(|| x.b.cmp(&y.b))
     });
 
+    phases.add(
+        Phase::JoinPair,
+        u64::try_from(merge_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
+
     let completeness = if gate.tripped() {
         Completeness::BestEffort {
             bound_gap: (1.0 - cfg.theta).clamp(0.0, 1.0),
@@ -411,8 +430,77 @@ pub fn ts_join_with(
         scanned_timestamps: totals.scanned_timestamps,
         candidates: totals.candidates,
         runtime: start.elapsed(),
+        phases,
         completeness,
     })
+}
+
+/// [`ts_join_with`], additionally recording the outcome into `registry`:
+/// per-phase duration histograms (`uots_join_phase_duration_ns`, labeled by
+/// phase), a whole-join latency histogram (`uots_join_latency_us`), and
+/// counters for pairs emitted, candidates generated, trajectories visited,
+/// and interrupted joins. Use one registry across many joins to accumulate
+/// quantiles; export with
+/// [`MetricsRegistry::render_prometheus`] or
+/// [`MetricsRegistry::render_json`].
+///
+/// # Errors
+///
+/// See [`JoinError`].
+#[allow(clippy::too_many_arguments)]
+pub fn ts_join_instrumented(
+    net: &RoadNetwork,
+    store: &TrajectoryStore,
+    vertex_index: &VertexInvertedIndex<TrajectoryId>,
+    timestamp_index: &TimestampIndex<TrajectoryId>,
+    cfg: &JoinConfig,
+    threads: usize,
+    budget: &ExecutionBudget,
+    ctl: &RunControl,
+    registry: &MetricsRegistry,
+) -> Result<JoinResult, JoinError> {
+    let r = ts_join_with(
+        net,
+        store,
+        vertex_index,
+        timestamp_index,
+        cfg,
+        threads,
+        budget,
+        ctl,
+    )?;
+    registry
+        .counter("uots_join_pairs_total", "Qualifying pairs emitted by joins")
+        .add(r.pairs.len() as u64);
+    registry
+        .counter(
+            "uots_join_candidates_total",
+            "Candidates generated by join searches (pre-merge)",
+        )
+        .add(r.candidates as u64);
+    registry
+        .counter(
+            "uots_join_visited_trajectories_total",
+            "Trajectories visited by join searches",
+        )
+        .add(r.visited_trajectories as u64);
+    if !r.completeness.is_exact() {
+        registry
+            .counter(
+                "uots_join_interrupted_total",
+                "Joins interrupted by budget, deadline, or cancellation",
+            )
+            .inc();
+    }
+    registry
+        .histogram("uots_join_latency_us", "Whole-join wall time, microseconds")
+        .record(u64::try_from(r.runtime.as_micros()).unwrap_or(u64::MAX));
+    registry.observe_phases(
+        "uots_join_phase_duration_ns",
+        "Join macro-phase durations, nanoseconds",
+        &r.phases,
+    );
+    Ok(r)
 }
 
 /// Exhaustive oracle: evaluates every pair exactly. `O(|P|)` shortest-path
@@ -676,6 +764,66 @@ mod tests {
         assert!(r.pairs.is_empty());
         assert!(!r.completeness.is_exact());
         assert_eq!(r.visited_trajectories, 0);
+    }
+
+    #[test]
+    fn join_phases_partition_the_runtime() {
+        let ds = Dataset::build(&DatasetConfig::small(40, 24)).unwrap();
+        let r = join_all(
+            &ds,
+            &JoinConfig {
+                theta: 0.6,
+                ..Default::default()
+            },
+            2,
+        );
+        assert!(
+            r.phases.nanos(Phase::NetworkExpansion) > 0,
+            "search phase always does work"
+        );
+        assert!(r.phases.total() <= r.runtime, "phases cannot exceed wall");
+    }
+
+    #[test]
+    fn instrumented_join_records_into_the_registry() {
+        let ds = Dataset::build(&DatasetConfig::small(40, 25)).unwrap();
+        let tidx = ds.store.build_timestamp_index();
+        let cfg = JoinConfig {
+            theta: 0.6,
+            ..Default::default()
+        };
+        let registry = MetricsRegistry::default();
+        let r = ts_join_instrumented(
+            &ds.network,
+            &ds.store,
+            &ds.vertex_index,
+            &tidx,
+            &cfg,
+            2,
+            &ExecutionBudget::UNLIMITED,
+            &RunControl::unbounded(),
+            &registry,
+        )
+        .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("uots_join_pairs_total", &[]),
+            Some(r.pairs.len() as u64)
+        );
+        assert_eq!(
+            snap.counter("uots_join_visited_trajectories_total", &[]),
+            Some(r.visited_trajectories as u64)
+        );
+        assert_eq!(snap.counter("uots_join_interrupted_total", &[]), None);
+        let phase_hist = snap
+            .histogram(
+                "uots_join_phase_duration_ns",
+                &[("phase", "network_expansion")],
+            )
+            .expect("search phase recorded");
+        assert_eq!(phase_hist.count, 1);
+        // and the whole export must be a valid Prometheus page
+        uots_obs::validate_prometheus_text(&registry.render_prometheus()).unwrap();
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::time::Instant;
 use uots_core::{Completeness, ExecutionBudget, RunControl};
 use uots_index::{TimestampIndex, VertexInvertedIndex};
 use uots_network::RoadNetwork;
+use uots_obs::{Phase, PhaseNanos};
 use uots_trajectory::{TrajectoryId, TrajectoryStore};
 
 /// One worker chunk's output: per-probe candidate lists + search stats.
@@ -79,6 +80,10 @@ pub struct CrossJoinResult {
     pub candidates: usize,
     /// Wall-clock time of the whole join.
     pub runtime: std::time::Duration,
+    /// Macro-phase breakdown of `runtime`: both directed candidate
+    /// searches count as [`Phase::NetworkExpansion`], the merge as
+    /// [`Phase::JoinPair`].
+    pub phases: PhaseNanos,
     /// [`Completeness::Exact`] when every probe of both directions ran;
     /// otherwise a conservative certificate (see
     /// [`crate::ts_join_with`] for the argument).
@@ -203,9 +208,16 @@ pub fn ts_join_two_with(
         .map_err(|e| JoinError::BadParameter(format!("thread pool: {e}")))?;
 
     // P probes against Q's indexes, and vice versa
+    let mut phases = PhaseNanos::ZERO;
+    let search_start = Instant::now();
     let (p_maps, p_stats) = run_side(net, p.store, q, cfg, &pool, &gate)?;
     let (q_maps, q_stats) = run_side(net, q.store, p, cfg, &pool, &gate)?;
+    phases.add(
+        Phase::NetworkExpansion,
+        u64::try_from(search_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
 
+    let merge_start = Instant::now();
     let mut pairs = Vec::new();
     for pid in p.store.ids() {
         for (&qid, half_pq) in &p_maps[pid.index()] {
@@ -228,6 +240,11 @@ pub fn ts_join_two_with(
             .then_with(|| x.q.cmp(&y.q))
     });
 
+    phases.add(
+        Phase::JoinPair,
+        u64::try_from(merge_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
+
     let completeness = if gate.tripped() {
         Completeness::BestEffort {
             bound_gap: (1.0 - cfg.theta).clamp(0.0, 1.0),
@@ -242,6 +259,7 @@ pub fn ts_join_two_with(
         scanned_timestamps: p_stats.scanned_timestamps + q_stats.scanned_timestamps,
         candidates: p_stats.candidates + q_stats.candidates,
         runtime: start.elapsed(),
+        phases,
         completeness,
     })
 }
@@ -320,6 +338,7 @@ impl From<CrossJoinResult> for JoinResult {
             scanned_timestamps: r.scanned_timestamps,
             candidates: r.candidates,
             runtime: r.runtime,
+            phases: r.phases,
             completeness: r.completeness,
         }
     }
@@ -400,9 +419,13 @@ mod tests {
             ..Default::default()
         };
         let cross = ts_join_two(&ds.network, side, side, &cfg, 1).unwrap();
+        assert!(cross.phases.nanos(Phase::NetworkExpansion) > 0);
+        assert!(cross.phases.total() <= cross.runtime);
         let n = cross.pairs.len();
+        let phase_total = cross.phases.total();
         let generic: JoinResult = cross.into();
         assert_eq!(generic.pairs.len(), n);
+        assert_eq!(generic.phases.total(), phase_total);
     }
 
     #[test]

@@ -232,6 +232,15 @@ impl<'a> NetworkExpansion<'a> {
         self.settled_count
     }
 
+    /// Current size of the Dijkstra frontier: pending heap entries,
+    /// including stale duplicates awaiting lazy deletion. This is the
+    /// expansion's live memory footprint beyond the O(|V|) scratch arrays,
+    /// reported as `peak_frontier` in search metrics.
+    #[inline]
+    pub fn frontier_len(&self) -> usize {
+        self.heap.len()
+    }
+
     /// Exact distance to `v` if it has been settled, `None` otherwise.
     #[inline]
     pub fn settled_distance(&self, v: NodeId) -> Option<f64> {
@@ -351,6 +360,18 @@ mod tests {
         exp.next_settled();
         assert_eq!(exp.settled_distance(NodeId(0)), Some(0.0));
         assert_eq!(exp.settled_distance(NodeId(4)), None);
+    }
+
+    #[test]
+    fn frontier_tracks_pending_entries() {
+        let net = line(6);
+        let mut exp = NetworkExpansion::from_source(&net, NodeId(0));
+        assert_eq!(exp.frontier_len(), 1); // just the source
+        while exp.next_settled().is_some() {
+            // a line graph keeps at most a couple of pending entries
+            assert!(exp.frontier_len() <= 2);
+        }
+        assert_eq!(exp.frontier_len(), 0); // exhausted
     }
 
     #[test]

@@ -1,20 +1,26 @@
 //! `uots` — command-line interface to the trajectory search library.
 //!
 //! ```text
-//! uots generate --preset small|brn|nrn --trips N --seed S --out data.uotsds
-//! uots stats    --data data.uotsds
-//! uots query    --data data.uotsds --at x,y --at x,y [--tags a,b] [--lambda L] [--k K]
-//! uots join     --data data.uotsds --theta T [--lambda L] [--threads N]
+//! uots generate      --preset small|brn|nrn --trips N --seed S --out data.uotsds
+//! uots stats         --data data.uotsds
+//! uots query         --data data.uotsds --at x,y --at x,y [--tags a,b] [--lambda L] [--k K]
+//!                    [--metrics-out FILE] [--trace FILE]
+//! uots join          --data data.uotsds --theta T [--lambda L] [--threads N]
+//!                    [--metrics-out FILE]
+//! uots check-metrics --file export.prom
 //! ```
 //!
 //! Datasets are stored in the compact binary format of
 //! [`uots::datagen::persist`]; `generate` builds one deterministically from
-//! a preset + seed, the other commands load it.
+//! a preset + seed, the other commands load it. `--metrics-out` writes a
+//! Prometheus text exposition of the run, `--trace` a per-query JSON span
+//! timeline, and `check-metrics` validates an exposition file (used in CI).
 
 use uots::datagen::persist;
-use uots::join::{ts_join_with, JoinConfig};
+use uots::join::{ts_join_instrumented, ts_join_with, JoinConfig};
+use uots::obs::validate_prometheus_text;
 use uots::prelude::*;
-use uots::RunControl;
+use uots::{MetricsRegistry, PhaseNanos, Recorder, RunControl};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +29,7 @@ fn main() {
         Some("stats") => cmd_stats(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("join") => cmd_join(&args[1..]),
+        Some("check-metrics") => cmd_check_metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -45,10 +52,14 @@ fn print_usage() {
          \x20 query    --data FILE --at x,y --at x,y ... [--tags a,b,c]\n\
          \x20          [--lambda L=0.5] [--k K=3]\n\
          \x20          [--deadline-ms MS] [--max-visited N]\n\
+         \x20          [--metrics-out FILE] [--trace FILE]\n\
          \x20 join     --data FILE --theta T=0.8 [--lambda L=0.5] [--threads N=2]\n\
-         \x20          [--deadline-ms MS] [--max-visited N]\n\n\
+         \x20          [--deadline-ms MS] [--max-visited N] [--metrics-out FILE]\n\
+         \x20 check-metrics --file FILE\n\n\
          --deadline-ms / --max-visited bound the work; when a bound trips,\n\
-         the best results found so far are returned with a certified gap."
+         the best results found so far are returned with a certified gap.\n\
+         --metrics-out writes a Prometheus text exposition, --trace a JSON\n\
+         span timeline; check-metrics validates an exposition file."
     );
 }
 
@@ -116,6 +127,28 @@ fn parse_budget(flags: &Flags) -> Result<ExecutionBudget, String> {
         budget = budget.with_max_visited(n);
     }
     Ok(budget)
+}
+
+/// Human-readable per-phase time table (skips phases that never ran).
+fn report_phases(phases: &PhaseNanos) {
+    if phases.is_zero() {
+        return;
+    }
+    println!("phase breakdown:");
+    for (phase, ns) in phases.iter() {
+        if ns > 0 {
+            println!("  {:<18} {:>12.3} ms", phase.as_str(), ns as f64 / 1e6);
+        }
+    }
+}
+
+/// Validates and writes a registry's Prometheus exposition to `path`.
+fn write_metrics(registry: &MetricsRegistry, path: &str) -> Result<(), String> {
+    let text = registry.render_prometheus();
+    validate_prometheus_text(&text).map_err(|e| format!("internal: bad exposition: {e}"))?;
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote metrics exposition to {path}");
+    Ok(())
 }
 
 /// One-line completeness report for interrupted runs.
@@ -190,6 +223,19 @@ fn cmd_stats(args: &[String]) -> i32 {
         ds.network.num_edges(),
         ds.network.total_length()
     );
+    // the same numbers as a registry snapshot, in the JSON exposition the
+    // telemetry layer uses everywhere else
+    let registry = MetricsRegistry::default();
+    registry
+        .gauge("uots_dataset_vertices", "Road-network vertex count")
+        .set(i64::try_from(ds.network.num_nodes()).unwrap_or(i64::MAX));
+    registry
+        .gauge("uots_dataset_edges", "Road-network edge count")
+        .set(i64::try_from(ds.network.num_edges()).unwrap_or(i64::MAX));
+    registry
+        .gauge("uots_dataset_trajectories", "Stored trajectory count")
+        .set(i64::try_from(ds.store.len()).unwrap_or(i64::MAX));
+    println!("registry snapshot: {}", registry.render_json());
     0
 }
 
@@ -256,10 +302,22 @@ fn cmd_query(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     };
     let db = uots::db(&ds);
-    let result = match Expansion::default().run(&db, &query) {
-        Ok(r) => r,
-        Err(e) => return fail(e),
+    let metrics_out = flags.get("metrics-out").map(str::to_string);
+    let trace_out = flags.get("trace").map(str::to_string);
+    // tracing subsumes phases-only; both are skipped entirely (one branch
+    // per recorder call) when neither output was requested
+    let mut rec = if trace_out.is_some() {
+        Recorder::tracing("expansion", 4096)
+    } else if metrics_out.is_some() {
+        Recorder::phases_only("expansion")
+    } else {
+        Recorder::disabled()
     };
+    let result =
+        match Expansion::default().run_recorded(&db, &query, &RunControl::unbounded(), &mut rec) {
+            Ok(r) => r,
+            Err(e) => return fail(e),
+        };
     println!("top {} trips:", result.matches.len());
     for (rank, m) in result.matches.iter().enumerate() {
         let t = ds.store.get(m.id);
@@ -292,6 +350,51 @@ fn cmd_query(args: &[String]) -> i32 {
         result.metrics.runtime
     );
     report_completeness(&result.completeness);
+    if let Some(report) = rec.finish() {
+        report_phases(&report.phases);
+        if let Some(path) = metrics_out {
+            let registry = MetricsRegistry::default();
+            registry
+                .histogram("uots_query_latency_us", "Query wall time, microseconds")
+                .record(u64::try_from(result.metrics.runtime.as_micros()).unwrap_or(u64::MAX));
+            registry.observe_phases(
+                "uots_query_phase_duration_ns",
+                "Per-phase query durations, nanoseconds",
+                &report.phases,
+            );
+            registry
+                .counter(
+                    "uots_query_visited_trajectories_total",
+                    "Trajectories visited by queries",
+                )
+                .add(result.metrics.visited_trajectories as u64);
+            registry
+                .counter(
+                    "uots_query_heap_pushes_total",
+                    "Candidate-heap pushes by queries",
+                )
+                .add(result.metrics.heap_pushes as u64);
+            if let Err(e) = write_metrics(&registry, &path) {
+                return fail(e);
+            }
+        }
+        if let Some(path) = trace_out {
+            let trace = report
+                .trace
+                .expect("tracing recorder always yields a trace");
+            if let Err(e) = trace.validate() {
+                return fail(format!("internal: invalid trace: {e}"));
+            }
+            let json = match serde_json::to_string_pretty(&trace) {
+                Ok(j) => j,
+                Err(e) => return fail(format!("serializing trace: {e}")),
+            };
+            if let Err(e) = std::fs::write(&path, json) {
+                return fail(format!("writing {path}: {e}"));
+            }
+            println!("wrote query trace to {path}");
+        }
+    }
     0
 }
 
@@ -326,16 +429,33 @@ fn cmd_join(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     };
     let tidx = ds.store.build_timestamp_index();
-    let result = match ts_join_with(
-        &ds.network,
-        &ds.store,
-        &ds.vertex_index,
-        &tidx,
-        &cfg,
-        threads,
-        &budget,
-        &RunControl::unbounded(),
-    ) {
+    let metrics_out = flags.get("metrics-out").map(str::to_string);
+    let registry = MetricsRegistry::default();
+    let result = if metrics_out.is_some() {
+        ts_join_instrumented(
+            &ds.network,
+            &ds.store,
+            &ds.vertex_index,
+            &tidx,
+            &cfg,
+            threads,
+            &budget,
+            &RunControl::unbounded(),
+            &registry,
+        )
+    } else {
+        ts_join_with(
+            &ds.network,
+            &ds.store,
+            &ds.vertex_index,
+            &tidx,
+            &cfg,
+            threads,
+            &budget,
+            &RunControl::unbounded(),
+        )
+    };
+    let result = match result {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
@@ -351,5 +471,36 @@ fn cmd_join(args: &[String]) -> i32 {
         println!("  ... and {} more", result.pairs.len() - 20);
     }
     report_completeness(&result.completeness);
+    report_phases(&result.phases);
+    if let Some(path) = metrics_out {
+        if let Err(e) = write_metrics(&registry, &path) {
+            return fail(e);
+        }
+    }
     0
+}
+
+fn cmd_check_metrics(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let path = match flags.require("file") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("reading {path}: {e}")),
+    };
+    match validate_prometheus_text(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: OK — {} metric families, {} samples",
+                summary.families, summary.samples
+            );
+            0
+        }
+        Err(e) => fail(format!("{path}: {e}")),
+    }
 }

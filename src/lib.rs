@@ -18,6 +18,7 @@
 //! | [`datagen`] | `uots-datagen` | dataset presets and query workloads |
 //! | [`core`] | `uots-core` | the UOTS query engine, algorithms, parallel batches |
 //! | [`join`] | `uots-join` | trajectory similarity threshold self-join (extension) |
+//! | [`obs`] | `uots-obs` | phase tracing, latency histograms, metrics exposition |
 //!
 //! The most common types are re-exported at the top level.
 //!
@@ -49,6 +50,7 @@ pub use uots_datagen as datagen;
 pub use uots_index as index;
 pub use uots_join as join;
 pub use uots_network as network;
+pub use uots_obs as obs;
 pub use uots_text as text;
 pub use uots_trajectory as trajectory;
 
@@ -59,6 +61,7 @@ pub use uots_core::{
 };
 pub use uots_datagen::{workload, Dataset, DatasetConfig};
 pub use uots_network::{NetworkBuilder, NodeId, Point, RoadNetwork};
+pub use uots_obs::{MetricsRegistry, Phase, PhaseNanos, Recorder};
 pub use uots_text::{KeywordId, KeywordSet, TextSimilarity, Vocabulary};
 pub use uots_trajectory::{Sample, Trajectory, TrajectoryId, TrajectoryStore};
 

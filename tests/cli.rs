@@ -225,6 +225,88 @@ fn budget_flags_produce_best_effort_output() {
 }
 
 #[test]
+fn metrics_and_trace_outputs_are_valid() {
+    let path = temp_dataset("telemetry.uotsds");
+    generate(&path);
+    let prom = temp_dataset("telemetry.prom");
+    let trace = temp_dataset("telemetry.trace.json");
+
+    let out = uots()
+        .args(["query", "--data"])
+        .arg(&path)
+        .args(["--at", "2.0,2.0", "--at", "5.0,3.0", "--metrics-out"])
+        .arg(&prom)
+        .arg("--trace")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("phase breakdown:"), "{text}");
+    assert!(text.contains("network_expansion"), "{text}");
+
+    // the Prometheus export passes the CLI's own validator
+    let out = uots()
+        .args(["check-metrics", "--file"])
+        .arg(&prom)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+    let prom_text = std::fs::read_to_string(&prom).unwrap();
+    assert!(
+        prom_text.contains("uots_query_phase_duration_ns"),
+        "{prom_text}"
+    );
+    assert!(prom_text.contains("quantile=\"0.99\""), "{prom_text}");
+
+    // the trace is well-formed JSON whose phase spans nest in the root
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.contains("\"query\""), "{trace_text}");
+    assert!(trace_text.contains("network_expansion"), "{trace_text}");
+
+    // a corrupted export must fail validation
+    std::fs::write(&prom, format!("{prom_text}uots_query_latency_us_count 2\n")).unwrap();
+    let out = uots()
+        .args(["check-metrics", "--file"])
+        .arg(&prom)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "duplicate sample must be rejected");
+
+    // the join writes its own exposition
+    let out = uots()
+        .args(["join", "--data"])
+        .arg(&path)
+        .args(["--theta", "0.95", "--metrics-out"])
+        .arg(&prom)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let prom_text = std::fs::read_to_string(&prom).unwrap();
+    assert!(
+        prom_text.contains("uots_join_phase_duration_ns"),
+        "{prom_text}"
+    );
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&prom).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
 fn generate_rejects_unknown_preset() {
     let out = uots()
         .args([
