@@ -2,6 +2,7 @@
 
 use crate::algorithms::Algorithm;
 use crate::budget::{Completeness, Gate, RunControl};
+use crate::distcache::{CachedSource, SearchContext};
 use crate::similarity;
 use crate::topk::TopK;
 use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
@@ -11,16 +12,24 @@ use uots_obs::{Phase, Recorder};
 /// Computes one full shortest-path tree per query location, then evaluates
 /// the exact similarity of *every* trajectory. `O(m · |V| log |V| + m · Σ|τ|)`
 /// with zero pruning — the reference answer and the unoptimized baseline.
+///
+/// With a [`SearchContext`] cache, the per-location trees are acquired by
+/// draining a [`CachedSource`] to exhaustion instead — cached prefixes are
+/// replayed, the full component is settled either way, and the drained
+/// (exhausted) prefixes are published back, making the brute force an
+/// ideal cache warmer. Distances and results are bit-identical to the
+/// tree path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BruteForce;
 
 impl Algorithm for BruteForce {
-    fn run_recorded(
+    fn run_ctx(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
         rec: &mut Recorder,
+        ctx: &SearchContext,
     ) -> Result<QueryResult, CoreError> {
         db.validate(query)?;
         if ctl.is_cancelled() || ctl.deadline_passed() {
@@ -29,9 +38,11 @@ impl Algorithm for BruteForce {
         let start = std::time::Instant::now();
         let mut gate = Gate::new(&query.options().budget, ctl);
         let mut metrics = SearchMetrics::for_one_query();
+        let cached = ctx.cache().is_some();
 
         rec.enter(Phase::NetworkExpansion);
-        let mut trees = Vec::with_capacity(query.num_locations());
+        let mut trees = Vec::new();
+        let mut sources: Vec<CachedSource<'_>> = Vec::new();
         let mut interrupted = false;
         for &v in query.locations() {
             // a tree settles its whole component at once, so count it
@@ -40,9 +51,23 @@ impl Algorithm for BruteForce {
                 interrupted = true;
                 break;
             }
-            let t = shortest_path_tree(db.network, v);
-            metrics.settled_vertices += t.reached_count();
-            trees.push(t);
+            if cached {
+                let mut src = CachedSource::start(db.network, v, ctx.cache());
+                rec.enter(Phase::CacheReplay);
+                while src.in_replay() {
+                    src.next_settled();
+                    metrics.settled_vertices += 1;
+                }
+                rec.enter(Phase::NetworkExpansion);
+                while src.next_settled().is_some() {
+                    metrics.settled_vertices += 1;
+                }
+                sources.push(src);
+            } else {
+                let t = shortest_path_tree(db.network, v);
+                metrics.settled_vertices += t.reached_count();
+                trees.push(t);
+            }
         }
 
         rec.enter(Phase::CandidateRefine);
@@ -56,10 +81,23 @@ impl Algorithm for BruteForce {
                 metrics.visited_trajectories += 1;
                 metrics.candidates += 1;
                 metrics.heap_pushes += 1;
-                topk.offer(similarity::evaluate_with_trees(&trees, query, id, traj));
+                topk.offer(if cached {
+                    similarity::evaluate_with_sources(&sources, query, id, traj)
+                } else {
+                    similarity::evaluate_with_trees(&trees, query, id, traj)
+                });
             }
         }
         rec.leave();
+        // fully drained prefixes are ideal cache content, but an
+        // interrupted run publishes nothing (poison-on-cancel)
+        for src in &mut sources {
+            if interrupted {
+                src.poison();
+            } else {
+                src.publish();
+            }
+        }
         // conservative certificate: with no per-trajectory bounds, an
         // unevaluated trajectory could score up to 1 (gap 1.0 when nothing
         // was evaluated, 1 − kth-best once the top-k filled)

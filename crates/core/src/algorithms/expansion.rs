@@ -3,7 +3,8 @@
 
 use crate::algorithms::Algorithm;
 use crate::budget::RunControl;
-use crate::engine::expansion_search_recorded;
+use crate::distcache::SearchContext;
+use crate::engine::expansion_search_ctx;
 use crate::scheduling::Scheduler;
 use crate::{CoreError, Database, QueryResult, UotsQuery};
 use uots_obs::Recorder;
@@ -31,14 +32,15 @@ impl Expansion {
 }
 
 impl Algorithm for Expansion {
-    fn run_recorded(
+    fn run_ctx(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
         rec: &mut Recorder,
+        ctx: &SearchContext,
     ) -> Result<QueryResult, CoreError> {
-        expansion_search_recorded(db, query, self.scheduler, ctl, rec)
+        expansion_search_ctx(db, query, self.scheduler, ctl, rec, ctx)
     }
 
     fn name(&self) -> &'static str {

@@ -17,12 +17,12 @@
 
 use crate::algorithms::Algorithm;
 use crate::budget::{Completeness, Gate, RunControl};
+use crate::distcache::{CachedSource, SearchContext};
 use crate::similarity;
 use crate::topk::TopK;
 use crate::{CoreError, Database, QueryOptions, QueryResult, SearchMetrics, UotsQuery};
 use std::collections::HashMap;
 use uots_index::TimeExpansion;
-use uots_network::expansion::NetworkExpansion;
 use uots_obs::{Phase, Recorder};
 use uots_trajectory::TrajectoryId;
 
@@ -54,7 +54,7 @@ struct State {
 /// certificate: the best similarity any unfinalized trajectory could still
 /// achieve given the current radii (textual bounded trivially by 1).
 fn coarse_round_ub(
-    spatial: &[NetworkExpansion<'_>],
+    spatial: &[CachedSource<'_>],
     temporal: &[TimeExpansion<'_, TrajectoryId>],
     states: &HashMap<TrajectoryId, State>,
     opts: &QueryOptions,
@@ -110,12 +110,13 @@ fn coarse_round_ub(
 }
 
 impl Algorithm for IknnBaseline {
-    fn run_recorded(
+    fn run_ctx(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
         rec: &mut Recorder,
+        ctx: &SearchContext,
     ) -> Result<QueryResult, CoreError> {
         db.validate(query)?;
         if ctl.is_cancelled() || ctl.deadline_passed() {
@@ -127,10 +128,10 @@ impl Algorithm for IknnBaseline {
         let w = opts.weights;
         let mut metrics = SearchMetrics::for_one_query();
 
-        let mut spatial: Vec<NetworkExpansion<'_>> = query
+        let mut spatial: Vec<CachedSource<'_>> = query
             .locations()
             .iter()
-            .map(|&v| NetworkExpansion::from_source(db.network, v))
+            .map(|&v| CachedSource::start(db.network, v, ctx.cache()))
             .collect();
         let mut temporal: Vec<TimeExpansion<'_, TrajectoryId>> = if w.uses_temporal() {
             let idx = db
@@ -182,8 +183,12 @@ impl Algorithm for IknnBaseline {
             let mut any_live = false;
 
             // one lockstep round over every source
-            rec.enter(Phase::NetworkExpansion);
             for (i, source) in spatial.iter_mut().enumerate() {
+                rec.enter(if source.in_replay() {
+                    Phase::CacheReplay
+                } else {
+                    Phase::NetworkExpansion
+                });
                 for _ in 0..per_round {
                     if gate.should_stop(
                         metrics.visited_trajectories,
@@ -215,6 +220,7 @@ impl Algorithm for IknnBaseline {
                 }
                 any_live |= !source.is_exhausted();
             }
+            rec.enter(Phase::NetworkExpansion);
             for (j, channel) in temporal.iter_mut().enumerate() {
                 for _ in 0..per_round {
                     if gate.should_stop(
@@ -245,7 +251,7 @@ impl Algorithm for IknnBaseline {
                 }
                 any_live |= !channel.is_exhausted();
             }
-            let frontier: usize = spatial.iter().map(NetworkExpansion::frontier_len).sum();
+            let frontier: usize = spatial.iter().map(CachedSource::frontier_len).sum();
             metrics.peak_frontier = metrics.peak_frontier.max(frontier);
 
             // settle exhausted sources' distances to exact ∞
@@ -292,7 +298,10 @@ impl Algorithm for IknnBaseline {
             // baseline's inefficiency, not an error.
             rec.enter(Phase::HeapMaintenance);
             let ub = coarse_round_ub(&spatial, &temporal, &states, opts);
-            if topk.threshold() >= ub {
+            // strict: a bound-tied trajectory could still realize exactly
+            // the k-th similarity and win the id tie-break; exact-tie
+            // plateaus end by source exhaustion (`any_live` below) instead
+            if topk.threshold() > ub {
                 break;
             }
             if !any_live {
@@ -331,6 +340,14 @@ impl Algorithm for IknnBaseline {
         }
 
         rec.leave();
+        // publish extended prefixes on clean completion only
+        for src in &mut spatial {
+            if interrupted {
+                src.poison();
+            } else {
+                src.publish();
+            }
+        }
         let completeness = if interrupted {
             // the round bound at the moment of interruption certifies every
             // unfinalized and never-touched trajectory (radii only grew)

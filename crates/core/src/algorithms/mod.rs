@@ -22,6 +22,7 @@ pub use iknn::IknnBaseline;
 pub use text_first::TextFirst;
 
 use crate::budget::RunControl;
+use crate::distcache::SearchContext;
 use crate::{CoreError, Database, QueryResult, UotsQuery};
 use uots_obs::Recorder;
 
@@ -40,10 +41,16 @@ use uots_obs::Recorder;
 /// paths pass [`Recorder::disabled`] — the no-op sink, one branch per phase
 /// mark — so uninstrumented callers pay nothing.
 pub trait Algorithm {
-    /// Answers `query` over `db` under explicit run control, attributing
-    /// phase time to `rec`. A run whose token is already cancelled (or
-    /// whose deadline already passed) returns the empty best-effort answer
-    /// with `bound_gap = 1.0`.
+    /// Answers `query` over `db` under explicit run control and a
+    /// [`SearchContext`] (shared cross-query distance cache + landmark
+    /// admission), attributing phase time to `rec`. A run whose token is
+    /// already cancelled (or whose deadline already passed) returns the
+    /// empty best-effort answer with `bound_gap = 1.0`.
+    ///
+    /// The context only changes *work*, never *answers*: with any cache
+    /// state the result must be identical to a run under the empty context
+    /// (enforced by `tests/differential.rs`). A run that is interrupted
+    /// must not publish partial expansion state to the shared cache.
     ///
     /// Use one recorder per query: the implementation publishes
     /// `rec.phases_snapshot()` into the result's `metrics.phases`, so a
@@ -56,13 +63,30 @@ pub trait Algorithm {
     /// Validation errors from [`Database::validate`] plus any
     /// algorithm-specific index requirements. Interruption is *not* an
     /// error.
+    fn run_ctx(
+        &self,
+        db: &Database<'_>,
+        query: &UotsQuery,
+        ctl: &RunControl,
+        rec: &mut Recorder,
+        ctx: &SearchContext,
+    ) -> Result<QueryResult, CoreError>;
+
+    /// [`Algorithm::run_ctx`] under the empty context (no cache, no
+    /// landmarks) — the pre-cache behavior.
+    ///
+    /// # Errors
+    ///
+    /// See [`Algorithm::run_ctx`].
     fn run_recorded(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
         rec: &mut Recorder,
-    ) -> Result<QueryResult, CoreError>;
+    ) -> Result<QueryResult, CoreError> {
+        self.run_ctx(db, query, ctl, rec, &SearchContext::default())
+    }
 
     /// [`Algorithm::run_recorded`] with the disabled (no-op) recorder.
     ///
@@ -76,6 +100,27 @@ pub trait Algorithm {
         ctl: &RunControl,
     ) -> Result<QueryResult, CoreError> {
         self.run_recorded(db, query, ctl, &mut Recorder::disabled())
+    }
+
+    /// [`Algorithm::run_ctx`] unbounded and unrecorded: the convenience
+    /// entry point for answering a query stream over one shared cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`Algorithm::run_ctx`].
+    fn run_with_cache(
+        &self,
+        db: &Database<'_>,
+        query: &UotsQuery,
+        ctx: &SearchContext,
+    ) -> Result<QueryResult, CoreError> {
+        self.run_ctx(
+            db,
+            query,
+            &RunControl::unbounded(),
+            &mut Recorder::disabled(),
+            ctx,
+        )
     }
 
     /// Answers `query` over `db` with no external control (the query's own

@@ -19,6 +19,7 @@
 
 use crate::algorithms::Algorithm;
 use crate::budget::{Completeness, Gate, RunControl};
+use crate::distcache::{CachedSource, SearchContext};
 use crate::similarity;
 use crate::topk::TopK;
 use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
@@ -28,16 +29,22 @@ use uots_trajectory::TrajectoryId;
 
 /// The textual-first baseline. Requires
 /// [`Database::keyword_index`][crate::Database::keyword_index].
+///
+/// With a [`SearchContext`] cache the up-front per-location trees are
+/// acquired by draining [`CachedSource`]s to exhaustion (replaying cached
+/// prefixes) and the drained prefixes are published back on clean
+/// completion; distances and results are bit-identical either way.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TextFirst;
 
 impl Algorithm for TextFirst {
-    fn run_recorded(
+    fn run_ctx(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
         rec: &mut Recorder,
+        ctx: &SearchContext,
     ) -> Result<QueryResult, CoreError> {
         db.validate(query)?;
         let keyword_index = db.keyword_index.ok_or(CoreError::MissingIndex("keyword"))?;
@@ -98,16 +105,32 @@ impl Algorithm for TextFirst {
 
         // ---- refine: exact evaluation in bound order ----
         rec.enter(Phase::NetworkExpansion);
-        let mut trees = Vec::with_capacity(query.num_locations());
+        let cached = ctx.cache().is_some();
+        let mut trees = Vec::new();
+        let mut sources: Vec<CachedSource<'_>> = Vec::new();
         let mut interrupted = false;
         for &v in query.locations() {
             if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
                 interrupted = true;
                 break;
             }
-            let t = shortest_path_tree(db.network, v);
-            metrics.settled_vertices += t.reached_count();
-            trees.push(t);
+            if cached {
+                let mut src = CachedSource::start(db.network, v, ctx.cache());
+                rec.enter(Phase::CacheReplay);
+                while src.in_replay() {
+                    src.next_settled();
+                    metrics.settled_vertices += 1;
+                }
+                rec.enter(Phase::NetworkExpansion);
+                while src.next_settled().is_some() {
+                    metrics.settled_vertices += 1;
+                }
+                sources.push(src);
+            } else {
+                let t = shortest_path_tree(db.network, v);
+                metrics.settled_vertices += t.reached_count();
+                trees.push(t);
+            }
         }
 
         rec.enter(Phase::CandidateRefine);
@@ -119,7 +142,10 @@ impl Algorithm for TextFirst {
         if !interrupted {
             for &(ub, id) in &scored {
                 next_bound = ub;
-                if topk.threshold() >= ub {
+                // strict: a trajectory whose bound ties the k-th best could
+                // still realize exactly that similarity and win the id
+                // tie-break, so only `kth > ub` proves it irrelevant
+                if topk.threshold() > ub {
                     next_bound = 0.0;
                     break; // no later trajectory can beat the k-th best
                 }
@@ -129,7 +155,11 @@ impl Algorithm for TextFirst {
                 }
                 metrics.visited_trajectories += 1;
                 metrics.candidates += 1;
-                let m = similarity::evaluate_with_trees(&trees, query, id, db.store.get(id));
+                let m = if cached {
+                    similarity::evaluate_with_sources(&sources, query, id, db.store.get(id))
+                } else {
+                    similarity::evaluate_with_trees(&trees, query, id, db.store.get(id))
+                };
                 debug_assert!(m.similarity <= ub + 1e-9, "bound must dominate exact");
                 metrics.heap_pushes += 1;
                 topk.offer(m);
@@ -137,6 +167,13 @@ impl Algorithm for TextFirst {
             }
         }
         rec.leave();
+        for src in &mut sources {
+            if interrupted {
+                src.poison();
+            } else {
+                src.publish();
+            }
+        }
 
         let completeness = if interrupted {
             metrics.interrupted = 1;

@@ -38,6 +38,7 @@
 //! exhaustive answer — property-tested against the brute-force oracle.
 
 use crate::budget::{Completeness, Gate, RunControl};
+use crate::distcache::{CachedSource, SearchContext};
 use crate::query::UotsQuery;
 use crate::result::{Match, QueryResult};
 use crate::scheduling::Scheduler;
@@ -46,7 +47,7 @@ use crate::topk::TopK;
 use crate::{CoreError, Database, SearchMetrics};
 use std::collections::{BinaryHeap, HashMap};
 use uots_index::TimeExpansion;
-use uots_network::expansion::NetworkExpansion;
+use uots_network::landmarks::Landmarks;
 use uots_network::TotalF64;
 use uots_obs::{Phase, Recorder};
 use uots_trajectory::TrajectoryId;
@@ -200,6 +201,28 @@ pub fn expansion_search_recorded(
     ctl: &RunControl,
     rec: &mut Recorder,
 ) -> Result<QueryResult, CoreError> {
+    expansion_search_ctx(db, query, scheduler, ctl, rec, &SearchContext::default())
+}
+
+/// [`expansion_search_recorded`] under a [`SearchContext`]: an optional
+/// shared cross-query [`crate::DistanceCache`] (per-source expansion
+/// prefixes are replayed on a hit and published back on clean completion)
+/// and optional ALT landmarks used as an admission filter. With the empty
+/// context this *is* `expansion_search_recorded` — the cached and
+/// uncached paths return identical results (see `tests/differential.rs`);
+/// only the work differs.
+///
+/// # Errors
+///
+/// Propagates [`Database::validate`] failures.
+pub fn expansion_search_ctx(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    scheduler: Scheduler,
+    ctl: &RunControl,
+    rec: &mut Recorder,
+    ctx: &SearchContext,
+) -> Result<QueryResult, CoreError> {
     db.validate(query)?;
     if ctl.is_cancelled() || ctl.deadline_passed() {
         return Ok(QueryResult::interrupted_empty());
@@ -207,13 +230,36 @@ pub fn expansion_search_recorded(
     let start = std::time::Instant::now();
     let mut gate = Gate::new(&query.options().budget, ctl);
     let collector = Collector::TopK(TopK::new(query.options().k));
-    let mut engine = Engine::new(db, query, scheduler, collector, rec);
+    let mut engine = Engine::new(db, query, scheduler, collector, rec, ctx);
     let interrupt = engine.run(&mut gate);
+    engine.settle_cache(interrupt.is_none());
     let mut result = engine.into_result(interrupt);
     rec.leave();
     result.metrics.phases = rec.phases_snapshot();
     result.metrics.runtime = start.elapsed();
     Ok(result)
+}
+
+/// Convenience: [`expansion_search`] sharing the caller's [`SearchContext`]
+/// (typically one cache across a query stream), unbounded and unrecorded.
+///
+/// # Errors
+///
+/// Propagates [`Database::validate`] failures.
+pub fn expansion_search_with_cache(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    scheduler: Scheduler,
+    ctx: &SearchContext,
+) -> Result<QueryResult, CoreError> {
+    expansion_search_ctx(
+        db,
+        query,
+        scheduler,
+        &RunControl::unbounded(),
+        &mut Recorder::disabled(),
+        ctx,
+    )
 }
 
 /// Threshold (range) variant of the expansion search: returns **every**
@@ -269,6 +315,33 @@ pub fn threshold_search_recorded(
     ctl: &RunControl,
     rec: &mut Recorder,
 ) -> Result<QueryResult, CoreError> {
+    threshold_search_ctx(
+        db,
+        query,
+        theta,
+        scheduler,
+        ctl,
+        rec,
+        &SearchContext::default(),
+    )
+}
+
+/// [`threshold_search_recorded`] under a [`SearchContext`]; see
+/// [`expansion_search_ctx`] for the cache contract.
+///
+/// # Errors
+///
+/// Propagates [`Database::validate`] failures and rejects `theta` outside
+/// `(0, 1]`.
+pub fn threshold_search_ctx(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    theta: f64,
+    scheduler: Scheduler,
+    ctl: &RunControl,
+    rec: &mut Recorder,
+    ctx: &SearchContext,
+) -> Result<QueryResult, CoreError> {
     if !(theta > 0.0 && theta <= 1.0) {
         return Err(CoreError::BadParameter(format!(
             "theta must be in (0, 1], got {theta}"
@@ -284,8 +357,9 @@ pub fn threshold_search_recorded(
         theta,
         matches: Vec::new(),
     };
-    let mut engine = Engine::new(db, query, scheduler, collector, rec);
+    let mut engine = Engine::new(db, query, scheduler, collector, rec, ctx);
     let interrupt = engine.run(&mut gate);
+    engine.settle_cache(interrupt.is_none());
     let mut result = engine.into_result(interrupt);
     rec.leave();
     result.metrics.phases = rec.phases_snapshot();
@@ -297,7 +371,9 @@ struct Engine<'a, 'q, 'r> {
     db: &'a Database<'a>,
     query: &'q UotsQuery,
     scheduler: Scheduler,
-    spatial: Vec<NetworkExpansion<'a>>,
+    spatial: Vec<CachedSource<'a>>,
+    /// Cross-query context: shared distance cache + landmark admission.
+    ctx: &'q SearchContext,
     temporal: Vec<TimeExpansion<'a, TrajectoryId>>,
     states: HashMap<TrajectoryId, TrajState>,
     collector: Collector,
@@ -311,6 +387,10 @@ struct Engine<'a, 'q, 'r> {
     /// Set when the loop ended by exhaustion rather than by the bound test;
     /// triggers the unvisited sweep (disconnected networks, k > |P|).
     exhausted_end: bool,
+    /// Per-source flag: the exhaustion transition has been processed (the
+    /// pending distances of every touched trajectory set to `∞`). Indexed
+    /// like the scheduler (spatial sources, then temporal).
+    source_swept: Vec<bool>,
     /// Trajectories sharing ≥ 1 query keyword, ranked by exact textual
     /// similarity (descending). The textual upper bound for *unseen*
     /// trajectories is the similarity of the best-ranked entry not yet
@@ -336,11 +416,12 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         scheduler: Scheduler,
         collector: Collector,
         rec: &'r mut Recorder,
+        ctx: &'q SearchContext,
     ) -> Self {
-        let spatial: Vec<NetworkExpansion<'a>> = query
+        let spatial: Vec<CachedSource<'a>> = query
             .locations()
             .iter()
-            .map(|&v| NetworkExpansion::from_source(db.network, v))
+            .map(|&v| CachedSource::start(db.network, v, ctx.cache()))
             .collect();
         let temporal: Vec<TimeExpansion<'a, TrajectoryId>> =
             if query.options().weights.uses_temporal() {
@@ -377,6 +458,7 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             query,
             scheduler,
             spatial,
+            ctx,
             temporal,
             states: HashMap::new(),
             collector,
@@ -387,6 +469,7 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             steps_since_sweep: usize::MAX, // force a sweep on the first pick
             labels: vec![0.0; num_sources],
             exhausted_end: false,
+            source_swept: vec![false; num_sources],
             text_rank,
             text_ptr: 0,
             text_rank_usable,
@@ -524,14 +607,27 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             ) {
                 return Some(self.interrupt_gap());
             }
+            // A source can exhaust without ever delivering a final `None`
+            // settle: the heap may empty on the very pop that finished the
+            // component (no stale entries behind it), and a replayed cache
+            // prefix can resume onto an already-empty frontier. Detect the
+            // transition here so touched-but-pending trajectories still get
+            // their exact `∞` distances and finalize.
+            self.sweep_exhausted();
             let Some(src) = self.pick_source() else {
                 // all sources exhausted
                 self.exhausted_end = true;
                 break;
             };
-            self.rec.enter(Phase::NetworkExpansion);
+            let replaying = src < self.num_spatial() && self.spatial[src].in_replay();
+            self.rec.enter(if replaying {
+                Phase::CacheReplay
+            } else {
+                Phase::NetworkExpansion
+            });
             self.step(src);
             self.rec.enter(Phase::HeapMaintenance);
+            self.sweep_exhausted();
             if self.terminated() {
                 return None;
             }
@@ -571,33 +667,25 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
     /// One settle/scan step on source `src`.
     fn step(&mut self, src: usize) {
         if src < self.num_spatial() {
-            match self.spatial[src].next_settled() {
-                Some(settled) => {
-                    self.metrics.settled_vertices += 1;
-                    // the posting slice borrows the 'a-lived index, not
-                    // `self`, so no copy is needed on this hot path
-                    let tids: &'a [TrajectoryId] = self.db.vertex_index.values_at(settled.node);
-                    for &tid in tids {
-                        self.record_spatial(tid, src, settled.dist);
-                    }
+            // a `None` here means exhaustion: sweep_exhausted finalizes
+            // the pending states, nothing to do at the settle site
+            if let Some(settled) = self.spatial[src].next_settled() {
+                self.metrics.settled_vertices += 1;
+                // the posting slice borrows the 'a-lived index, not
+                // `self`, so no copy is needed on this hot path
+                let tids: &'a [TrajectoryId] = self.db.vertex_index.values_at(settled.node);
+                for &tid in tids {
+                    self.record_spatial(tid, src, settled.dist);
                 }
-                None => self.on_spatial_exhausted(src),
             }
         } else {
             let j = src - self.num_spatial();
-            match self.temporal[j].next_scanned() {
-                Some(scanned) => {
-                    self.metrics.scanned_timestamps += 1;
-                    self.record_temporal(scanned.value, j, scanned.dt);
-                }
-                None => self.on_temporal_exhausted(j),
+            if let Some(scanned) = self.temporal[j].next_scanned() {
+                self.metrics.scanned_timestamps += 1;
+                self.record_temporal(scanned.value, j, scanned.dt);
             }
         }
-        let frontier: usize = self
-            .spatial
-            .iter()
-            .map(NetworkExpansion::frontier_len)
-            .sum();
+        let frontier: usize = self.spatial.iter().map(CachedSource::frontier_len).sum();
         self.metrics.peak_frontier = self.metrics.peak_frontier.max(frontier);
     }
 
@@ -639,6 +727,9 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         if created {
             let st = self.make_state(tid);
             self.states.insert(tid, st);
+            if self.try_landmark_prune(tid) {
+                return;
+            }
         }
         let st = self.states.get_mut(&tid).expect("just ensured");
         if st.done {
@@ -665,6 +756,9 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         if created {
             let st = self.make_state(tid);
             self.states.insert(tid, st);
+            if self.try_landmark_prune(tid) {
+                return;
+            }
         }
         let st = self.states.get_mut(&tid).expect("just ensured");
         if st.done {
@@ -680,6 +774,89 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             return;
         }
         self.after_update(tid);
+    }
+
+    /// Landmark admission, applied once at a trajectory's first sighting:
+    /// when the ALT-tightened similarity upper bound already proves the
+    /// trajectory cannot reach the pruning threshold, retire it on the
+    /// spot — no bound-heap entry, no further per-source bookkeeping, no
+    /// exact evaluation. Exact under ties: the prune fires only when
+    /// `ub < kth` *strictly*, so a retired trajectory satisfies
+    /// `sim ≤ ub < kth`, and `kth` only increases — it can never enter the
+    /// answer, not even via the id tie-break.
+    fn try_landmark_prune(&mut self, tid: TrajectoryId) -> bool {
+        let Some(lm) = self.ctx.landmarks() else {
+            return false;
+        };
+        let kth = self.collector.pruning_threshold();
+        if kth <= 0.0 {
+            return false; // no threshold to prune against yet
+        }
+        let st = self.states.get(&tid).expect("just created");
+        let ub = self.alt_ub_of(st, tid, lm);
+        if ub < kth {
+            self.states.get_mut(&tid).expect("present").done = true;
+            if let Some(cache) = self.ctx.cache() {
+                cache.note_bound_prune();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Like [`ub_of`](Self::ub_of), additionally tightening every unknown
+    /// spatial distance with the ALT landmark lower bound on `d(o_i, τ)` —
+    /// the minimum of the per-vertex bounds over the trajectory's samples,
+    /// since the realized distance is exactly that minimum of exact
+    /// distances.
+    fn alt_ub_of(&self, st: &TrajState, tid: TrajectoryId, lm: &Landmarks) -> f64 {
+        let o = self.query.options();
+        let m = self.num_spatial();
+        let traj = self.db.store.get(tid);
+        let mut acc = 0.0;
+        for i in 0..m {
+            let d = if st.sdists[i].is_nan() {
+                let mut alt = f64::INFINITY;
+                for v in traj.nodes() {
+                    alt = alt.min(lm.lower_bound(self.spatial[i].source(), v));
+                }
+                if !alt.is_finite() {
+                    alt = 0.0; // unreachable here: trajectories are non-empty
+                }
+                self.spatial_lb(i).max(alt)
+            } else {
+                st.sdists[i]
+            };
+            acc += (-d / o.decay_km).exp();
+        }
+        let spatial_ub = acc / m as f64;
+        let temporal_ub = if self.temporal.is_empty() {
+            0.0
+        } else {
+            let mut acc = 0.0;
+            for (j, &dt) in st.tdists.iter().enumerate() {
+                let d = if dt.is_nan() { self.temporal_lb(j) } else { dt };
+                acc += (-d / o.decay_s).exp();
+            }
+            acc / self.temporal.len() as f64
+        };
+        let w = o.weights;
+        w.spatial * spatial_ub + w.textual * st.textual + w.temporal * temporal_ub
+    }
+
+    /// Publishes every spatial source's (possibly extended) prefix to the
+    /// shared cache on clean completion, or poisons them all after an
+    /// interruption — a budget-tripped or cancelled run must never publish
+    /// state a later query would replay as finalized.
+    fn settle_cache(&mut self, clean: bool) {
+        for s in &mut self.spatial {
+            if clean {
+                s.publish();
+            } else {
+                s.poison();
+            }
+        }
     }
 
     /// Finalizes or re-bounds a trajectory after a scan-state update.
@@ -724,6 +901,27 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             textual,
             temporal,
         });
+    }
+
+    /// Processes every source whose exhaustion transition has not been
+    /// handled yet. Called at the top of the search loop and after each
+    /// step, because exhaustion is observable *between* settles (empty
+    /// heap, empty resumed frontier) — waiting for a `None` settle event
+    /// would miss sources that never deliver one.
+    fn sweep_exhausted(&mut self) {
+        for i in 0..self.num_spatial() {
+            if !self.source_swept[i] && self.spatial[i].is_exhausted() {
+                self.source_swept[i] = true;
+                self.on_spatial_exhausted(i);
+            }
+        }
+        for j in 0..self.temporal.len() {
+            let s = self.num_spatial() + j;
+            if !self.source_swept[s] && self.temporal[j].is_exhausted() {
+                self.source_swept[s] = true;
+                self.on_temporal_exhausted(j);
+            }
+        }
     }
 
     /// A spatial source exhausted its component: every trajectory it never
@@ -817,7 +1015,13 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         if kth == f64::NEG_INFINITY {
             return false;
         }
-        if self.ub_unscanned() > kth {
+        // both guards are deliberately *strict*: a trajectory whose bound
+        // ties the k-th similarity could still realize exactly `kth` and
+        // displace the incumbent on the id tie-break, so only `ub < kth`
+        // proves it irrelevant. Termination is still guaranteed — when the
+        // bounds never drop strictly below `kth` (exact-tie plateaus) the
+        // loop ends by source exhaustion and the unvisited sweep instead.
+        if self.ub_unscanned() >= kth {
             return false;
         }
         while let Some(entry) = self.bound_heap.peek() {
@@ -825,7 +1029,7 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             match self.states.get(&tid) {
                 Some(st) if !st.done => {
                     let cur = self.ub_of(st);
-                    if cur > kth {
+                    if cur >= kth {
                         return false;
                     }
                     // permanently prunable: bounds only decrease, kth only

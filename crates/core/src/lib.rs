@@ -55,6 +55,7 @@
 pub mod algorithms;
 pub mod budget;
 mod db;
+pub mod distcache;
 mod engine;
 mod error;
 mod metrics;
@@ -69,8 +70,13 @@ mod topk;
 
 pub use budget::{CancellationToken, Completeness, ExecutionBudget, RunControl};
 pub use db::Database;
+pub use distcache::{
+    no_cache_env, CacheStats, CachedSource, DistanceCache, SearchContext, SourcePrefix,
+    DEFAULT_CACHE_CAPACITY,
+};
 pub use engine::{
-    expansion_search, expansion_search_with, threshold_search, threshold_search_with,
+    expansion_search, expansion_search_ctx, expansion_search_recorded, expansion_search_with,
+    expansion_search_with_cache, threshold_search, threshold_search_ctx, threshold_search_with,
 };
 pub use error::CoreError;
 pub use metrics::SearchMetrics;

@@ -22,6 +22,7 @@
 
 use crate::algorithms::Algorithm;
 use crate::budget::{CancellationToken, RunControl};
+use crate::distcache::SearchContext;
 use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -194,9 +195,13 @@ fn run_isolated<A: Algorithm + ?Sized>(
     algorithm: &A,
     query: &UotsQuery,
     ctl: &RunControl,
+    ctx: &SearchContext,
 ) -> Result<QueryResult, CoreError> {
-    catch_unwind(AssertUnwindSafe(|| algorithm.run_with(db, query, ctl)))
-        .unwrap_or_else(|payload| Err(CoreError::QueryPanicked(panic_message(payload))))
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut rec = Recorder::disabled();
+        algorithm.run_ctx(db, query, ctl, &mut rec, ctx)
+    }))
+    .unwrap_or_else(|payload| Err(CoreError::QueryPanicked(panic_message(payload))))
 }
 
 /// [`run_isolated`], optionally reporting to an observer. Observed queries
@@ -208,15 +213,16 @@ fn run_observed<A: Algorithm + ?Sized>(
     query: &UotsQuery,
     ctl: &RunControl,
     obs: Option<&BatchObserver>,
+    ctx: &SearchContext,
 ) -> Result<QueryResult, CoreError> {
     let Some(obs) = obs else {
-        return run_isolated(db, algorithm, query, ctl);
+        return run_isolated(db, algorithm, query, ctl, ctx);
     };
     obs.on_start();
     let start = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut rec = Recorder::phases_only(algorithm.name());
-        algorithm.run_recorded(db, query, ctl, &mut rec)
+        algorithm.run_ctx(db, query, ctl, &mut rec, ctx)
     }))
     .unwrap_or_else(|payload| Err(CoreError::QueryPanicked(panic_message(payload))));
     obs.on_finish(&result, start.elapsed());
@@ -245,7 +251,35 @@ pub fn run_batch_with<A: Algorithm + Sync>(
     opts: &BatchOptions,
     token: &CancellationToken,
 ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
-    run_batch_inner(db, algorithm, queries, opts, token, None)
+    run_batch_inner(
+        db,
+        algorithm,
+        queries,
+        opts,
+        token,
+        None,
+        &SearchContext::default(),
+    )
+}
+
+/// [`run_batch_with`] under a shared [`SearchContext`]: every query in the
+/// batch probes and feeds the *same* distance cache, so one query's settled
+/// frontiers become the next query's replayed prefix. Results are identical
+/// to the uncached batch (the cache trades work, never answers); only the
+/// per-query metrics and wall-clock change.
+///
+/// # Errors
+///
+/// See [`run_batch_with`].
+pub fn run_batch_ctx<A: Algorithm + Sync>(
+    db: &Database<'_>,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    opts: &BatchOptions,
+    token: &CancellationToken,
+    ctx: &SearchContext,
+) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
+    run_batch_inner(db, algorithm, queries, opts, token, None, ctx)
 }
 
 /// [`run_batch_with`] reporting queue depth, in-flight count, per-outcome
@@ -264,9 +298,38 @@ pub fn run_batch_observed<A: Algorithm + Sync>(
     token: &CancellationToken,
     obs: &BatchObserver,
 ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
-    run_batch_inner(db, algorithm, queries, opts, token, Some(obs))
+    run_batch_inner(
+        db,
+        algorithm,
+        queries,
+        opts,
+        token,
+        Some(obs),
+        &SearchContext::default(),
+    )
 }
 
+/// [`run_batch_observed`] under a shared [`SearchContext`] — the observed
+/// counterpart of [`run_batch_ctx`]. Bind the context's cache to the same
+/// registry (via [`crate::DistanceCache::with_metrics`]) to export hit/miss
+/// counters alongside the batch gauges.
+///
+/// # Errors
+///
+/// See [`run_batch_with`].
+pub fn run_batch_observed_ctx<A: Algorithm + Sync>(
+    db: &Database<'_>,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    opts: &BatchOptions,
+    token: &CancellationToken,
+    obs: &BatchObserver,
+    ctx: &SearchContext,
+) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
+    run_batch_inner(db, algorithm, queries, opts, token, Some(obs), ctx)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_batch_inner<A: Algorithm + Sync>(
     db: &Database<'_>,
     algorithm: &A,
@@ -274,6 +337,7 @@ fn run_batch_inner<A: Algorithm + Sync>(
     opts: &BatchOptions,
     token: &CancellationToken,
     obs: Option<&BatchObserver>,
+    ctx: &SearchContext,
 ) -> Result<Vec<Result<QueryResult, CoreError>>, CoreError> {
     if let Some(cap) = opts.max_batch {
         if queries.len() > cap {
@@ -300,7 +364,7 @@ fn run_batch_inner<A: Algorithm + Sync>(
     let results: Vec<Result<QueryResult, CoreError>> = pool.install(|| {
         queries
             .par_iter()
-            .map(|q| run_observed(db, algorithm, q, &ctl, obs))
+            .map(|q| run_observed(db, algorithm, q, &ctl, obs, ctx))
             .collect()
     });
     if opts.policy == BatchPolicy::FailFast {
@@ -357,7 +421,31 @@ pub fn run_batch_crossbeam<A: Algorithm + Sync>(
     queries: &[UotsQuery],
     threads: usize,
 ) -> Result<Vec<QueryResult>, CoreError> {
-    run_batch_crossbeam_inner(db, algorithm, queries, threads, None)
+    run_batch_crossbeam_inner(
+        db,
+        algorithm,
+        queries,
+        threads,
+        None,
+        &SearchContext::default(),
+    )
+}
+
+/// [`run_batch_crossbeam`] under a shared [`SearchContext`] — one distance
+/// cache across all scoped workers, exercising the cache's concurrent
+/// publish/probe path without rayon in the loop.
+///
+/// # Errors
+///
+/// See [`run_batch_crossbeam`].
+pub fn run_batch_crossbeam_ctx<A: Algorithm + Sync>(
+    db: &Database<'_>,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    threads: usize,
+    ctx: &SearchContext,
+) -> Result<Vec<QueryResult>, CoreError> {
+    run_batch_crossbeam_inner(db, algorithm, queries, threads, None, ctx)
 }
 
 /// [`run_batch_crossbeam`] reporting to `obs`, with one additional
@@ -375,7 +463,14 @@ pub fn run_batch_crossbeam_observed<A: Algorithm + Sync>(
     threads: usize,
     obs: &BatchObserver,
 ) -> Result<Vec<QueryResult>, CoreError> {
-    run_batch_crossbeam_inner(db, algorithm, queries, threads, Some(obs))
+    run_batch_crossbeam_inner(
+        db,
+        algorithm,
+        queries,
+        threads,
+        Some(obs),
+        &SearchContext::default(),
+    )
 }
 
 fn run_batch_crossbeam_inner<A: Algorithm + Sync>(
@@ -384,6 +479,7 @@ fn run_batch_crossbeam_inner<A: Algorithm + Sync>(
     queries: &[UotsQuery],
     threads: usize,
     obs: Option<&BatchObserver>,
+    ctx: &SearchContext,
 ) -> Result<Vec<QueryResult>, CoreError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -422,7 +518,7 @@ fn run_batch_crossbeam_inner<A: Algorithm + Sync>(
                             if let Some(c) = &per_worker {
                                 c.inc();
                             }
-                            mine.push((i, run_observed(db, algorithm, &queries[i], ctl, obs)));
+                            mine.push((i, run_observed(db, algorithm, &queries[i], ctl, obs, ctx)));
                         }
                         mine
                     })
@@ -834,6 +930,56 @@ mod tests {
             .sum();
         assert_eq!(per_worker, queries.len() as u64);
         assert_eq!(snap.gauge("uots_batch_pending_queries", &[]), Some(0));
+    }
+
+    #[test]
+    fn shared_cache_batches_return_identical_results() {
+        use crate::distcache::DistanceCache;
+        use std::sync::Arc;
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
+            .with_keyword_index(&ds.keyword_index);
+        let algo = Expansion::default();
+        let baseline = run_batch(&db, &algo, &queries, 2).unwrap();
+        for threads in [1, 4] {
+            let cache = Arc::new(DistanceCache::new(1 << 16));
+            let ctx = SearchContext::with_cache(Arc::clone(&cache));
+            let cached = run_batch_ctx(
+                &db,
+                &algo,
+                &queries,
+                &BatchOptions::fail_fast(threads),
+                &CancellationToken::new(),
+                &ctx,
+            )
+            .unwrap();
+            for (a, b) in baseline.iter().zip(cached.iter()) {
+                let b = b.as_ref().unwrap();
+                assert_eq!(a.ids(), b.ids(), "threads = {threads}");
+                for (ma, mb) in a.matches.iter().zip(b.matches.iter()) {
+                    assert_eq!(ma.similarity.to_bits(), mb.similarity.to_bits());
+                }
+            }
+            let stats = cache.stats();
+            assert!(stats.inserts > 0, "the batch must warm the cache");
+        }
+    }
+
+    #[test]
+    fn crossbeam_shared_cache_matches_uncached() {
+        use crate::distcache::DistanceCache;
+        use std::sync::Arc;
+        let (ds, queries) = setup();
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
+            .with_keyword_index(&ds.keyword_index);
+        let algo = Expansion::default();
+        let baseline = run_batch_crossbeam(&db, &algo, &queries, 3).unwrap();
+        let cache = Arc::new(DistanceCache::new(1 << 16));
+        let ctx = SearchContext::with_cache(cache);
+        let cached = run_batch_crossbeam_ctx(&db, &algo, &queries, 3, &ctx).unwrap();
+        for (a, b) in baseline.iter().zip(cached.iter()) {
+            assert_eq!(a.ids(), b.ids());
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! This module computes the *exact* values (given exact distances); the
 //! engine's upper bounds live in [`crate::engine`].
 
+use crate::distcache::CachedSource;
 use crate::query::UotsQuery;
 use crate::result::Match;
 use uots_network::dijkstra::ShortestPathTree;
@@ -81,6 +82,24 @@ pub fn spatial_distances_from_trees(trees: &[ShortestPathTree], traj: &Trajector
         .collect()
 }
 
+/// Exact per-location network distances `d(o_i, τ)` read off **fully
+/// drained** [`CachedSource`]s (every vertex delivered, so
+/// `settled_distance` is exact for the whole component). Computes the same
+/// per-vertex distances and the same `min` fold as
+/// [`spatial_distances_from_trees`] — the two are bit-identical, which is
+/// what lets the cached brute-force/text-first paths stay differential-
+/// equal to the tree-based ones.
+pub fn spatial_distances_from_sources(sources: &[CachedSource<'_>], traj: &Trajectory) -> Vec<f64> {
+    sources
+        .iter()
+        .map(|src| {
+            traj.nodes()
+                .map(|v| src.settled_distance(v).unwrap_or(f64::INFINITY))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
 /// Exact per-preferred-time minimal gaps `min_i |t − t_i|`.
 pub fn temporal_gaps(times: &[f64], traj: &Trajectory) -> Vec<f64> {
     times
@@ -104,6 +123,32 @@ pub fn evaluate_with_trees(
 ) -> Match {
     debug_assert_eq!(trees.len(), query.num_locations());
     let sdists = spatial_distances_from_trees(trees, traj);
+    let spatial = spatial_component(&sdists, query.options().decay_km);
+    let textual = textual_component(query, traj);
+    let temporal = if query.times().is_empty() {
+        0.0
+    } else {
+        temporal_component(&temporal_gaps(query.times(), traj), query.options().decay_s)
+    };
+    Match {
+        id,
+        similarity: combine(query, spatial, textual, temporal),
+        spatial,
+        textual,
+        temporal,
+    }
+}
+
+/// [`evaluate_with_trees`] over fully drained [`CachedSource`]s instead of
+/// shortest-path trees; identical channel math, identical fold order.
+pub fn evaluate_with_sources(
+    sources: &[CachedSource<'_>],
+    query: &UotsQuery,
+    id: TrajectoryId,
+    traj: &Trajectory,
+) -> Match {
+    debug_assert_eq!(sources.len(), query.num_locations());
+    let sdists = spatial_distances_from_sources(sources, traj);
     let spatial = spatial_component(&sdists, query.options().decay_km);
     let textual = textual_component(query, traj);
     let temporal = if query.times().is_empty() {

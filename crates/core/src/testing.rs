@@ -9,6 +9,7 @@
 
 use crate::algorithms::Algorithm;
 use crate::budget::{Gate, RunControl};
+use crate::distcache::SearchContext;
 use crate::{CoreError, Database, QueryResult, UotsQuery};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -42,18 +43,19 @@ impl<A> FaultyAlgorithm<A> {
 }
 
 impl<A: Algorithm> Algorithm for FaultyAlgorithm<A> {
-    fn run_recorded(
+    fn run_ctx(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
         rec: &mut Recorder,
+        ctx: &SearchContext,
     ) -> Result<QueryResult, CoreError> {
         let call = self.calls.fetch_add(1, Ordering::Relaxed);
         if call == self.panic_on {
             panic!("{}", self.message);
         }
-        self.inner.run_recorded(db, query, ctl, rec)
+        self.inner.run_ctx(db, query, ctl, rec, ctx)
     }
 
     fn name(&self) -> &'static str {
@@ -78,12 +80,13 @@ impl<A> SlowAlgorithm<A> {
 }
 
 impl<A: Algorithm> Algorithm for SlowAlgorithm<A> {
-    fn run_recorded(
+    fn run_ctx(
         &self,
         db: &Database<'_>,
         query: &UotsQuery,
         ctl: &RunControl,
         rec: &mut Recorder,
+        ctx: &SearchContext,
     ) -> Result<QueryResult, CoreError> {
         let mut gate = Gate::new(&query.options().budget, ctl);
         let start = Instant::now();
@@ -93,7 +96,7 @@ impl<A: Algorithm> Algorithm for SlowAlgorithm<A> {
             }
             std::thread::sleep(Duration::from_micros(200));
         }
-        self.inner.run_recorded(db, query, ctl, rec)
+        self.inner.run_ctx(db, query, ctl, rec, ctx)
     }
 
     fn name(&self) -> &'static str {

@@ -52,8 +52,9 @@ use serde::{Deserialize, Serialize};
 use similarity::Half;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use uots_core::{Completeness, ExecutionBudget, RunControl};
+use uots_core::{Completeness, DistanceCache, ExecutionBudget, RunControl};
 use uots_index::{TimestampIndex, VertexInvertedIndex};
 use uots_network::dijkstra::shortest_path_tree;
 use uots_network::RoadNetwork;
@@ -324,6 +325,66 @@ pub fn ts_join_with(
     budget: &ExecutionBudget,
     ctl: &RunControl,
 ) -> Result<JoinResult, JoinError> {
+    ts_join_inner(
+        net,
+        store,
+        vertex_index,
+        timestamp_index,
+        cfg,
+        threads,
+        budget,
+        ctl,
+        None,
+    )
+}
+
+/// [`ts_join_with`] sharing one [`DistanceCache`] across every search
+/// worker: each probe's spatial expansions replay cached prefixes and
+/// publish their own back, so trajectories sharing sample vertices (the
+/// common case — popular POIs) skip the shared head of each other's
+/// Dijkstra work. The pair set is **identical** to the uncached join; the
+/// cache trades settled-vertex work, never answers.
+///
+/// # Errors
+///
+/// See [`JoinError`].
+#[allow(clippy::too_many_arguments)]
+pub fn ts_join_cached(
+    net: &RoadNetwork,
+    store: &TrajectoryStore,
+    vertex_index: &VertexInvertedIndex<TrajectoryId>,
+    timestamp_index: &TimestampIndex<TrajectoryId>,
+    cfg: &JoinConfig,
+    threads: usize,
+    budget: &ExecutionBudget,
+    ctl: &RunControl,
+    cache: &Arc<DistanceCache>,
+) -> Result<JoinResult, JoinError> {
+    ts_join_inner(
+        net,
+        store,
+        vertex_index,
+        timestamp_index,
+        cfg,
+        threads,
+        budget,
+        ctl,
+        Some(cache),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ts_join_inner(
+    net: &RoadNetwork,
+    store: &TrajectoryStore,
+    vertex_index: &VertexInvertedIndex<TrajectoryId>,
+    timestamp_index: &TimestampIndex<TrajectoryId>,
+    cfg: &JoinConfig,
+    threads: usize,
+    budget: &ExecutionBudget,
+    ctl: &RunControl,
+    cache: Option<&Arc<DistanceCache>>,
+) -> Result<JoinResult, JoinError> {
     validate(cfg, store)?;
     let start = Instant::now();
     let ids: Vec<TrajectoryId> = store.ids().collect();
@@ -344,7 +405,8 @@ pub fn ts_join_with(
     let per_chunk: Vec<ChunkOut> = pool.install(|| {
         ids.par_chunks(chunk)
             .map(|probe_chunk| {
-                let mut worker = Worker::new(net, store, vertex_index, timestamp_index);
+                let mut worker =
+                    Worker::new(net, store, vertex_index, timestamp_index, cache.cloned());
                 let mut stats = SearchStats::default();
                 let mut out = Vec::with_capacity(probe_chunk.len());
                 for &probe in probe_chunk {
@@ -469,6 +531,15 @@ pub fn ts_join_instrumented(
         budget,
         ctl,
     )?;
+    record_join_metrics(registry, &r);
+    Ok(r)
+}
+
+/// Records a finished join's outcome into `registry` — the same counters and
+/// histograms [`ts_join_instrumented`] emits. Use when the join itself ran
+/// through another entry point (e.g. [`ts_join_cached`]) but the metrics
+/// should still land in a shared registry.
+pub fn record_join_metrics(registry: &MetricsRegistry, r: &JoinResult) {
     registry
         .counter("uots_join_pairs_total", "Qualifying pairs emitted by joins")
         .add(r.pairs.len() as u64);
@@ -500,7 +571,6 @@ pub fn ts_join_instrumented(
         "Join macro-phase durations, nanoseconds",
         &r.phases,
     );
-    Ok(r)
 }
 
 /// Exhaustive oracle: evaluates every pair exactly. `O(|P|)` shortest-path
@@ -824,6 +894,44 @@ mod tests {
         assert_eq!(phase_hist.count, 1);
         // and the whole export must be a valid Prometheus page
         uots_obs::validate_prometheus_text(&registry.render_prometheus()).unwrap();
+    }
+
+    #[test]
+    fn cached_join_matches_uncached_and_warms_across_runs() {
+        let ds = Dataset::build(&DatasetConfig::small(40, 26)).unwrap();
+        let tidx = ds.store.build_timestamp_index();
+        let cfg = JoinConfig {
+            theta: 0.6,
+            ..Default::default()
+        };
+        let plain = ts_join(&ds.network, &ds.store, &ds.vertex_index, &tidx, &cfg, 2).unwrap();
+        let cache = Arc::new(DistanceCache::new(1 << 16));
+        for round in 0..2 {
+            let cached = ts_join_cached(
+                &ds.network,
+                &ds.store,
+                &ds.vertex_index,
+                &tidx,
+                &cfg,
+                2,
+                &ExecutionBudget::UNLIMITED,
+                &RunControl::unbounded(),
+                &cache,
+            )
+            .unwrap();
+            assert_eq!(plain.pairs.len(), cached.pairs.len(), "round {round}");
+            for (a, b) in plain.pairs.iter().zip(cached.pairs.iter()) {
+                assert_eq!((a.a, a.b), (b.a, b.b), "round {round}");
+                assert_eq!(
+                    a.similarity.to_bits(),
+                    b.similarity.to_bits(),
+                    "round {round}: cached similarities must be bit-identical"
+                );
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.inserts > 0, "searches must publish prefixes");
+        assert!(stats.hits > 0, "the second run must hit the warm cache");
     }
 
     #[test]

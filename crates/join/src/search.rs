@@ -30,8 +30,9 @@
 use crate::similarity::{distinct_nodes_weighted, distinct_times_weighted, Half};
 use crate::{JoinConfig, JoinScheduling};
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use uots_core::{CachedSource, DistanceCache};
 use uots_index::{TimeExpansion, TimestampIndex, VertexInvertedIndex};
-use uots_network::expansion::NetworkExpansion;
 use uots_network::{RoadNetwork, TotalF64};
 use uots_trajectory::{TrajectoryId, TrajectoryStore};
 
@@ -81,14 +82,19 @@ impl Ord for BoundEntry {
     }
 }
 
-/// A reusable join-search worker bound to one dataset.
+/// A reusable join-search worker bound to one dataset. With a shared
+/// [`DistanceCache`], each spatial source probes the cache for a settled
+/// prefix to replay before expanding live, and publishes its (possibly
+/// partial) prefix back after every search — probes sharing sample
+/// vertices then skip the shared head of each other's expansions.
 pub(crate) struct Worker<'a> {
     net: &'a RoadNetwork,
     store: &'a TrajectoryStore,
     vertex_index: &'a VertexInvertedIndex<TrajectoryId>,
     timestamp_index: &'a TimestampIndex<TrajectoryId>,
+    cache: Option<Arc<DistanceCache>>,
     /// Expansion scratch, grown on demand and restarted per search.
-    expansions: Vec<NetworkExpansion<'a>>,
+    sources: Vec<CachedSource<'a>>,
 }
 
 impl<'a> Worker<'a> {
@@ -97,13 +103,15 @@ impl<'a> Worker<'a> {
         store: &'a TrajectoryStore,
         vertex_index: &'a VertexInvertedIndex<TrajectoryId>,
         timestamp_index: &'a TimestampIndex<TrajectoryId>,
+        cache: Option<Arc<DistanceCache>>,
     ) -> Self {
         Worker {
             net,
             store,
             vertex_index,
             timestamp_index,
-            expansions: Vec::new(),
+            cache,
+            sources: Vec::new(),
         }
     }
 
@@ -139,19 +147,25 @@ impl<'a> Worker<'a> {
         let ns = nodes.len();
         let nt = times.len();
 
-        while self.expansions.len() < ns {
-            self.expansions.push(NetworkExpansion::new(self.net));
-        }
-        for (i, &v) in nodes.iter().enumerate() {
-            self.expansions[i].start(v);
+        let use_temporal = cfg.lambda < 1.0;
+        let use_spatial = cfg.lambda > 0.0;
+        // spatial sources only when the spatial half matters — a cache
+        // probe for a source that will never step would skew hit rates
+        if use_spatial {
+            for (i, &v) in nodes.iter().enumerate() {
+                if let Some(src) = self.sources.get_mut(i) {
+                    src.restart(v);
+                } else {
+                    self.sources
+                        .push(CachedSource::start(self.net, v, self.cache.as_ref()));
+                }
+            }
         }
         let mut temporal: Vec<TimeExpansion<'a, TrajectoryId>> = times
             .iter()
             .map(|&t| self.timestamp_index.expand_from(t))
             .collect();
 
-        let use_temporal = cfg.lambda < 1.0;
-        let use_spatial = cfg.lambda > 0.0;
         let active_t = if use_temporal { nt } else { 0 };
         let active_s = if use_spatial { ns } else { 0 };
 
@@ -164,7 +178,7 @@ impl<'a> Worker<'a> {
         debug_assert!(num_sources > 0);
 
         // distance lower bound of spatial source i for unscanned trajectories
-        let s_lb = |exp: &NetworkExpansion<'_>| exp.unsettled_lower_bound();
+        let s_lb = |exp: &CachedSource<'_>| exp.unsettled_lower_bound();
         let t_lb = |exp: &TimeExpansion<'_, TrajectoryId>| {
             if exp.is_exhausted() {
                 f64::INFINITY
@@ -181,7 +195,7 @@ impl<'a> Worker<'a> {
                 if use_spatial {
                     for i in 0..ns {
                         let d = if st.sdists[i].is_nan() {
-                            s_lb(&self.expansions[i])
+                            s_lb(&self.sources[i])
                         } else {
                             st.sdists[i]
                         };
@@ -255,7 +269,7 @@ impl<'a> Worker<'a> {
                 let mut s_rem = 0u32;
                 if use_spatial {
                     for (i, d) in sdists.iter_mut().enumerate() {
-                        if self.expansions[i].is_exhausted() {
+                        if self.sources[i].is_exhausted() {
                             *d = f64::INFINITY;
                         } else {
                             s_rem += 1;
@@ -284,13 +298,46 @@ impl<'a> Worker<'a> {
             }};
         }
 
+        // Exhaustion sweep: a source that can deliver no further vertex
+        // makes every pending distance toward it exact ∞. Run on the
+        // exhaustion *transition* (tracked in `swept`) rather than relying
+        // on a trailing `next_settled() == None` event — a resumed cached
+        // source carries no stale heap entries and can exhaust without one,
+        // and a fresh source can empty its heap on its very last settle.
+        let mut swept = vec![false; active_s];
+        macro_rules! sweep_spatial {
+            ($src:expr) => {{
+                let src: usize = $src;
+                let pending: Vec<TrajectoryId> = states
+                    .iter()
+                    .filter(|(_, st)| !st.done && st.sdists[src].is_nan())
+                    .map(|(&t, _)| t)
+                    .collect();
+                for tid in pending {
+                    let st = states.get_mut(&tid).expect("present");
+                    st.sdists[src] = f64::INFINITY;
+                    st.s_rem -= 1;
+                    if st.s_rem == 0 && st.t_rem == 0 {
+                        finalize!(tid, st);
+                    }
+                }
+            }};
+        }
+
         loop {
+            for (i, sw) in swept.iter_mut().enumerate() {
+                if !*sw && self.sources[i].is_exhausted() {
+                    *sw = true;
+                    sweep_spatial!(i);
+                }
+            }
+
             // ---- pick a live source ----
             let live = |s: usize,
-                        expansions: &Vec<NetworkExpansion<'a>>,
+                        sources: &Vec<CachedSource<'a>>,
                         temporal: &Vec<TimeExpansion<'a, TrajectoryId>>| {
                 if s < active_s {
-                    !expansions[s].is_exhausted()
+                    !sources[s].is_exhausted()
                 } else {
                     !temporal[s - active_s].is_exhausted()
                 }
@@ -300,7 +347,7 @@ impl<'a> Worker<'a> {
                     let mut found = None;
                     for off in 0..num_sources {
                         let s = (rr + off) % num_sources;
-                        if live(s, &self.expansions, &temporal) {
+                        if live(s, &self.sources, &temporal) {
                             found = Some(s);
                             rr = s + 1;
                             break;
@@ -309,15 +356,15 @@ impl<'a> Worker<'a> {
                     found
                 }
                 JoinScheduling::MinRadius => (0..num_sources)
-                    .filter(|&s| live(s, &self.expansions, &temporal))
+                    .filter(|&s| live(s, &self.sources, &temporal))
                     .min_by(|&a, &b| {
                         let ra = if a < active_s {
-                            self.expansions[a].radius() / cfg.decay_km
+                            self.sources[a].radius() / cfg.decay_km
                         } else {
                             temporal[a - active_s].radius() / cfg.decay_s
                         };
                         let rb = if b < active_s {
-                            self.expansions[b].radius() / cfg.decay_km
+                            self.sources[b].radius() / cfg.decay_km
                         } else {
                             temporal[b - active_s].radius() / cfg.decay_s
                         };
@@ -330,7 +377,7 @@ impl<'a> Worker<'a> {
 
             // ---- one scan step ----
             if src < active_s {
-                match self.expansions[src].next_settled() {
+                match self.sources[src].next_settled() {
                     Some(settled) => {
                         stats.settled_vertices += 1;
                         let tids: &'a [TrajectoryId] = self.vertex_index.values_at(settled.node);
@@ -365,19 +412,11 @@ impl<'a> Worker<'a> {
                         }
                     }
                     None => {
-                        // source exhausted: its pending distances are exact ∞
-                        let pending: Vec<TrajectoryId> = states
-                            .iter()
-                            .filter(|(_, st)| !st.done && st.sdists[src].is_nan())
-                            .map(|(&t, _)| t)
-                            .collect();
-                        for tid in pending {
-                            let st = states.get_mut(&tid).expect("present");
-                            st.sdists[src] = f64::INFINITY;
-                            st.s_rem -= 1;
-                            if st.s_rem == 0 && st.t_rem == 0 {
-                                finalize!(tid, st);
-                            }
+                        // stale heap entries drained: the source exhausted
+                        // without delivering a vertex this step
+                        if !swept[src] {
+                            swept[src] = true;
+                            sweep_spatial!(src);
                         }
                     }
                 }
@@ -439,7 +478,7 @@ impl<'a> Worker<'a> {
             if use_spatial {
                 let mut acc = 0.0;
                 let mut min_r = f64::INFINITY;
-                for (w, e) in node_weights.iter().zip(&self.expansions).take(ns) {
+                for (w, e) in node_weights.iter().zip(&self.sources).take(ns) {
                     let r = s_lb(e);
                     min_r = min_r.min(r);
                     acc += w * (-r / cfg.decay_km).exp();
@@ -479,6 +518,16 @@ impl<'a> Worker<'a> {
             }
             if !blocked {
                 break;
+            }
+        }
+
+        // Publish each source's (possibly partial) settled prefix: a join
+        // search always runs to its own termination (interruption is
+        // probe-granular, handled by the caller's gate), so every prefix
+        // here is a clean one.
+        if use_spatial {
+            for src in self.sources.iter_mut().take(ns) {
+                src.publish();
             }
         }
 

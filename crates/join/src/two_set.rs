@@ -12,8 +12,9 @@ use crate::similarity::Half;
 use crate::{validate_config, JoinConfig, JoinError, JoinGate, JoinPair, JoinResult};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
-use uots_core::{Completeness, ExecutionBudget, RunControl};
+use uots_core::{Completeness, DistanceCache, ExecutionBudget, RunControl};
 use uots_index::{TimestampIndex, VertexInvertedIndex};
 use uots_network::RoadNetwork;
 use uots_obs::{Phase, PhaseNanos};
@@ -97,6 +98,7 @@ fn run_side(
     cfg: &JoinConfig,
     pool: &rayon::ThreadPool,
     gate: &JoinGate,
+    cache: Option<&Arc<DistanceCache>>,
 ) -> Result<(Vec<HashMap<TrajectoryId, Half>>, SearchStats), JoinError> {
     for (id, t) in probes.iter() {
         let distinct = crate::similarity::distinct_nodes_weighted(t).0.len();
@@ -120,6 +122,7 @@ fn run_side(
                     targets.store,
                     targets.vertex_index,
                     targets.timestamp_index,
+                    cache.cloned(),
                 );
                 let mut stats = SearchStats::default();
                 let mut out = Vec::with_capacity(probe_chunk.len());
@@ -199,6 +202,44 @@ pub fn ts_join_two_with(
     budget: &ExecutionBudget,
     ctl: &RunControl,
 ) -> Result<CrossJoinResult, JoinError> {
+    ts_join_two_inner(net, p, q, cfg, threads, budget, ctl, None)
+}
+
+/// [`ts_join_two_with`] with one shared [`DistanceCache`] **per probe
+/// direction**: `caches.0` serves `P`'s probes (expansions from `P`'s
+/// sample vertices), `caches.1` serves `Q`'s. Distances depend only on the
+/// shared network, so the split is a sizing/locality choice, not a
+/// correctness one — the pair set is identical to the uncached join
+/// either way.
+///
+/// # Errors
+///
+/// See [`JoinError`].
+#[allow(clippy::too_many_arguments)]
+pub fn ts_join_two_cached(
+    net: &RoadNetwork,
+    p: JoinSide<'_>,
+    q: JoinSide<'_>,
+    cfg: &JoinConfig,
+    threads: usize,
+    budget: &ExecutionBudget,
+    ctl: &RunControl,
+    caches: (&Arc<DistanceCache>, &Arc<DistanceCache>),
+) -> Result<CrossJoinResult, JoinError> {
+    ts_join_two_inner(net, p, q, cfg, threads, budget, ctl, Some(caches))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ts_join_two_inner(
+    net: &RoadNetwork,
+    p: JoinSide<'_>,
+    q: JoinSide<'_>,
+    cfg: &JoinConfig,
+    threads: usize,
+    budget: &ExecutionBudget,
+    ctl: &RunControl,
+    caches: Option<(&Arc<DistanceCache>, &Arc<DistanceCache>)>,
+) -> Result<CrossJoinResult, JoinError> {
     validate_config(cfg)?;
     let start = Instant::now();
     let gate = JoinGate::new(budget, ctl);
@@ -210,8 +251,8 @@ pub fn ts_join_two_with(
     // P probes against Q's indexes, and vice versa
     let mut phases = PhaseNanos::ZERO;
     let search_start = Instant::now();
-    let (p_maps, p_stats) = run_side(net, p.store, q, cfg, &pool, &gate)?;
-    let (q_maps, q_stats) = run_side(net, q.store, p, cfg, &pool, &gate)?;
+    let (p_maps, p_stats) = run_side(net, p.store, q, cfg, &pool, &gate, caches.map(|c| c.0))?;
+    let (q_maps, q_stats) = run_side(net, q.store, p, cfg, &pool, &gate, caches.map(|c| c.1))?;
     phases.add(
         Phase::NetworkExpansion,
         u64::try_from(search_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
@@ -459,6 +500,56 @@ mod tests {
         for x in &r.pairs {
             assert!(exact_set.contains(&(x.p, x.q)), "subset semantics");
         }
+    }
+
+    #[test]
+    fn cached_cross_join_matches_uncached() {
+        let ds = Dataset::build(&DatasetConfig::small(30, 43)).unwrap();
+        let mut p = TrajectoryStore::new();
+        let mut q = TrajectoryStore::new();
+        for (id, t) in ds.store.iter() {
+            if id.0 % 2 == 0 {
+                p.push(t.clone());
+            } else {
+                q.push(t.clone());
+            }
+        }
+        let pv = p.build_vertex_index(ds.network.num_nodes());
+        let pt = p.build_timestamp_index();
+        let qv = q.build_vertex_index(ds.network.num_nodes());
+        let qt = q.build_timestamp_index();
+        let cfg = JoinConfig {
+            theta: 0.6,
+            ..Default::default()
+        };
+        let plain = ts_join_two(
+            &ds.network,
+            JoinSide::new(&p, &pv, &pt),
+            JoinSide::new(&q, &qv, &qt),
+            &cfg,
+            2,
+        )
+        .unwrap();
+        let p_cache = Arc::new(DistanceCache::new(1 << 16));
+        let q_cache = Arc::new(DistanceCache::new(1 << 16));
+        let cached = ts_join_two_cached(
+            &ds.network,
+            JoinSide::new(&p, &pv, &pt),
+            JoinSide::new(&q, &qv, &qt),
+            &cfg,
+            2,
+            &ExecutionBudget::UNLIMITED,
+            &RunControl::unbounded(),
+            (&p_cache, &q_cache),
+        )
+        .unwrap();
+        assert_eq!(plain.pairs.len(), cached.pairs.len());
+        for (a, b) in plain.pairs.iter().zip(cached.pairs.iter()) {
+            assert_eq!((a.p, a.q), (b.p, b.q));
+            assert_eq!(a.similarity.to_bits(), b.similarity.to_bits());
+        }
+        assert!(p_cache.stats().inserts > 0);
+        assert!(q_cache.stats().inserts > 0);
     }
 
     #[test]

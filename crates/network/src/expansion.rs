@@ -247,6 +247,74 @@ impl<'a> NetworkExpansion<'a> {
         let i = v.index();
         (self.is_current(v) && self.settled[i]).then(|| self.dist[i])
     }
+
+    /// Snapshot of the live Dijkstra frontier: every reached-but-unsettled
+    /// vertex with its best tentative distance, deduplicated (the heap may
+    /// hold stale duplicates) and sorted by `(dist, node)` for determinism.
+    ///
+    /// Together with the settled set and the radius this is a complete,
+    /// consistent description of the expansion's progress: feeding it back
+    /// through [`resume`](Self::resume) continues the expansion with exactly
+    /// the distances a fresh run would produce.
+    pub fn frontier_snapshot(&self) -> Vec<(NodeId, f64)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out: Vec<(NodeId, f64)> = Vec::new();
+        for e in self.heap.iter() {
+            let v = e.node;
+            let i = v.index();
+            if self.is_current(v) && !self.settled[i] && seen.insert(v) {
+                out.push((v, self.dist[i]));
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// (Re)starts the expansion from `source`, seeding it with a previously
+    /// recorded prefix instead of from scratch: `settled` vertices are
+    /// marked settled with their exact distances (they will **not** be
+    /// emitted by [`next_settled`](Self::next_settled) again), `frontier`
+    /// vertices become the pending heap, and `radius` restores the
+    /// last-settled distance. Reuses the scratch buffers like
+    /// [`start`](Self::start).
+    ///
+    /// The caller must pass a consistent prefix (as captured by
+    /// [`frontier_snapshot`](Self::frontier_snapshot) plus the settle
+    /// sequence): settled distances exact, frontier distances equal to the
+    /// best path through the settled set. Resuming then yields the same
+    /// settle distances a fresh run from `source` would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a vertex of the network.
+    pub fn resume(&mut self, source: NodeId, settled: &[Settled], frontier: &[(NodeId, f64)]) {
+        assert!(self.net.contains_node(source), "source not in network");
+        self.source = source;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+        self.radius = settled.last().map_or(0.0, |s| s.dist);
+        self.settled_count = settled.len();
+        self.started = true;
+        for s in settled {
+            self.set_dist(s.node, s.dist);
+            self.settled[s.node.index()] = true;
+        }
+        for &(v, d) in frontier {
+            debug_assert!(
+                !(self.is_current(v) && self.settled[v.index()]),
+                "frontier vertex already settled"
+            );
+            self.set_dist(v, d);
+            self.heap.push(HeapEntry {
+                dist: TotalF64(d),
+                node: v,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -380,5 +448,99 @@ mod tests {
         let net = line(3);
         let mut exp = NetworkExpansion::new(&net);
         exp.next_settled();
+    }
+
+    /// 4×4 grid via the builder so the frontier holds several entries.
+    fn grid4() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<NodeId> = (0..16)
+            .map(|i| b.add_node(Point::new((i % 4) as f64, (i / 4) as f64)))
+            .collect();
+        for r in 0..4 {
+            for c in 0..4 {
+                let i = r * 4 + c;
+                if c + 1 < 4 {
+                    b.add_edge(ids[i], ids[i + 1], None).unwrap();
+                }
+                if r + 1 < 4 {
+                    b.add_edge(ids[i], ids[i + 4], None).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn snapshot_resume_continues_identically() {
+        let net = grid4();
+        for cut in [0usize, 1, 3, 7, 12, 16] {
+            // reference run, recording everything
+            let mut reference = NetworkExpansion::from_source(&net, NodeId(0));
+            let full: Vec<Settled> = std::iter::from_fn(|| reference.next_settled()).collect();
+
+            // prefix run up to `cut`, snapshot, resume in a fresh expansion
+            let mut prefix = NetworkExpansion::from_source(&net, NodeId(0));
+            let mut head = Vec::new();
+            for _ in 0..cut {
+                head.push(prefix.next_settled().unwrap());
+            }
+            let frontier = prefix.frontier_snapshot();
+            let mut resumed = NetworkExpansion::new(&net);
+            resumed.resume(NodeId(0), &head, &frontier);
+            assert_eq!(resumed.settled_count(), cut);
+            assert_eq!(resumed.radius(), head.last().map_or(0.0, |s| s.dist));
+
+            let tail: Vec<Settled> = std::iter::from_fn(|| resumed.next_settled()).collect();
+            assert_eq!(head.len() + tail.len(), full.len(), "cut={cut}");
+            // distances must match the reference exactly; settle order of
+            // equal-distance vertices may differ, so compare sorted
+            let mut got: Vec<(u32, f64)> = head
+                .iter()
+                .chain(tail.iter())
+                .map(|s| (s.node.0, s.dist))
+                .collect();
+            let mut want: Vec<(u32, f64)> = full.iter().map(|s| (s.node.0, s.dist)).collect();
+            got.sort_by_key(|a| a.0);
+            want.sort_by_key(|a| a.0);
+            assert_eq!(got, want, "cut={cut}");
+            // settled vertices from the prefix are queryable but not re-emitted
+            for s in &head {
+                assert_eq!(resumed.settled_distance(s.node), Some(s.dist));
+                assert!(!tail.iter().any(|t| t.node == s.node));
+            }
+        }
+    }
+
+    #[test]
+    fn resume_from_exhausted_prefix_is_exhausted() {
+        let net = line(5);
+        let mut exp = NetworkExpansion::from_source(&net, NodeId(2));
+        let all: Vec<Settled> = std::iter::from_fn(|| exp.next_settled()).collect();
+        assert!(exp.frontier_snapshot().is_empty());
+
+        let mut resumed = NetworkExpansion::new(&net);
+        resumed.resume(NodeId(2), &all, &[]);
+        assert!(resumed.is_exhausted());
+        assert_eq!(resumed.next_settled(), None);
+        assert_eq!(resumed.unsettled_lower_bound(), f64::INFINITY);
+        assert_eq!(resumed.settled_distance(NodeId(0)), Some(2.0));
+    }
+
+    #[test]
+    fn snapshot_dedups_stale_heap_entries() {
+        let net = grid4();
+        let mut exp = NetworkExpansion::from_source(&net, NodeId(0));
+        for _ in 0..5 {
+            exp.next_settled();
+        }
+        let snap = exp.frontier_snapshot();
+        let mut nodes: Vec<u32> = snap.iter().map(|(v, _)| v.0).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), snap.len(), "no duplicate frontier vertices");
+        for (v, d) in &snap {
+            assert_eq!(exp.settled_distance(*v), None, "frontier is unsettled");
+            assert!(*d >= exp.radius() - 1e-12, "tentative >= radius");
+        }
     }
 }

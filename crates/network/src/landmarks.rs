@@ -77,27 +77,40 @@ impl Landmarks {
     }
 
     /// Lower bound on `sd(a, b)`: the best triangle-inequality bound over
-    /// all landmarks (zero when no landmark reaches both vertices).
+    /// all landmarks.
+    ///
+    /// A landmark leg that does not reach one of the vertices (distance
+    /// `f64::INFINITY`) contributes the **vacuous** bound `0.0` — the naive
+    /// `|sd(l,a) − sd(l,b)|` would evaluate `INFINITY − INFINITY = NaN` on a
+    /// disconnected network, which silently poisons every downstream
+    /// comparison (`NaN` fails both `<` and `>=`). The result is therefore
+    /// always a finite, non-negative, non-`NaN` lower bound.
     #[inline]
     pub fn lower_bound(&self, a: NodeId, b: NodeId) -> f64 {
         let mut best = 0.0f64;
         for table in &self.dist {
             let (da, db) = (table[a.index()], table[b.index()]);
+            // both legs finite — the only case where the subtraction is safe
             if da.is_finite() && db.is_finite() {
                 best = best.max((da - db).abs());
             }
         }
+        debug_assert!(best.is_finite() && best >= 0.0);
         best
     }
 
     /// Lower bound on the distance from `a` to the *nearest* of `targets`:
-    /// the minimum of the pairwise lower bounds.
+    /// the minimum of the pairwise lower bounds. An empty target set yields
+    /// the vacuous bound `0.0` (a `min` over nothing would be `+∞`, which
+    /// as an admission bound would wrongly prune everything).
     pub fn lower_bound_to_set(&self, a: NodeId, targets: &[NodeId]) -> f64 {
+        if targets.is_empty() {
+            return 0.0;
+        }
         targets
             .iter()
             .map(|&t| self.lower_bound(a, t))
             .fold(f64::INFINITY, f64::min)
-            .min(f64::INFINITY)
     }
 }
 
@@ -164,6 +177,63 @@ mod tests {
             .map(|&t| lm.lower_bound(NodeId(0), t))
             .fold(f64::INFINITY, f64::min);
         assert_eq!(set_lb, min_pair);
+    }
+
+    /// Two disconnected line components: `0–1–2` and `3–4–5`.
+    fn disconnected() -> RoadNetwork {
+        use crate::{NetworkBuilder, Point};
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<NodeId> = (0..6)
+            .map(|i| b.add_node(Point::new(i as f64, if i < 3 { 0.0 } else { 50.0 })))
+            .collect();
+        b.add_edge(ids[0], ids[1], None).unwrap();
+        b.add_edge(ids[1], ids[2], None).unwrap();
+        b.add_edge(ids[3], ids[4], None).unwrap();
+        b.add_edge(ids[4], ids[5], None).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn disconnected_network_yields_vacuous_bounds_never_nan() {
+        // Regression: unreachable landmark legs used to risk
+        // INFINITY − INFINITY = NaN in the triangle-inequality bound.
+        let net = disconnected();
+        let lm = Landmarks::select(&net, 2, NodeId(0));
+        // landmarks live in the start component only
+        for &l in lm.landmarks() {
+            assert!(l.0 < 3, "landmark {l:?} escaped the start component");
+        }
+        for a in net.node_ids() {
+            for b in net.node_ids() {
+                let lb = lm.lower_bound(a, b);
+                assert!(!lb.is_nan(), "{a:?}->{b:?} produced NaN");
+                assert!(lb.is_finite() && lb >= 0.0, "{a:?}->{b:?}: {lb}");
+            }
+        }
+        // a pair with one or both endpoints unreachable from every landmark
+        // gets the vacuous bound
+        assert_eq!(lm.lower_bound(NodeId(0), NodeId(4)), 0.0);
+        assert_eq!(lm.lower_bound(NodeId(3), NodeId(5)), 0.0);
+    }
+
+    #[test]
+    fn set_bound_handles_empty_and_unreachable_targets() {
+        let net = disconnected();
+        let lm = Landmarks::select(&net, 2, NodeId(0));
+        // empty target set: vacuous, not +∞ (which would prune everything)
+        assert_eq!(lm.lower_bound_to_set(NodeId(0), &[]), 0.0);
+        // all-unreachable targets: every leg vacuous, still not NaN
+        let lb = lm.lower_bound_to_set(NodeId(0), &[NodeId(3), NodeId(5)]);
+        assert!(!lb.is_nan());
+        assert_eq!(lb, 0.0);
+        // mixed set: min of the pairwise bounds — the vacuous unreachable
+        // leg (0.0) wins over the positive reachable one
+        let mixed = lm.lower_bound_to_set(NodeId(0), &[NodeId(2), NodeId(4)]);
+        let pair_min = lm
+            .lower_bound(NodeId(0), NodeId(2))
+            .min(lm.lower_bound(NodeId(0), NodeId(4)));
+        assert_eq!(mixed, pair_min);
+        assert_eq!(mixed, 0.0);
     }
 
     #[test]

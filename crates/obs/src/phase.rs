@@ -9,7 +9,7 @@ use serde::{Content, DeError, Deserialize, Serialize};
 use std::time::Duration;
 
 /// One phase of a trajectory search or join. The taxonomy is deliberately
-/// coarse — five buckets that explain *why* a budget tripped, not a flame
+/// coarse — six buckets that explain *why* a budget tripped, not a flame
 /// graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
@@ -27,10 +27,13 @@ pub enum Phase {
     HeapMaintenance,
     /// One probe trajectory's candidate search inside the similarity join.
     JoinPair,
+    /// Replaying settled vertices out of the shared network-distance cache
+    /// instead of computing them — the cross-query memoization fast path.
+    CacheReplay,
 }
 
 /// Number of phases (the length of [`Phase::ALL`]).
-pub const NUM_PHASES: usize = 5;
+pub const NUM_PHASES: usize = 6;
 
 impl Phase {
     /// Every phase, in stable order (the order of [`PhaseNanos`] slots).
@@ -40,6 +43,7 @@ impl Phase {
         Phase::CandidateRefine,
         Phase::HeapMaintenance,
         Phase::JoinPair,
+        Phase::CacheReplay,
     ];
 
     /// Stable snake_case name, used as the `phase` label of exported
@@ -51,6 +55,7 @@ impl Phase {
             Phase::CandidateRefine => "candidate_refine",
             Phase::HeapMaintenance => "heap_maintenance",
             Phase::JoinPair => "join_pair",
+            Phase::CacheReplay => "cache_replay",
         }
     }
 
@@ -68,6 +73,7 @@ impl Phase {
             Phase::CandidateRefine => 2,
             Phase::HeapMaintenance => 3,
             Phase::JoinPair => 4,
+            Phase::CacheReplay => 5,
         }
     }
 }

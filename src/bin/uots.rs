@@ -16,11 +16,17 @@
 //! Prometheus text exposition of the run, `--trace` a per-query JSON span
 //! timeline, and `check-metrics` validates an exposition file (used in CI).
 
+use std::sync::Arc;
 use uots::datagen::persist;
-use uots::join::{ts_join_instrumented, ts_join_with, JoinConfig};
+use uots::join::{
+    record_join_metrics, ts_join_cached, ts_join_instrumented, ts_join_with, JoinConfig,
+};
 use uots::obs::validate_prometheus_text;
 use uots::prelude::*;
-use uots::{MetricsRegistry, PhaseNanos, Recorder, RunControl};
+use uots::{
+    DistanceCache, MetricsRegistry, PhaseNanos, Recorder, RunControl, SearchContext,
+    DEFAULT_CACHE_CAPACITY,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,18 +58,25 @@ fn print_usage() {
          \x20 query    --data FILE --at x,y --at x,y ... [--tags a,b,c]\n\
          \x20          [--lambda L=0.5] [--k K=3]\n\
          \x20          [--deadline-ms MS] [--max-visited N]\n\
+         \x20          [--cache-capacity N] [--no-cache]\n\
          \x20          [--metrics-out FILE] [--trace FILE]\n\
          \x20 join     --data FILE --theta T=0.8 [--lambda L=0.5] [--threads N=2]\n\
          \x20          [--deadline-ms MS] [--max-visited N] [--metrics-out FILE]\n\
+         \x20          [--cache-capacity N] [--no-cache]\n\
          \x20 check-metrics --file FILE\n\n\
          --deadline-ms / --max-visited bound the work; when a bound trips,\n\
          the best results found so far are returned with a certified gap.\n\
+         network distances are memoized in a shared cache by default;\n\
+         --cache-capacity N sizes it (0 disables), --no-cache or the\n\
+         UOTS_NO_CACHE env var turns it off. results are identical either way.\n\
          --metrics-out writes a Prometheus text exposition, --trace a JSON\n\
          span timeline; check-metrics validates an exposition file."
     );
 }
 
-/// Tiny flag parser: `--name value` pairs, `--at` repeatable.
+/// Tiny flag parser: `--name value` pairs, `--at` repeatable. A flag
+/// followed by another `--flag` (or by nothing) is a boolean switch and
+/// parses as `true` — e.g. `--no-cache`.
 struct Flags {
     pairs: Vec<(String, String)>,
 }
@@ -76,11 +89,16 @@ impl Flags {
             let key = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("--{key} needs a value"))?;
-            pairs.push((key.to_string(), value.clone()));
-            i += 2;
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    pairs.push((key.to_string(), v.clone()));
+                    i += 2;
+                }
+                _ => {
+                    pairs.push((key.to_string(), "true".to_string()));
+                    i += 1;
+                }
+            }
         }
         Ok(Flags { pairs })
     }
@@ -127,6 +145,46 @@ fn parse_budget(flags: &Flags) -> Result<ExecutionBudget, String> {
         budget = budget.with_max_visited(n);
     }
     Ok(budget)
+}
+
+/// Parses `--cache-capacity` / `--no-cache` into an optional shared
+/// distance cache, wired to `registry` for hit/miss counters. The
+/// `UOTS_NO_CACHE` environment variable (any value but `0`) disables the
+/// cache regardless of flags, so CI can force the uncached path.
+fn parse_cache(
+    flags: &Flags,
+    registry: &MetricsRegistry,
+) -> Result<Option<Arc<DistanceCache>>, String> {
+    if flags.get("no-cache").is_some() || uots::no_cache_env() {
+        return Ok(None);
+    }
+    let capacity: usize = match flags.get("cache-capacity") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--cache-capacity must be an integer".to_string())?,
+        None => DEFAULT_CACHE_CAPACITY,
+    };
+    if capacity == 0 {
+        return Ok(None);
+    }
+    Ok(Some(Arc::new(DistanceCache::with_metrics(
+        capacity, registry,
+    ))))
+}
+
+/// One-line cache utilization report.
+fn report_cache(cache: &DistanceCache) {
+    let s = cache.stats();
+    println!(
+        "distance cache: {} hits / {} misses ({:.1}% hit rate), {} inserts, \
+         {} evictions, {} bound prunes",
+        s.hits,
+        s.misses,
+        s.hit_rate() * 100.0,
+        s.inserts,
+        s.evictions,
+        s.bound_prunes
+    );
 }
 
 /// Human-readable per-phase time table (skips phases that never ran).
@@ -304,6 +362,15 @@ fn cmd_query(args: &[String]) -> i32 {
     let db = uots::db(&ds);
     let metrics_out = flags.get("metrics-out").map(str::to_string);
     let trace_out = flags.get("trace").map(str::to_string);
+    let registry = MetricsRegistry::default();
+    let cache = match parse_cache(&flags, &registry) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let ctx = match &cache {
+        Some(c) => SearchContext::with_cache(Arc::clone(c)),
+        None => SearchContext::default(),
+    };
     // tracing subsumes phases-only; both are skipped entirely (one branch
     // per recorder call) when neither output was requested
     let mut rec = if trace_out.is_some() {
@@ -314,7 +381,7 @@ fn cmd_query(args: &[String]) -> i32 {
         Recorder::disabled()
     };
     let result =
-        match Expansion::default().run_recorded(&db, &query, &RunControl::unbounded(), &mut rec) {
+        match Expansion::default().run_ctx(&db, &query, &RunControl::unbounded(), &mut rec, &ctx) {
             Ok(r) => r,
             Err(e) => return fail(e),
         };
@@ -350,10 +417,12 @@ fn cmd_query(args: &[String]) -> i32 {
         result.metrics.runtime
     );
     report_completeness(&result.completeness);
+    if let Some(c) = &cache {
+        report_cache(c);
+    }
     if let Some(report) = rec.finish() {
         report_phases(&report.phases);
         if let Some(path) = metrics_out {
-            let registry = MetricsRegistry::default();
             registry
                 .histogram("uots_query_latency_us", "Query wall time, microseconds")
                 .record(u64::try_from(result.metrics.runtime.as_micros()).unwrap_or(u64::MAX));
@@ -431,7 +500,23 @@ fn cmd_join(args: &[String]) -> i32 {
     let tidx = ds.store.build_timestamp_index();
     let metrics_out = flags.get("metrics-out").map(str::to_string);
     let registry = MetricsRegistry::default();
-    let result = if metrics_out.is_some() {
+    let cache = match parse_cache(&flags, &registry) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let result = if let Some(cache) = &cache {
+        ts_join_cached(
+            &ds.network,
+            &ds.store,
+            &ds.vertex_index,
+            &tidx,
+            &cfg,
+            threads,
+            &budget,
+            &RunControl::unbounded(),
+            cache,
+        )
+    } else if metrics_out.is_some() {
         ts_join_instrumented(
             &ds.network,
             &ds.store,
@@ -459,6 +544,11 @@ fn cmd_join(args: &[String]) -> i32 {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
+    // the cached entry point bypasses ts_join_instrumented; record its
+    // outcome here so --metrics-out sees join counters either way
+    if cache.is_some() && metrics_out.is_some() {
+        record_join_metrics(&registry, &result);
+    }
     println!(
         "{} pairs with similarity >= {theta} (in {:?}):",
         result.pairs.len(),
@@ -471,6 +561,9 @@ fn cmd_join(args: &[String]) -> i32 {
         println!("  ... and {} more", result.pairs.len() - 20);
     }
     report_completeness(&result.completeness);
+    if let Some(c) = &cache {
+        report_cache(c);
+    }
     report_phases(&result.phases);
     if let Some(path) = metrics_out {
         if let Err(e) = write_metrics(&registry, &path) {

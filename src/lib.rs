@@ -55,9 +55,10 @@ pub use uots_text as text;
 pub use uots_trajectory as trajectory;
 
 pub use uots_core::{
-    algorithms, expansion_search, order, parallel, similarity, threshold_search, BatchOptions,
-    BatchPolicy, CancellationToken, Completeness, CoreError, Database, ExecutionBudget, Match,
-    QueryOptions, QueryResult, RunControl, Scheduler, SearchMetrics, TopK, UotsQuery, Weights,
+    algorithms, expansion_search, no_cache_env, order, parallel, similarity, threshold_search,
+    BatchOptions, BatchPolicy, CacheStats, CancellationToken, Completeness, CoreError, Database,
+    DistanceCache, ExecutionBudget, Match, QueryOptions, QueryResult, RunControl, Scheduler,
+    SearchContext, SearchMetrics, TopK, UotsQuery, Weights, DEFAULT_CACHE_CAPACITY,
 };
 pub use uots_datagen::{workload, Dataset, DatasetConfig};
 pub use uots_network::{NetworkBuilder, NodeId, Point, RoadNetwork};

@@ -1,0 +1,277 @@
+//! Differential harness for the shared distance cache: over hundreds of
+//! randomized cases, every algorithm must return **bit-identical** results
+//! with and without the cache, and both must equal the brute-force oracle.
+//!
+//! The cache is a pure memo: replaying a cached expansion prefix yields
+//! exactly the settle sequence a fresh Dijkstra would produce (the heap
+//! order is total — distance, then node id — so ties cannot reorder).
+//! These tests are the executable form of that claim, across:
+//!
+//! * uniform random connected networks and trajectory stores;
+//! * `datagen::adversarial::hub_spike` — one vertex fans out to the whole
+//!   store, maximal index pressure;
+//! * `datagen::adversarial::split_city` — disconnected islands, so
+//!   expansions exhaust and the infinite-distance sweep path runs;
+//! * engineered exact ties (duplicated trajectories) at every `k`;
+//! * small cache capacities, so eviction and admission rejection happen
+//!   *during* the differential run;
+//! * landmark-equipped contexts (ALT admission pruning enabled).
+//!
+//! Seeds are fixed: CI runs reproduce these exact cases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use uots::datagen::adversarial::{hub_spike, split_city};
+use uots::network::landmarks::Landmarks;
+use uots::prelude::*;
+use uots::{
+    DistanceCache, KeywordSet, NetworkBuilder, QueryResult, SearchContext, TrajectoryStore,
+    UotsQuery,
+};
+use uots_core::algorithms::{BruteForce, Expansion, IknnBaseline, TextFirst};
+use uots_text::KeywordId;
+use uots_trajectory::{Sample, Trajectory};
+
+/// Everything observable about a result, bit-exact. Two runs are "the
+/// same" iff their fingerprints are equal — ids in order, every similarity
+/// channel to the last mantissa bit.
+fn fingerprint(r: &QueryResult) -> Vec<(TrajectoryId, u64, u64, u64, u64)> {
+    r.matches
+        .iter()
+        .map(|m| {
+            (
+                m.id,
+                m.similarity.to_bits(),
+                m.spatial.to_bits(),
+                m.textual.to_bits(),
+                m.temporal.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// The four algorithms under differential test (the brute force is the
+/// oracle and additionally tested against itself cached-vs-uncached).
+fn lineup() -> Vec<(&'static str, Box<dyn Algorithm>)> {
+    vec![
+        ("expansion", Box::new(Expansion::default())),
+        (
+            "expansion-rr",
+            Box::new(Expansion::new(Scheduler::RoundRobin)),
+        ),
+        (
+            "iknn-baseline",
+            Box::new(IknnBaseline {
+                settles_per_round: 5,
+            }),
+        ),
+        ("text-first", Box::new(TextFirst)),
+    ]
+}
+
+/// Runs one (database, query) case: oracle uncached, then every algorithm
+/// uncached and under `ctx`, asserting all fingerprints identical.
+/// Returns the number of differential comparisons performed.
+fn check_case(db: &Database<'_>, q: &UotsQuery, ctx: &SearchContext, label: &str) -> usize {
+    let oracle = BruteForce.run(db, q).expect("oracle runs");
+    let want = fingerprint(&oracle);
+    let oracle_cached = BruteForce
+        .run_with_cache(db, q, ctx)
+        .expect("oracle cached");
+    assert_eq!(
+        want,
+        fingerprint(&oracle_cached),
+        "{label}: cached brute force diverged"
+    );
+    let mut comparisons = 1;
+    for (name, algo) in lineup() {
+        let uncached = algo.run(db, q).expect("uncached run");
+        assert_eq!(
+            want,
+            fingerprint(&uncached),
+            "{label}: uncached {name} diverged from oracle"
+        );
+        let cached = algo.run_with_cache(db, q, ctx).expect("cached run");
+        assert_eq!(
+            want,
+            fingerprint(&cached),
+            "{label}: cached {name} diverged from oracle"
+        );
+        comparisons += 2;
+    }
+    comparisons
+}
+
+/// A connected random network: spanning tree plus extra chords.
+fn random_network(rng: &mut StdRng, n: usize) -> (uots::RoadNetwork, Vec<NodeId>) {
+    let mut b = NetworkBuilder::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|_| b.add_node(Point::new(rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0)))
+        .collect();
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        b.add_edge(ids[i], ids[j], Some(rng.gen::<f64>() * 4.0 + 0.05))
+            .expect("valid edge");
+    }
+    for _ in 0..n {
+        let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        if i != j {
+            b.add_edge(ids[i], ids[j], Some(rng.gen::<f64>() * 4.0 + 0.05))
+                .expect("valid edge");
+        }
+    }
+    (b.build().expect("non-empty"), ids)
+}
+
+/// A random store over `n` network nodes; `dup` copies of each trajectory
+/// force exact similarity ties.
+fn random_store(rng: &mut StdRng, n: usize, trips: usize, dup: usize) -> TrajectoryStore {
+    let mut store = TrajectoryStore::new();
+    for _ in 0..trips {
+        let len = rng.gen_range(1..7);
+        let t0 = rng.gen::<f64>() * 80_000.0;
+        let samples: Vec<Sample> = (0..len)
+            .map(|i| Sample {
+                node: NodeId(rng.gen_range(0..n) as u32),
+                time: (t0 + 30.0 * i as f64).min(86_400.0),
+            })
+            .collect();
+        let tags: Vec<KeywordId> = (0..rng.gen_range(0..4))
+            .map(|_| KeywordId(rng.gen_range(0..12)))
+            .collect();
+        let t = Trajectory::new(samples, KeywordSet::from_ids(tags)).expect("valid");
+        for _ in 0..dup.max(1) {
+            store.push(t.clone());
+        }
+    }
+    store
+}
+
+/// A random query over `n` nodes; `k` spans top-1 through top-5.
+fn random_query(rng: &mut StdRng, n: usize) -> UotsQuery {
+    let m = rng.gen_range(1..4);
+    let locations: Vec<NodeId> = (0..m).map(|_| NodeId(rng.gen_range(0..n) as u32)).collect();
+    let kws: Vec<KeywordId> = (0..rng.gen_range(0..4))
+        .map(|_| KeywordId(rng.gen_range(0..12)))
+        .collect();
+    let lambda = [0.0, 0.3, 0.5, 0.7, 1.0][rng.gen_range(0..5usize)];
+    let k = rng.gen_range(1..6);
+    UotsQuery::with_options(
+        locations,
+        KeywordSet::from_ids(kws),
+        vec![],
+        QueryOptions {
+            weights: Weights::lambda(lambda).expect("valid lambda"),
+            k,
+            ..Default::default()
+        },
+    )
+    .expect("valid query")
+}
+
+/// A cache-bearing context for dataset `i`: capacities cycle through
+/// tiny (eviction-heavy), small and ample; odd datasets add landmarks.
+fn context_for(i: usize, net: &uots::RoadNetwork) -> SearchContext {
+    let capacity = [64usize, 1 << 10, 1 << 16][i % 3];
+    let ctx = SearchContext::with_cache(Arc::new(DistanceCache::new(capacity)));
+    if i % 2 == 1 {
+        ctx.with_landmarks(Arc::new(Landmarks::select(net, 3, NodeId(0))))
+    } else {
+        ctx
+    }
+}
+
+/// Uniform random graphs and stores: the bulk of the case count. One
+/// shared cache per dataset, so later queries replay earlier prefixes.
+#[test]
+fn differential_uniform_random() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_0001);
+    let mut cases = 0;
+    for ds_i in 0..12 {
+        let n = rng.gen_range(6..22);
+        let (net, _) = random_network(&mut rng, n);
+        // every third dataset duplicates trajectories to engineer ties
+        let dup = if ds_i % 3 == 2 { 3 } else { 1 };
+        let trips = rng.gen_range(1..20);
+        let store = random_store(&mut rng, n, trips, dup);
+        let vidx = store.build_vertex_index(n);
+        let kidx = store.build_keyword_index(12);
+        let db = Database::new(&net, &store, &vidx).with_keyword_index(&kidx);
+        let ctx = context_for(ds_i, &net);
+        for q_i in 0..10 {
+            let q = random_query(&mut rng, n);
+            cases += check_case(&db, &q, &ctx, &format!("uniform ds{ds_i} q{q_i}"));
+        }
+    }
+    assert!(cases >= 9 * 120, "expected ≥9 comparisons × 120 cases");
+}
+
+/// Hub-spike datasets: one vertex's posting list covers the whole store.
+#[test]
+fn differential_hub_spike() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_0002);
+    for (ds_i, seed) in [17u64, 29].into_iter().enumerate() {
+        let ds = hub_spike(24, seed).expect("hub-spike builds");
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
+            .with_keyword_index(&ds.keyword_index);
+        let n = ds.network.num_nodes();
+        let ctx = context_for(ds_i, &ds.network);
+        for q_i in 0..20 {
+            let mut q = random_query(&mut rng, n);
+            if q_i % 4 == 0 {
+                // aim a location straight at the hub: worst-case fan-out
+                let hub = NodeId((n / 2) as u32);
+                q = UotsQuery::with_options(
+                    vec![hub],
+                    KeywordSet::from_ids((0..2).map(|_| KeywordId(rng.gen_range(0..12)))),
+                    vec![],
+                    q.options().clone(),
+                )
+                .expect("hub query");
+            }
+            check_case(&db, &q, &ctx, &format!("hub-spike ds{ds_i} q{q_i}"));
+        }
+    }
+}
+
+/// Split-city datasets: expansions exhaust inside their island, so the
+/// unreachable-∞ sweep must behave identically cached and uncached.
+#[test]
+fn differential_split_city() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_0003);
+    for (ds_i, seed) in [41u64, 57].into_iter().enumerate() {
+        let ds = split_city(3, 9, seed).expect("split-city builds");
+        let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
+            .with_keyword_index(&ds.keyword_index);
+        let n = ds.network.num_nodes();
+        let ctx = context_for(ds_i, &ds.network);
+        for q_i in 0..20 {
+            let q = random_query(&mut rng, n);
+            check_case(&db, &q, &ctx, &format!("split-city ds{ds_i} q{q_i}"));
+        }
+    }
+}
+
+/// Replaying the *same* query against a warm cache — the highest-hit-rate
+/// path — still changes nothing, run after run.
+#[test]
+fn differential_warm_replay_is_stable() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_0004);
+    let n = 18;
+    let (net, _) = random_network(&mut rng, n);
+    let store = random_store(&mut rng, n, 14, 2);
+    let vidx = store.build_vertex_index(n);
+    let kidx = store.build_keyword_index(12);
+    let db = Database::new(&net, &store, &vidx).with_keyword_index(&kidx);
+    let cache = Arc::new(DistanceCache::new(1 << 14));
+    let ctx = SearchContext::with_cache(Arc::clone(&cache));
+    let queries: Vec<UotsQuery> = (0..5).map(|_| random_query(&mut rng, n)).collect();
+    for round in 0..4 {
+        for (q_i, q) in queries.iter().enumerate() {
+            check_case(&db, q, &ctx, &format!("warm round{round} q{q_i}"));
+        }
+    }
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "warm replay should hit: {stats:?}");
+}
