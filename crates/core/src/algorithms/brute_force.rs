@@ -73,7 +73,7 @@ impl Algorithm for BruteForce {
         rec.enter(Phase::CandidateRefine);
         let mut topk = TopK::new(query.options().k);
         if !interrupted {
-            for (id, traj) in db.store.iter() {
+            for (id, traj) in db.store.iter().filter(|(id, _)| db.is_live(*id)) {
                 if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
                     interrupted = true;
                     break;

@@ -175,6 +175,7 @@ impl Algorithm for IknnBaseline {
                 spatial: spatial_sim,
                 textual,
                 temporal: temporal_sim,
+                order_blend: None,
             });
         }
 
@@ -311,7 +312,7 @@ impl Algorithm for IknnBaseline {
                 let untouched: Vec<TrajectoryId> = db
                     .store
                     .ids()
-                    .filter(|tid| !states.contains_key(tid))
+                    .filter(|tid| db.is_live(*tid) && !states.contains_key(tid))
                     .collect();
                 for tid in untouched {
                     if gate.should_stop(

@@ -66,6 +66,7 @@ impl Algorithm for TextFirst {
         let mut scored: Vec<(f64, TrajectoryId)> = if query.keywords().is_empty() {
             db.store
                 .iter()
+                .filter(|(id, _)| db.is_live(*id))
                 .map(|(id, t)| {
                     let ub = w.spatial
                         + w.textual * similarity::textual_component(query, t)
@@ -95,7 +96,7 @@ impl Algorithm for TextFirst {
             scored.extend(
                 db.store
                     .ids()
-                    .filter(|id| !sharing_set.contains(id))
+                    .filter(|id| db.is_live(*id) && !sharing_set.contains(id))
                     .map(|id| (w.spatial + w.temporal, id)),
             );
             scored

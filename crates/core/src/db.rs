@@ -3,7 +3,7 @@
 use crate::{CoreError, UotsQuery};
 use uots_index::{KeywordInvertedIndex, TimestampIndex, VertexInvertedIndex};
 use uots_network::RoadNetwork;
-use uots_trajectory::{TrajectoryId, TrajectoryStore};
+use uots_trajectory::{LiveSet, TrajectoryId, TrajectoryStore};
 
 /// Borrowed view of everything a UOTS algorithm needs: the network, the
 /// trajectories and the indexes. Construction is cheap (all references), so
@@ -21,6 +21,11 @@ pub struct Database<'a> {
     pub keyword_index: Option<&'a KeywordInvertedIndex<TrajectoryId>>,
     /// sample-timestamp index (required by the temporal extension).
     pub timestamp_index: Option<&'a TimestampIndex<TrajectoryId>>,
+    /// Liveness mask for epoch-based serving: when present, retired
+    /// trajectories stay in the (append-only, stably-numbered) store but
+    /// are invisible to every algorithm. `None` means all ids are live —
+    /// the frozen-dataset behavior.
+    pub live: Option<&'a LiveSet>,
 }
 
 impl<'a> Database<'a> {
@@ -45,6 +50,7 @@ impl<'a> Database<'a> {
             vertex_index,
             keyword_index: None,
             timestamp_index: None,
+            live: None,
         }
     }
 
@@ -59,6 +65,36 @@ impl<'a> Database<'a> {
     pub fn with_timestamp_index(mut self, idx: &'a TimestampIndex<TrajectoryId>) -> Self {
         self.timestamp_index = Some(idx);
         self
+    }
+
+    /// Attaches a liveness mask. The attached indexes must have been built
+    /// over the live subset (see `build_*_index_live`), or index-discovered
+    /// candidates could include retired trajectories; the mask only guards
+    /// the direct store sweeps the algorithms fall back to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask does not cover the store.
+    pub fn with_live_set(mut self, live: &'a LiveSet) -> Self {
+        assert_eq!(
+            live.len(),
+            self.store.len(),
+            "live set does not cover the store"
+        );
+        self.live = Some(live);
+        self
+    }
+
+    /// Whether `id` is visible to queries (always true without a mask).
+    #[inline]
+    pub fn is_live(&self, id: TrajectoryId) -> bool {
+        self.live.is_none_or(|l| l.is_live(id))
+    }
+
+    /// Number of visible trajectories.
+    pub fn num_live(&self) -> usize {
+        self.live
+            .map_or(self.store.len(), uots_trajectory::LiveSet::num_live)
     }
 
     /// Validates that `query` can run against this database.

@@ -456,7 +456,10 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         Engine {
             db,
             query,
-            scheduler,
+            // enforce scheduler invariants (e.g. sweep period ≥ 1) once on
+            // entry; serde-built schedulers are already clamped, this
+            // catches directly constructed ones
+            scheduler: scheduler.normalized(),
             spatial,
             ctx,
             temporal,
@@ -900,6 +903,7 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             spatial,
             textual,
             temporal,
+            order_blend: None,
         });
     }
 
@@ -967,7 +971,7 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             .db
             .store
             .ids()
-            .filter(|tid| !self.states.contains_key(tid))
+            .filter(|tid| self.db.is_live(*tid) && !self.states.contains_key(tid))
             .collect();
         for tid in ids {
             if gate.should_stop(
@@ -1003,6 +1007,7 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
                 spatial: 0.0,
                 textual,
                 temporal,
+                order_blend: None,
             });
         }
         None

@@ -57,6 +57,7 @@ pub mod budget;
 mod db;
 pub mod distcache;
 mod engine;
+pub mod epoch;
 mod error;
 mod metrics;
 pub mod order;
@@ -78,6 +79,7 @@ pub use engine::{
     expansion_search, expansion_search_ctx, expansion_search_recorded, expansion_search_with,
     expansion_search_with_cache, threshold_search, threshold_search_ctx, threshold_search_with,
 };
+pub use epoch::{EpochManager, EpochSnapshot, EpochStats, Mutation};
 pub use error::CoreError;
 pub use metrics::SearchMetrics;
 pub use parallel::{BatchOptions, BatchPolicy};

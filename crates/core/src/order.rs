@@ -12,30 +12,78 @@
 //! nearest-sample indices relative to the query order, normalized to
 //! `[0, 1]` (longest increasing subsequence / m). A trajectory visiting all
 //! places in order scores 1; a reversed one scores `1/m`.
+//!
+//! The blended score lives in [`Match::order_blend`], never in
+//! [`Match::similarity`] — the reported similarity always stays the pure
+//! channel combination, so a certified result's components remain
+//! auditable after a rerank. Reranking also re-certifies
+//! [`Completeness`]: the blend can surface trajectories the original
+//! top-k never reported, so an exact result generally becomes a certified
+//! best effort (see [`rerank_by_order_ctx`]).
 
+use crate::budget::Completeness;
+use crate::distcache::{CachedSource, SearchContext};
 use crate::{Database, Match, QueryResult, UotsQuery};
-use uots_network::dijkstra::shortest_path_tree;
+use std::collections::{HashMap, HashSet};
+use uots_network::NodeId;
 
 /// For each query location, the index of the trajectory sample nearest to
 /// it (network distance), then the normalized longest-increasing-subsequence
 /// length of that index sequence.
 ///
-/// Runs one Dijkstra per query location bounded to the trajectory's
-/// vertices, so it is intended for the handful of matches in a result, not
-/// for whole datasets.
+/// Runs with the empty [`SearchContext`] — see
+/// [`order_consistency_ctx`] for the cache-aware variant the rerank uses.
 pub fn order_consistency(db: &Database<'_>, query: &UotsQuery, m: &Match) -> f64 {
+    order_consistency_ctx(db, query, m, &SearchContext::new())
+}
+
+/// [`order_consistency`] under a [`SearchContext`]: each per-location
+/// expansion replays a cached prefix when the context holds one, expands
+/// only as far as the trajectory's vertex set requires, and publishes the
+/// (possibly extended) prefix back for later queries.
+///
+/// The expansion bound is exact, not heuristic: Dijkstra settles in
+/// nondecreasing distance, so once every distinct trajectory vertex is
+/// settled — or the unsettled lower bound strictly exceeds the smallest
+/// distance found so far — no undelivered vertex can change the *first
+/// minimal sample index*, which is all the consistency score consumes.
+/// (Strictness matters: an unsettled vertex tying the minimum at an
+/// earlier sample index would change that index, so expansion continues
+/// through the whole tie plateau.) Scores are bit-identical to the
+/// unbounded full-tree computation; the differential suite asserts this.
+pub fn order_consistency_ctx(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    m: &Match,
+    ctx: &SearchContext,
+) -> f64 {
     let traj = db.store.get(m.id);
+    let verts: HashSet<NodeId> = traj.nodes().collect();
     let mut nearest_sample_indices = Vec::with_capacity(query.num_locations());
     for &o in query.locations() {
-        // full tree is wasteful but simple; bounded variants would need the
-        // max sample distance which we don't retain in the Match
-        let tree = shortest_path_tree(db.network, o);
-        let mut best = 0usize;
+        let mut dist: HashMap<NodeId, f64> = HashMap::with_capacity(verts.len());
+        let mut src = CachedSource::start(db.network, o, ctx.cache());
         let mut best_d = f64::INFINITY;
+        while dist.len() < verts.len() && src.unsettled_lower_bound() <= best_d {
+            let Some(s) = src.next_settled() else {
+                break; // component exhausted: the rest is exactly ∞
+            };
+            if verts.contains(&s.node) {
+                dist.insert(s.node, s.dist);
+                best_d = best_d.min(s.dist);
+            }
+        }
+        // a cleanly bounded prefix is valid cache content
+        src.publish();
+        // Vertices left unsettled by the bound have true distance strictly
+        // above `best_d`; substituting ∞ cannot move the first index that
+        // attains the minimum.
+        let mut best = 0usize;
+        let mut best_scan = f64::INFINITY;
         for (i, s) in traj.samples().iter().enumerate() {
-            let d = tree.distance(s.node).unwrap_or(f64::INFINITY);
-            if d < best_d {
-                best_d = d;
+            let d = dist.get(&s.node).copied().unwrap_or(f64::INFINITY);
+            if d < best_scan {
+                best_scan = d;
                 best = i;
             }
         }
@@ -59,9 +107,7 @@ fn lis_length(xs: &[usize]) -> usize {
     tails.len()
 }
 
-/// Re-ranks `result` in place, blending order consistency with weight
-/// `order_weight ∈ [0, 1]`:
-/// `score' = (1 − order_weight) · similarity + order_weight · consistency`.
+/// [`rerank_by_order_ctx`] with the empty [`SearchContext`].
 ///
 /// # Panics
 ///
@@ -72,34 +118,71 @@ pub fn rerank_by_order(
     result: &mut QueryResult,
     order_weight: f64,
 ) {
+    rerank_by_order_ctx(db, query, result, order_weight, &SearchContext::new());
+}
+
+/// Re-ranks `result` in place, storing the blended score
+/// `(1 − order_weight) · similarity + order_weight · consistency` in each
+/// match's [`Match::order_blend`] and re-sorting by it. `similarity` and
+/// the channel components are left untouched.
+///
+/// The completeness certificate is re-derived. With `order_weight = 0` the
+/// rerank is the identity and the certificate is preserved. Otherwise an
+/// unreported trajectory — whose similarity the original certificate
+/// bounds by `kth-best + gap` — could blend as high as
+/// `(1 − w) · min(1, kth + gap) + w · 1`, so the result is downgraded to
+/// [`Completeness::BestEffort`] with the gap between that ceiling and the
+/// new k-th best blend, unless every live trajectory is already reported
+/// (then the rerank is total and exactness survives).
+///
+/// # Panics
+///
+/// Panics when `order_weight` is outside `[0, 1]`.
+pub fn rerank_by_order_ctx(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    result: &mut QueryResult,
+    order_weight: f64,
+    ctx: &SearchContext,
+) {
     assert!(
         (0.0..=1.0).contains(&order_weight),
         "order_weight must be in [0, 1]"
     );
-    let mut scored: Vec<(f64, Match)> = result
+    if order_weight == 0.0 || result.matches.is_empty() {
+        return; // identity: blend == similarity, certificate unchanged
+    }
+    let kth = result
         .matches
-        .iter()
-        .map(|m| {
-            let c = order_consistency(db, query, m);
-            ((1.0 - order_weight) * m.similarity + order_weight * c, *m)
-        })
-        .collect();
-    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.id.cmp(&b.1.id)));
-    result.matches = scored
-        .into_iter()
-        .map(|(score, mut m)| {
-            m.similarity = score;
-            m
-        })
-        .collect();
+        .last()
+        .map_or(f64::NEG_INFINITY, |m| m.similarity);
+    for m in &mut result.matches {
+        let c = order_consistency_ctx(db, query, m, ctx);
+        m.order_blend = Some((1.0 - order_weight) * m.similarity + order_weight * c);
+    }
+    result.matches.sort_by(Match::ranking_cmp);
+    let everything_reported =
+        result.completeness.is_exact() && result.matches.len() >= db.num_live();
+    if !everything_reported {
+        let unreported_sim_ub = (kth + result.completeness.bound_gap()).min(1.0);
+        let unreported_blend_ub = (1.0 - order_weight) * unreported_sim_ub + order_weight;
+        let new_kth_blend = result
+            .matches
+            .last()
+            .map_or(f64::NEG_INFINITY, Match::rank_score);
+        result.completeness = Completeness::BestEffort {
+            bound_gap: (unreported_blend_ub - new_kth_blend).clamp(0.0, 1.0),
+        };
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::SearchMetrics;
+    use crate::{DistanceCache, QueryOptions};
+    use std::sync::Arc;
     use uots_network::generators::{grid_city, GridCityConfig};
-    use uots_network::NodeId;
     use uots_text::KeywordSet;
     use uots_trajectory::{Sample, Trajectory, TrajectoryStore};
 
@@ -143,6 +226,7 @@ mod tests {
             spatial: 0.5,
             textual: 0.0,
             temporal: 0.0,
+            order_blend: None,
         };
         let cf = order_consistency(&db, &q, &mk(fwd));
         let cr = order_consistency(&db, &q, &mk(rev));
@@ -153,11 +237,11 @@ mod tests {
         let mut result = QueryResult {
             matches: vec![mk(fwd), mk(rev)],
             metrics: SearchMetrics::for_one_query(),
-            completeness: crate::budget::Completeness::Exact,
+            completeness: Completeness::Exact,
         };
         rerank_by_order(&db, &q, &mut result, 0.5);
         assert_eq!(result.matches[0].id, fwd);
-        assert!(result.matches[0].similarity > result.matches[1].similarity);
+        assert!(result.matches[0].rank_score() > result.matches[1].rank_score());
     }
 
     #[test]
@@ -177,6 +261,7 @@ mod tests {
                     spatial: 0.9,
                     textual: 0.0,
                     temporal: 0.0,
+                    order_blend: None,
                 },
                 Match {
                     id: b,
@@ -184,13 +269,150 @@ mod tests {
                     spatial: 0.2,
                     textual: 0.0,
                     temporal: 0.0,
+                    order_blend: None,
                 },
             ],
             metrics: SearchMetrics::for_one_query(),
-            completeness: crate::budget::Completeness::Exact,
+            completeness: Completeness::Exact,
         };
         rerank_by_order(&db, &q, &mut result, 0.0);
         assert_eq!(result.matches[0].id, a);
         assert!((result.matches[0].similarity - 0.9).abs() < 1e-12);
+        // zero weight is the identity: no blend stored, certificate kept
+        assert_eq!(result.matches[0].order_blend, None);
+        assert!(result.completeness.is_exact());
+    }
+
+    /// Regression (pre-fix `rerank_by_order` overwrote `similarity` with
+    /// the blended score): after a rerank the similarity must still be the
+    /// pure channel combination and the blend must live in `order_blend`.
+    #[test]
+    fn rerank_keeps_similarity_pure_and_downgrades_completeness() {
+        let net = grid_city(&GridCityConfig::tiny(8)).unwrap();
+        let mut store = TrajectoryStore::new();
+        let fwd = store.push(traj(&[0, 2, 4, 6]));
+        let rev = store.push(traj(&[6, 4, 2, 0]));
+        // a third live trajectory the k=2 result does not report, so the
+        // exact certificate cannot survive a weighted rerank
+        store.push(traj(&[63]));
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &store, &vidx);
+        let q = UotsQuery::new(vec![NodeId(0), NodeId(3), NodeId(6)], KeywordSet::empty()).unwrap();
+        let mk = |id, sim| Match {
+            id,
+            similarity: sim,
+            spatial: sim,
+            textual: 0.0,
+            temporal: 0.0,
+            order_blend: None,
+        };
+        let mut result = QueryResult {
+            matches: vec![mk(rev, 0.8), mk(fwd, 0.7)],
+            metrics: SearchMetrics::for_one_query(),
+            completeness: Completeness::Exact,
+        };
+        rerank_by_order(&db, &q, &mut result, 0.6);
+        for m in &result.matches {
+            let sim = if m.id == rev { 0.8 } else { 0.7 };
+            assert!(
+                (m.similarity - sim).abs() < 1e-12,
+                "similarity must stay the channel combination, got {}",
+                m.similarity
+            );
+            assert_eq!(m.spatial, sim, "components untouched");
+            let blend = m.order_blend.expect("rerank stores the blend");
+            assert!((0.0..=1.0).contains(&blend));
+        }
+        // the order-consistent trajectory wins despite lower similarity
+        assert_eq!(result.matches[0].id, fwd);
+        // and the stale Exact certificate was downgraded
+        assert!(
+            !result.completeness.is_exact(),
+            "unreported trajectories can out-blend the reported k: {:?}",
+            result.completeness
+        );
+        assert!(result.completeness.bound_gap() <= 1.0);
+        assert!(result.is_ranked(), "ranking invariant holds on the blend");
+    }
+
+    /// When the result already reports every live trajectory, the rerank
+    /// is a total re-sort and exactness survives.
+    #[test]
+    fn rerank_of_total_result_stays_exact() {
+        let net = grid_city(&GridCityConfig::tiny(8)).unwrap();
+        let mut store = TrajectoryStore::new();
+        let fwd = store.push(traj(&[0, 2, 4, 6]));
+        let rev = store.push(traj(&[6, 4, 2, 0]));
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &store, &vidx);
+        let q = UotsQuery::new(vec![NodeId(0), NodeId(3), NodeId(6)], KeywordSet::empty()).unwrap();
+        let mk = |id, sim| Match {
+            id,
+            similarity: sim,
+            spatial: sim,
+            textual: 0.0,
+            temporal: 0.0,
+            order_blend: None,
+        };
+        let mut result = QueryResult {
+            matches: vec![mk(rev, 0.8), mk(fwd, 0.7)],
+            metrics: SearchMetrics::for_one_query(),
+            completeness: Completeness::Exact,
+        };
+        rerank_by_order(&db, &q, &mut result, 0.5);
+        assert!(result.completeness.is_exact());
+        assert_eq!(result.matches[0].id, fwd);
+    }
+
+    /// The cached path must agree with the unbounded full-tree path to the
+    /// last bit — including on stores with unreachable vertices.
+    #[test]
+    fn cached_consistency_is_bit_identical() {
+        let net = grid_city(&GridCityConfig::tiny(8)).unwrap();
+        let mut store = TrajectoryStore::new();
+        let ids = [
+            store.push(traj(&[0, 2, 4, 6])),
+            store.push(traj(&[6, 4, 2, 0])),
+            store.push(traj(&[9, 18, 27, 36])),
+            store.push(traj(&[63, 0, 63])),
+        ];
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &store, &vidx);
+        let cache = Arc::new(DistanceCache::new(1 << 14));
+        let ctx = SearchContext::with_cache(Arc::clone(&cache));
+        let queries = [
+            UotsQuery::new(vec![NodeId(0), NodeId(3), NodeId(6)], KeywordSet::empty()).unwrap(),
+            UotsQuery::new(vec![NodeId(7), NodeId(56)], KeywordSet::empty()).unwrap(),
+            UotsQuery::with_options(
+                vec![NodeId(5)],
+                KeywordSet::empty(),
+                vec![],
+                QueryOptions::default(),
+            )
+            .unwrap(),
+        ];
+        let mk = |id| Match {
+            id,
+            similarity: 0.5,
+            spatial: 0.5,
+            textual: 0.0,
+            temporal: 0.0,
+            order_blend: None,
+        };
+        // two rounds so the second replays the prefixes the first published
+        for round in 0..2 {
+            for q in &queries {
+                for &id in &ids {
+                    let plain = order_consistency(&db, q, &mk(id));
+                    let cached = order_consistency_ctx(&db, q, &mk(id), &ctx);
+                    assert_eq!(
+                        plain.to_bits(),
+                        cached.to_bits(),
+                        "round {round}: cached consistency diverged for {id}"
+                    );
+                }
+            }
+        }
+        assert!(cache.stats().hits > 0, "second round must replay prefixes");
     }
 }

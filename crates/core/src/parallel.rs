@@ -23,9 +23,11 @@
 use crate::algorithms::Algorithm;
 use crate::budget::{CancellationToken, RunControl};
 use crate::distcache::SearchContext;
+use crate::epoch::{EpochManager, EpochSnapshot};
 use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uots_obs::{Counter, Gauge, Histogram, MetricsRegistry, Recorder};
 
@@ -560,6 +562,62 @@ fn run_batch_crossbeam_inner<A: Algorithm + Sync>(
         .collect()
 }
 
+/// The snapshot a batch was pinned to, alongside its per-query outcomes.
+pub type EpochBatch = (Arc<EpochSnapshot>, Vec<Result<QueryResult, CoreError>>);
+
+/// Runs a batch against a live [`EpochManager`]: resolves **one** snapshot
+/// up front and answers every query of the batch against it, so the whole
+/// batch observes a single consistent epoch even while the ingest path
+/// keeps publishing. The pinned snapshot is returned alongside the results
+/// so callers can attribute answers to an epoch (and re-run against it for
+/// verification). Concurrent publishes never invalidate the batch — the
+/// `Arc` keeps the snapshot alive until the last result is collected.
+///
+/// Pass a [`SearchContext`] with a shared cache to keep distance prefixes
+/// warm *across* epochs: the cache is keyed on the road network, which the
+/// manager never swaps out (see [`crate::epoch`]).
+///
+/// # Errors
+///
+/// See [`run_batch_with`].
+pub fn run_batch_epoch<A: Algorithm + Sync>(
+    manager: &EpochManager,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    opts: &BatchOptions,
+    token: &CancellationToken,
+    ctx: &SearchContext,
+) -> Result<EpochBatch, CoreError> {
+    let snapshot = manager.snapshot();
+    let results = {
+        let db = snapshot.database();
+        run_batch_inner(&db, algorithm, queries, opts, token, None, ctx)?
+    };
+    Ok((snapshot, results))
+}
+
+/// The crossbeam counterpart of [`run_batch_epoch`]: one snapshot pinned
+/// for the whole batch, executed on scoped threads with a shared work
+/// cursor.
+///
+/// # Errors
+///
+/// See [`run_batch_crossbeam`].
+pub fn run_batch_crossbeam_epoch<A: Algorithm + Sync>(
+    manager: &EpochManager,
+    algorithm: &A,
+    queries: &[UotsQuery],
+    threads: usize,
+    ctx: &SearchContext,
+) -> Result<(Arc<EpochSnapshot>, Vec<QueryResult>), CoreError> {
+    let snapshot = manager.snapshot();
+    let results = {
+        let db = snapshot.database();
+        run_batch_crossbeam_inner(&db, algorithm, queries, threads, None, ctx)?
+    };
+    Ok((snapshot, results))
+}
+
 /// Convenience: runs a batch and aggregates the per-query metrics.
 ///
 /// # Errors
@@ -979,6 +1037,43 @@ mod tests {
         let cached = run_batch_crossbeam_ctx(&db, &algo, &queries, 3, &ctx).unwrap();
         for (a, b) in baseline.iter().zip(cached.iter()) {
             assert_eq!(a.ids(), b.ids());
+        }
+    }
+
+    #[test]
+    fn epoch_batches_pin_one_snapshot_across_both_executors() {
+        let (ds, queries) = setup();
+        let mgr = EpochManager::new(
+            Arc::new(ds.network.clone()),
+            ds.store.clone(),
+            ds.vocab.len(),
+        );
+        let algo = Expansion::default();
+        let ctx = SearchContext::default();
+        let (snap0, out0) = run_batch_epoch(
+            &mgr,
+            &algo,
+            &queries,
+            &BatchOptions::fail_fast(3),
+            &CancellationToken::new(),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(snap0.epoch(), 0);
+
+        // churn: retire the top answer of the first query, publish
+        let victim = out0[0].as_ref().unwrap().ids()[0];
+        mgr.retire(victim);
+        mgr.publish();
+        let (snap1, out1) = run_batch_crossbeam_epoch(&mgr, &algo, &queries, 3, &ctx).unwrap();
+        assert_eq!(snap1.epoch(), 1);
+        assert!(!out1[0].ids().contains(&victim), "retired id served");
+
+        // the pinned pre-churn snapshot still answers exactly as before —
+        // publishes never invalidate a batch's epoch
+        let replay = run_batch(&snap0.database(), &algo, &queries, 2).unwrap();
+        for (a, b) in out0.iter().zip(replay.iter()) {
+            assert_eq!(a.as_ref().unwrap().ids(), b.ids());
         }
     }
 

@@ -136,6 +136,7 @@ pub fn evaluate_with_trees(
         spatial,
         textual,
         temporal,
+        order_blend: None,
     }
 }
 
@@ -162,6 +163,7 @@ pub fn evaluate_with_sources(
         spatial,
         textual,
         temporal,
+        order_blend: None,
     }
 }
 

@@ -108,6 +108,7 @@ mod tests {
             spatial: 0.0,
             textual: 0.0,
             temporal: 0.0,
+            order_blend: None,
         }
     }
 

@@ -45,10 +45,18 @@ impl GridIndex {
         let rows = (cells_wanted / aspect).sqrt().ceil().max(1.0) as usize;
         let cols = (cells_wanted / rows as f64).ceil().max(1.0) as usize;
         let cell_size = (bbox.width() / cols as f64).max(bbox.height() / rows as f64);
-        // recompute grid shape from the square cell size; the hard cap
+        // Recompute grid shape from the square cell size; the hard cap
         // guards against degenerate/hostile coordinate distributions ever
-        // allocating an absurd cell table
+        // allocating an absurd cell table. The cell size must be enlarged
+        // *before* deriving the shape: clamping cols/rows while keeping a
+        // smaller cell size would leave boundary cells absorbing all
+        // overflow points — wider than `cell_size` — and the ring bound in
+        // `nearest` (every point of ring r is ≥ (r−1)·cell_size away) would
+        // terminate before the absorbing cell is scanned.
         let max_side = (16.0 * points.len() as f64).sqrt().ceil().max(4.0) as usize;
+        let cell_size = cell_size
+            .max(bbox.width() / max_side as f64)
+            .max(bbox.height() / max_side as f64);
         let cols = ((bbox.width() / cell_size).ceil().max(1.0) as usize).min(max_side);
         let rows = ((bbox.height() / cell_size).ceil().max(1.0) as usize).min(max_side);
 
@@ -298,6 +306,97 @@ mod tests {
     #[should_panic(expected = "at least one point")]
     fn empty_point_set_panics() {
         GridIndex::build(&[], 4);
+    }
+
+    /// Every cell's true extent must fit in `cell_size`, or the ring bound
+    /// in `nearest` is unsound. Regression for the `max_side` clamp bug:
+    /// the pre-fix build kept the un-clamped cell size, so on extreme
+    /// aspect ratios the boundary cells absorbed all overflow.
+    #[test]
+    fn clamped_grid_still_covers_the_bbox() {
+        // width 1e6 × height 1, 100 points, target 1 → the unclamped shape
+        // wants ~100 columns, max_side clamps to 40
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point::new(i as f64 * 10_101.01, (i % 2) as f64))
+            .collect();
+        let grid = GridIndex::build(&pts, 1);
+        let (cols, rows) = grid.shape();
+        let bbox = BBox::of(pts.iter());
+        assert!(
+            cols as f64 * grid.cell_size >= bbox.width() - 1e-6,
+            "grid ({cols}×{rows}, cell {}) must cover width {}",
+            grid.cell_size,
+            bbox.width()
+        );
+        assert!(rows as f64 * grid.cell_size >= bbox.height() - 1e-6);
+    }
+
+    /// Brute-force differential over hostile coordinate distributions:
+    /// extreme aspect ratios and point clusters at one corner, with
+    /// queries aimed at the far end so the pre-fix ring bound terminated
+    /// before the true nearest point's (absorbing) cell was scanned.
+    #[test]
+    fn nearest_matches_linear_scan_under_hostile_distributions() {
+        let mut rng = StdRng::seed_from_u64(0x6712);
+        let mut hostile: Vec<(String, Vec<Point>)> = Vec::new();
+        // 1) extreme horizontal strip: clamp kicks in hard
+        hostile.push((
+            "wide strip".into(),
+            (0..120)
+                .map(|_| Point::new(rng.gen::<f64>() * 1e6, rng.gen::<f64>()))
+                .collect(),
+        ));
+        // 2) extreme vertical strip
+        hostile.push((
+            "tall strip".into(),
+            (0..120)
+                .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>() * 1e6))
+                .collect(),
+        ));
+        // 3) dense cluster at one corner plus a lone far point: the far
+        // point lives in an absorbing boundary cell pre-fix
+        let mut corner: Vec<Point> = (0..150)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        corner.push(Point::new(1e6, 1e6));
+        hostile.push(("corner cluster".into(), corner));
+        // 4) two opposite-corner clusters with a huge gap
+        let mut bi: Vec<Point> = (0..60)
+            .map(|_| Point::new(rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 10.0))
+            .collect();
+        bi.extend(
+            (0..60)
+                .map(|_| Point::new(1e5 + rng.gen::<f64>() * 10.0, 1e5 + rng.gen::<f64>() * 10.0)),
+        );
+        hostile.push(("opposite corners".into(), bi));
+
+        for (label, pts) in &hostile {
+            for target in [1usize, 4, 16] {
+                let grid = GridIndex::build(pts, target);
+                let bbox = BBox::of(pts.iter());
+                for _ in 0..120 {
+                    // queries biased across and beyond the whole bbox
+                    let q = Point::new(
+                        bbox.min.x + (rng.gen::<f64>() * 1.2 - 0.1) * bbox.width().max(1.0),
+                        bbox.min.y + (rng.gen::<f64>() * 1.2 - 0.1) * bbox.height().max(1.0),
+                    );
+                    let (gi, gd) = grid.nearest(&q);
+                    let (_, ld) = nearest_linear(pts, &q);
+                    assert!(
+                        (gd - ld).abs() < 1e-9,
+                        "{label} (target {target}): query {q:?} grid {gd} (idx {gi}) vs linear {ld}"
+                    );
+                }
+                // the indexed points themselves are the harshest probes
+                for (i, p) in pts.iter().enumerate() {
+                    let (_, gd) = grid.nearest(p);
+                    assert!(
+                        gd < 1e-9,
+                        "{label} (target {target}): self-query {i} → {gd}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

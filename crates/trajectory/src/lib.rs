@@ -17,6 +17,7 @@
 
 mod error;
 mod generator;
+mod live;
 pub mod mapmatch;
 mod model;
 mod stats;
@@ -24,6 +25,7 @@ mod tags;
 
 pub use error::TrajectoryError;
 pub use generator::{GeneratedTrip, TripGenerator, TripGeneratorConfig};
+pub use live::LiveSet;
 pub use model::{Sample, Trajectory, TrajectoryId, TrajectoryStore};
 pub use stats::DatasetStats;
 pub use tags::{TagModelConfig, TagSampler};

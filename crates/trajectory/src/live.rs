@@ -1,0 +1,213 @@
+//! Liveness mask over an append-only [`TrajectoryStore`].
+//!
+//! The store's ids are dense and stable — retiring a trajectory must not
+//! renumber the survivors, or every index, cached result and tie-break
+//! would shift. A [`LiveSet`] is the resolution: a bitmask tracking which
+//! ids are currently *live*. Ingest appends to the store and marks the new
+//! id live; retirement clears the bit and leaves the trajectory in place.
+//! Query paths consult the mask (directly or through indexes built over
+//! the live subset) so retired trips are invisible without ever moving.
+
+use crate::{TrajectoryId, TrajectoryStore};
+use serde::{Deserialize, Serialize};
+
+/// A growable bitmask of live trajectory ids.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveSet {
+    bits: Vec<u64>,
+    len: usize,
+    live: usize,
+}
+
+impl LiveSet {
+    /// A mask over `len` ids, all live.
+    pub fn all_live(len: usize) -> Self {
+        LiveSet {
+            bits: vec![u64::MAX; len.div_ceil(64)],
+            len,
+            live: len,
+        }
+    }
+
+    /// A mask over `len` ids, none live.
+    pub fn none_live(len: usize) -> Self {
+        LiveSet {
+            bits: vec![0u64; len.div_ceil(64)],
+            len,
+            live: 0,
+        }
+    }
+
+    /// Number of ids covered (== the store length it masks).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers no ids at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of live ids.
+    pub fn num_live(&self) -> usize {
+        self.live
+    }
+
+    /// Whether `id` is covered and live. Ids beyond the mask are dead —
+    /// a snapshot taken before an append must not see the new trajectory.
+    #[inline]
+    pub fn is_live(&self, id: TrajectoryId) -> bool {
+        let i = id.index();
+        i < self.len && self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Extends the mask to cover ids up to `len`, newly covered ids live.
+    /// Shrinking is not supported (ids are never reclaimed).
+    pub fn grow_to(&mut self, len: usize) {
+        assert!(len >= self.len, "LiveSet never shrinks");
+        self.bits.resize(len.div_ceil(64), 0);
+        for i in self.len..len {
+            self.bits[i / 64] |= 1u64 << (i % 64);
+        }
+        self.live += len - self.len;
+        self.len = len;
+    }
+
+    /// Marks `id` dead; returns whether it was live.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not covered by the mask.
+    pub fn retire(&mut self, id: TrajectoryId) -> bool {
+        let i = id.index();
+        assert!(i < self.len, "retire of uncovered id {id}");
+        let mask = 1u64 << (i % 64);
+        let was = self.bits[i / 64] & mask != 0;
+        if was {
+            self.bits[i / 64] &= !mask;
+            self.live -= 1;
+        }
+        was
+    }
+
+    /// Marks `id` live again; returns whether it was dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not covered by the mask.
+    pub fn revive(&mut self, id: TrajectoryId) -> bool {
+        let i = id.index();
+        assert!(i < self.len, "revive of uncovered id {id}");
+        let mask = 1u64 << (i % 64);
+        let was = self.bits[i / 64] & mask == 0;
+        if was {
+            self.bits[i / 64] |= mask;
+            self.live += 1;
+        }
+        was
+    }
+
+    /// Iterator over the live ids in ascending order.
+    pub fn iter_live(&self) -> impl Iterator<Item = TrajectoryId> + '_ {
+        (0..self.len)
+            .filter(|&i| self.bits[i / 64] & (1u64 << (i % 64)) != 0)
+            .map(|i| TrajectoryId(i as u32))
+    }
+
+    /// Copies the surviving trajectories of `store` into a fresh store with
+    /// compacted (renumbered) ids, returning the store and the old → new id
+    /// map. Compaction preserves id order, so relative tie-break order is
+    /// unchanged — the property the ingest/rebuild differential oracle
+    /// relies on.
+    pub fn compact(&self, store: &TrajectoryStore) -> (TrajectoryStore, Vec<Option<TrajectoryId>>) {
+        assert_eq!(self.len, store.len(), "mask does not cover the store");
+        let mut out = TrajectoryStore::with_capacity(self.live);
+        let mut map = vec![None; store.len()];
+        for id in self.iter_live() {
+            map[id.index()] = Some(out.push(store.get(id).clone()));
+        }
+        (out, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sample, Trajectory};
+    use uots_network::NodeId;
+    use uots_text::KeywordSet;
+
+    fn traj(v: u32) -> Trajectory {
+        Trajectory::new(
+            vec![Sample {
+                node: NodeId(v),
+                time: 0.0,
+            }],
+            KeywordSet::empty(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn retire_revive_roundtrip() {
+        let mut l = LiveSet::all_live(70);
+        assert_eq!(l.num_live(), 70);
+        assert!(l.is_live(TrajectoryId(69)));
+        assert!(l.retire(TrajectoryId(69)));
+        assert!(!l.retire(TrajectoryId(69)), "double retire is a no-op");
+        assert!(!l.is_live(TrajectoryId(69)));
+        assert_eq!(l.num_live(), 69);
+        assert!(l.revive(TrajectoryId(69)));
+        assert!(!l.revive(TrajectoryId(69)), "double revive is a no-op");
+        assert_eq!(l.num_live(), 70);
+    }
+
+    #[test]
+    fn grow_covers_new_ids_live() {
+        let mut l = LiveSet::none_live(3);
+        l.grow_to(66);
+        assert_eq!(l.num_live(), 63);
+        assert!(!l.is_live(TrajectoryId(0)));
+        assert!(l.is_live(TrajectoryId(3)));
+        assert!(l.is_live(TrajectoryId(65)));
+        assert!(!l.is_live(TrajectoryId(66)), "beyond the mask is dead");
+    }
+
+    #[test]
+    fn iter_live_ascending() {
+        let mut l = LiveSet::all_live(5);
+        l.retire(TrajectoryId(1));
+        l.retire(TrajectoryId(3));
+        let ids: Vec<u32> = l.iter_live().map(|t| t.0).collect();
+        assert_eq!(ids, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn compact_preserves_order_and_maps_ids() {
+        let mut store = TrajectoryStore::new();
+        for v in 0..5 {
+            store.push(traj(v));
+        }
+        let mut l = LiveSet::all_live(5);
+        l.retire(TrajectoryId(0));
+        l.retire(TrajectoryId(3));
+        let (out, map) = l.compact(&store);
+        assert_eq!(out.len(), 3);
+        assert_eq!(map[0], None);
+        assert_eq!(map[1], Some(TrajectoryId(0)));
+        assert_eq!(map[2], Some(TrajectoryId(1)));
+        assert_eq!(map[3], None);
+        assert_eq!(map[4], Some(TrajectoryId(2)));
+        // surviving content in the original relative order
+        assert_eq!(out.get(TrajectoryId(1)).samples()[0].node, NodeId(2));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut l = LiveSet::all_live(10);
+        l.retire(TrajectoryId(7));
+        let json = serde_json::to_string(&l).unwrap();
+        let back: LiveSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
+    }
+}

@@ -230,6 +230,47 @@ impl TrajectoryStore {
                 .flat_map(|(id, t)| t.times().map(move |time| (time, id))),
         )
     }
+
+    /// Like [`build_vertex_index`](Self::build_vertex_index), covering only
+    /// the ids `live` marks live — the per-epoch index a serving snapshot
+    /// carries so retired trajectories are never discovered spatially.
+    pub fn build_vertex_index_live(
+        &self,
+        num_vertices: usize,
+        live: &crate::LiveSet,
+    ) -> VertexInvertedIndex<TrajectoryId> {
+        VertexInvertedIndex::build(
+            num_vertices,
+            live.iter_live()
+                .flat_map(|id| self.get(id).nodes().map(move |v| (v, id))),
+        )
+    }
+
+    /// Like [`build_keyword_index`](Self::build_keyword_index), covering
+    /// only the live ids.
+    pub fn build_keyword_index_live(
+        &self,
+        vocab_len: usize,
+        live: &crate::LiveSet,
+    ) -> KeywordInvertedIndex<TrajectoryId> {
+        KeywordInvertedIndex::build(
+            vocab_len,
+            live.iter_live()
+                .flat_map(|id| self.get(id).keywords().iter().map(move |k| (k, id))),
+        )
+    }
+
+    /// Like [`build_timestamp_index`](Self::build_timestamp_index),
+    /// covering only the live ids.
+    pub fn build_timestamp_index_live(
+        &self,
+        live: &crate::LiveSet,
+    ) -> TimestampIndex<TrajectoryId> {
+        TimestampIndex::build(
+            live.iter_live()
+                .flat_map(|id| self.get(id).times().map(move |time| (time, id))),
+        )
+    }
 }
 
 impl std::ops::Index<TrajectoryId> for TrajectoryStore {

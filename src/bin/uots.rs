@@ -7,6 +7,8 @@
 //!                    [--metrics-out FILE] [--trace FILE]
 //! uots join          --data data.uotsds --theta T [--lambda L] [--threads N]
 //!                    [--metrics-out FILE]
+//! uots ingest        --data data.uotsds --script mut.txt [--batch N] [--verify]
+//!                    [--metrics-out FILE]
 //! uots check-metrics --file export.prom
 //! ```
 //!
@@ -24,8 +26,8 @@ use uots::join::{
 use uots::obs::validate_prometheus_text;
 use uots::prelude::*;
 use uots::{
-    DistanceCache, MetricsRegistry, PhaseNanos, Recorder, RunControl, SearchContext,
-    DEFAULT_CACHE_CAPACITY,
+    DistanceCache, EpochManager, MetricsRegistry, PhaseNanos, Recorder, RunControl, Sample,
+    SearchContext, Trajectory, DEFAULT_CACHE_CAPACITY,
 };
 
 fn main() {
@@ -35,6 +37,7 @@ fn main() {
         Some("stats") => cmd_stats(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("join") => cmd_join(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("check-metrics") => cmd_check_metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -63,7 +66,14 @@ fn print_usage() {
          \x20 join     --data FILE --theta T=0.8 [--lambda L=0.5] [--threads N=2]\n\
          \x20          [--deadline-ms MS] [--max-visited N] [--metrics-out FILE]\n\
          \x20          [--cache-capacity N] [--no-cache]\n\
+         \x20 ingest   --data FILE --script FILE [--batch N] [--verify]\n\
+         \x20          [--metrics-out FILE]\n\
          \x20 check-metrics --file FILE\n\n\
+         ingest replays a mutation script (`ingest v1 v2 ... [| tag,tag]`,\n\
+         `retire ID`, `publish`; `#` comments) against an epoch-swapped\n\
+         live store; --batch N auto-publishes every N mutations, --verify\n\
+         differentially checks every published epoch against a from-scratch\n\
+         rebuild of the surviving trajectories.\n\
          --deadline-ms / --max-visited bound the work; when a bound trips,\n\
          the best results found so far are returned with a certified gap.\n\
          network distances are memoized in a shared cache by default;\n\
@@ -565,6 +575,220 @@ fn cmd_join(args: &[String]) -> i32 {
         report_cache(c);
     }
     report_phases(&result.phases);
+    if let Some(path) = metrics_out {
+        if let Err(e) = write_metrics(&registry, &path) {
+            return fail(e);
+        }
+    }
+    0
+}
+
+/// Differentially checks one published epoch: every probe query must answer
+/// bit-identically on the live (masked) snapshot and on a from-scratch
+/// rebuild of only the surviving trajectories, with ids mapped through the
+/// order-preserving compaction.
+fn verify_epoch(
+    snapshot: &uots::EpochSnapshot,
+    vocab_len: usize,
+    probes: &[UotsQuery],
+) -> Result<(), String> {
+    let net = snapshot.network();
+    let (compacted, id_map) = snapshot.rebuild_compacted();
+    let vidx = compacted.build_vertex_index(net.num_nodes());
+    let kidx = compacted.build_keyword_index(vocab_len);
+    let oracle_db = Database::new(net, &compacted, &vidx).with_keyword_index(&kidx);
+    let live_db = snapshot.database();
+    for (qi, q) in probes.iter().enumerate() {
+        let live = Expansion::default()
+            .run(&live_db, q)
+            .map_err(|e| format!("probe {qi} on epoch {}: {e}", snapshot.epoch()))?;
+        let oracle = Expansion::default()
+            .run(&oracle_db, q)
+            .map_err(|e| format!("probe {qi} on rebuild of epoch {}: {e}", snapshot.epoch()))?;
+        let mapped: Vec<TrajectoryId> = live
+            .ids()
+            .iter()
+            .map(|id| id_map[id.index()].expect("live snapshot served a retired id"))
+            .collect();
+        if mapped != oracle.ids() {
+            return Err(format!(
+                "epoch {} probe {qi}: live answers {mapped:?} != rebuild {:?}",
+                snapshot.epoch(),
+                oracle.ids()
+            ));
+        }
+        for (a, b) in live.matches.iter().zip(oracle.matches.iter()) {
+            if a.similarity.to_bits() != b.similarity.to_bits() {
+                return Err(format!(
+                    "epoch {} probe {qi}: similarity drift {} vs {}",
+                    snapshot.epoch(),
+                    a.similarity,
+                    b.similarity
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_ingest(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let ds = match load(&flags) {
+        Ok(ds) => ds,
+        Err(e) => return fail(e),
+    };
+    let script_path = match flags.require("script") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let script = match std::fs::read_to_string(script_path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("reading {script_path}: {e}")),
+    };
+    let batch: usize = match flags.get("batch").unwrap_or("0").parse() {
+        Ok(v) => v,
+        Err(_) => return fail("--batch must be an integer"),
+    };
+    let verify = flags.get("verify").is_some();
+    let metrics_out = flags.get("metrics-out").map(str::to_string);
+    let registry = MetricsRegistry::default();
+
+    let num_nodes = ds.network.num_nodes();
+    let vocab_len = ds.vocab.len();
+    let mgr = EpochManager::with_metrics(
+        Arc::new(ds.network.clone()),
+        ds.store.clone(),
+        vocab_len,
+        &registry,
+    );
+    let probes: Vec<UotsQuery> = workload::generate(&ds, &workload::WorkloadConfig::default())
+        .into_iter()
+        .take(3)
+        .map(|s| {
+            UotsQuery::with_options(
+                s.locations,
+                s.keywords,
+                vec![],
+                QueryOptions {
+                    k: 5,
+                    ..Default::default()
+                },
+            )
+            .expect("workload specs are valid queries")
+        })
+        .collect();
+
+    let started = std::time::Instant::now();
+    let mut next_id = ds.store.len();
+    let mut ingested = 0u64;
+    let mut retired = 0u64;
+    let mut published = 0u64;
+    let mut since_publish = 0usize;
+    let do_publish = |mgr: &EpochManager, published: &mut u64| -> Result<(), String> {
+        let snap = mgr.publish();
+        *published += 1;
+        let st = snap.stats();
+        println!(
+            "epoch {}: {} live / {} total, {} postings, {} mutations folded in",
+            st.epoch, st.live, st.total, st.postings, st.mutations
+        );
+        if verify {
+            verify_epoch(&snap, vocab_len, &probes)?;
+            println!(
+                "  verified against from-scratch rebuild ({} probes)",
+                probes.len()
+            );
+        }
+        Ok(())
+    };
+
+    for (lineno, raw) in script.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("{script_path}:{}: {msg}", lineno + 1);
+        let mutated = if let Some(rest) = line.strip_prefix("ingest") {
+            let (nodes_part, tags_part) = match rest.split_once('|') {
+                Some((n, t)) => (n, Some(t)),
+                None => (rest, None),
+            };
+            let mut samples = Vec::new();
+            for tok in nodes_part.split_whitespace() {
+                let v: u32 = match tok.parse() {
+                    Ok(v) if (v as usize) < num_nodes => v,
+                    _ => return fail(at(format!("bad vertex `{tok}`"))),
+                };
+                samples.push(Sample {
+                    node: NodeId(v),
+                    time: 60.0 * samples.len() as f64,
+                });
+            }
+            let mut tags = Vec::new();
+            if let Some(t) = tags_part {
+                for tag in t.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                    match ds.vocab.get(tag) {
+                        Some(id) => tags.push(id),
+                        None => eprintln!("warning: tag `{tag}` not in the vocabulary; ignored"),
+                    }
+                }
+            }
+            let t = match Trajectory::new(samples, KeywordSet::from_ids(tags)) {
+                Ok(t) => t,
+                Err(e) => return fail(at(format!("{e}"))),
+            };
+            let id = mgr.ingest(t);
+            debug_assert_eq!(id.index(), next_id);
+            next_id += 1;
+            ingested += 1;
+            true
+        } else if let Some(rest) = line.strip_prefix("retire") {
+            let id: usize = match rest.trim().parse() {
+                Ok(v) if v < next_id => v,
+                _ => return fail(at(format!("bad trajectory id `{}`", rest.trim()))),
+            };
+            if mgr.retire(TrajectoryId(id as u32)) {
+                retired += 1;
+            }
+            true
+        } else if line == "publish" {
+            since_publish = 0;
+            if let Err(e) = do_publish(&mgr, &mut published) {
+                return fail(e);
+            }
+            false
+        } else {
+            return fail(at(format!("unknown directive `{line}`")));
+        };
+        if mutated && batch > 0 {
+            since_publish += 1;
+            if since_publish >= batch {
+                since_publish = 0;
+                if let Err(e) = do_publish(&mgr, &mut published) {
+                    return fail(e);
+                }
+            }
+        }
+    }
+    if mgr.pending() > 0 {
+        if let Err(e) = do_publish(&mgr, &mut published) {
+            return fail(e);
+        }
+    }
+
+    let elapsed = started.elapsed();
+    let final_snap = mgr.snapshot();
+    println!(
+        "replayed {} mutations ({ingested} ingests, {retired} retires) over {published} \
+         epochs in {elapsed:?} ({:.0} mutations/s); serving epoch {} with {} live trips",
+        ingested + retired,
+        (ingested + retired) as f64 / elapsed.as_secs_f64().max(1e-9),
+        final_snap.epoch(),
+        final_snap.stats().live
+    );
     if let Some(path) = metrics_out {
         if let Err(e) = write_metrics(&registry, &path) {
             return fail(e);

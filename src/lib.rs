@@ -55,16 +55,17 @@ pub use uots_text as text;
 pub use uots_trajectory as trajectory;
 
 pub use uots_core::{
-    algorithms, expansion_search, no_cache_env, order, parallel, similarity, threshold_search,
-    BatchOptions, BatchPolicy, CacheStats, CancellationToken, Completeness, CoreError, Database,
-    DistanceCache, ExecutionBudget, Match, QueryOptions, QueryResult, RunControl, Scheduler,
-    SearchContext, SearchMetrics, TopK, UotsQuery, Weights, DEFAULT_CACHE_CAPACITY,
+    algorithms, epoch, expansion_search, no_cache_env, order, parallel, similarity,
+    threshold_search, BatchOptions, BatchPolicy, CacheStats, CancellationToken, Completeness,
+    CoreError, Database, DistanceCache, EpochManager, EpochSnapshot, ExecutionBudget, Match,
+    Mutation, QueryOptions, QueryResult, RunControl, Scheduler, SearchContext, SearchMetrics, TopK,
+    UotsQuery, Weights, DEFAULT_CACHE_CAPACITY,
 };
 pub use uots_datagen::{workload, Dataset, DatasetConfig};
 pub use uots_network::{NetworkBuilder, NodeId, Point, RoadNetwork};
 pub use uots_obs::{MetricsRegistry, Phase, PhaseNanos, Recorder};
 pub use uots_text::{KeywordId, KeywordSet, TextSimilarity, Vocabulary};
-pub use uots_trajectory::{Sample, Trajectory, TrajectoryId, TrajectoryStore};
+pub use uots_trajectory::{LiveSet, Sample, Trajectory, TrajectoryId, TrajectoryStore};
 
 /// Opens a [`Database`] over a built [`Dataset`], wiring up the keyword
 /// index (the timestamp index is built per dataset on demand; attach it with

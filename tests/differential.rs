@@ -26,8 +26,8 @@ use uots::datagen::adversarial::{hub_spike, split_city};
 use uots::network::landmarks::Landmarks;
 use uots::prelude::*;
 use uots::{
-    DistanceCache, KeywordSet, NetworkBuilder, QueryResult, SearchContext, TrajectoryStore,
-    UotsQuery,
+    DistanceCache, EpochManager, EpochSnapshot, KeywordSet, NetworkBuilder, QueryResult,
+    SearchContext, TrajectoryStore, UotsQuery,
 };
 use uots_core::algorithms::{BruteForce, Expansion, IknnBaseline, TextFirst};
 use uots_text::KeywordId;
@@ -274,4 +274,225 @@ fn differential_warm_replay_is_stable() {
     }
     let stats = cache.stats();
     assert!(stats.hits > 0, "warm replay should hit: {stats:?}");
+}
+
+/// One random trajectory for the ingest path (same shape as
+/// [`random_store`] generates).
+fn random_traj(rng: &mut StdRng, n: usize) -> Trajectory {
+    let len = rng.gen_range(1..7);
+    let t0 = rng.gen::<f64>() * 80_000.0;
+    let samples: Vec<Sample> = (0..len)
+        .map(|i| Sample {
+            node: NodeId(rng.gen_range(0..n) as u32),
+            time: (t0 + 30.0 * i as f64).min(86_400.0),
+        })
+        .collect();
+    let tags: Vec<KeywordId> = (0..rng.gen_range(0..4))
+        .map(|_| KeywordId(rng.gen_range(0..12)))
+        .collect();
+    Trajectory::new(samples, KeywordSet::from_ids(tags)).expect("valid")
+}
+
+/// The ingest/rebuild oracle for one published epoch and one query: every
+/// algorithm's answer on the **live** snapshot (retired trips masked, ids
+/// stable), with and without the cross-epoch cache, must map — through the
+/// order-preserving compaction — onto the bit-exact answer a from-scratch
+/// database over only the surviving trajectories gives.
+fn check_epoch_case(snapshot: &EpochSnapshot, q: &UotsQuery, ctx: &SearchContext, label: &str) {
+    let net = snapshot.network();
+    let (compacted, id_map) = snapshot.rebuild_compacted();
+    let vidx = compacted.build_vertex_index(net.num_nodes());
+    let kidx = compacted.build_keyword_index(12);
+    let oracle_db = Database::new(net, &compacted, &vidx).with_keyword_index(&kidx);
+    let live_db = snapshot.database();
+    let want = fingerprint(&BruteForce.run(&oracle_db, q).expect("rebuild oracle runs"));
+    let map_fp = |r: &QueryResult| -> Vec<(TrajectoryId, u64, u64, u64, u64)> {
+        fingerprint(r)
+            .into_iter()
+            .map(|(id, s, sp, tx, tm)| {
+                let mapped = id_map[id.index()]
+                    .unwrap_or_else(|| panic!("{label}: live snapshot served retired {id}"));
+                (mapped, s, sp, tx, tm)
+            })
+            .collect()
+    };
+    let oracle_live = BruteForce.run(&live_db, q).expect("live oracle runs");
+    assert_eq!(
+        want,
+        map_fp(&oracle_live),
+        "{label}: live brute force diverged"
+    );
+    for (name, algo) in lineup() {
+        let uncached = algo.run(&live_db, q).expect("live uncached run");
+        assert_eq!(
+            want,
+            map_fp(&uncached),
+            "{label}: live {name} diverged from rebuild"
+        );
+        let cached = algo
+            .run_with_cache(&live_db, q, ctx)
+            .expect("live cached run");
+        assert_eq!(
+            want,
+            map_fp(&cached),
+            "{label}: cached live {name} diverged from rebuild"
+        );
+    }
+}
+
+/// The keystone differential: random interleavings of ingest / retire /
+/// publish / query against an [`EpochManager`] answer exactly as a
+/// from-scratch rebuild of the surviving trajectories at every published
+/// epoch — for all four algorithms, with one distance cache kept warm
+/// **across** the epoch swaps (it is keyed on the road network, which the
+/// manager never replaces).
+#[test]
+fn differential_ingest_rebuild_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_0005);
+    for ds_i in 0..4 {
+        let n = rng.gen_range(8..20);
+        let (net, _) = random_network(&mut rng, n);
+        let net = Arc::new(net);
+        let trips = rng.gen_range(3..10);
+        let store = random_store(&mut rng, n, trips, 1);
+        let mgr = EpochManager::new(Arc::clone(&net), store, 12);
+        let cache = Arc::new(DistanceCache::new([256usize, 1 << 14][ds_i % 2]));
+        let ctx = SearchContext::with_cache(Arc::clone(&cache));
+        let mut next_id = mgr.snapshot().store().len();
+        let mut live_estimate = next_id;
+        for round in 0..6 {
+            for _ in 0..rng.gen_range(1..6) {
+                if live_estimate <= 2 || rng.gen_bool(0.6) {
+                    mgr.ingest(random_traj(&mut rng, n));
+                    next_id += 1;
+                    live_estimate += 1;
+                } else {
+                    let victim = TrajectoryId(rng.gen_range(0..next_id) as u32);
+                    if mgr.retire(victim) {
+                        live_estimate -= 1;
+                    }
+                }
+            }
+            let snapshot = mgr.publish();
+            assert!(
+                Arc::ptr_eq(snapshot.network(), &net),
+                "publish must never replace the network (the cache key space)"
+            );
+            assert_eq!(snapshot.live().num_live(), live_estimate);
+            for q_i in 0..4 {
+                let q = random_query(&mut rng, n);
+                check_epoch_case(
+                    &snapshot,
+                    &q,
+                    &ctx,
+                    &format!("ingest ds{ds_i} round{round} q{q_i}"),
+                );
+            }
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "ds{ds_i}: the cache must survive epoch swaps and keep hitting: {stats:?}"
+        );
+    }
+}
+
+/// Budget-interrupted queries agree with the rebuild too: `max_visited`
+/// trips deterministically, and because compaction preserves id order the
+/// live snapshot and the from-scratch rebuild visit corresponding
+/// trajectories in the same sequence — so even *partial* (best-effort)
+/// answers are bit-identical under the id map.
+#[test]
+fn differential_ingest_interrupted_queries_match_rebuild() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_0006);
+    let n = 16;
+    let (net, _) = random_network(&mut rng, n);
+    let net = Arc::new(net);
+    let store = random_store(&mut rng, n, 10, 1);
+    let mgr = EpochManager::new(Arc::clone(&net), store, 12);
+    for _ in 0..6 {
+        mgr.ingest(random_traj(&mut rng, n));
+    }
+    mgr.retire(TrajectoryId(1));
+    mgr.retire(TrajectoryId(4));
+    let snapshot = mgr.publish();
+    let (compacted, id_map) = snapshot.rebuild_compacted();
+    let vidx = compacted.build_vertex_index(n);
+    let kidx = compacted.build_keyword_index(12);
+    let oracle_db = Database::new(&net, &compacted, &vidx).with_keyword_index(&kidx);
+    let live_db = snapshot.database();
+    for q_i in 0..10 {
+        let mut q = random_query(&mut rng, n);
+        let mut opts = q.options().clone();
+        opts.budget = ExecutionBudget::default().with_max_visited(rng.gen_range(1..6));
+        q = UotsQuery::with_options(q.locations().to_vec(), q.keywords().clone(), vec![], opts)
+            .expect("budgeted query");
+        let live = Expansion::default().run(&live_db, &q).expect("live run");
+        let oracle = Expansion::default()
+            .run(&oracle_db, &q)
+            .expect("oracle run");
+        let mapped: Vec<TrajectoryId> = live
+            .ids()
+            .iter()
+            .map(|id| id_map[id.index()].expect("live answer is live"))
+            .collect();
+        assert_eq!(mapped, oracle.ids(), "q{q_i}: interrupted answers diverged");
+        for (a, b) in live.matches.iter().zip(oracle.matches.iter()) {
+            assert_eq!(
+                a.similarity.to_bits(),
+                b.similarity.to_bits(),
+                "q{q_i}: interrupted similarity drift"
+            );
+        }
+        assert_eq!(
+            live.completeness, oracle.completeness,
+            "q{q_i}: certified gaps must agree"
+        );
+    }
+}
+
+/// A query cancelled while publishes race underneath still returns a
+/// certified best-effort answer drawn from exactly one epoch — the one its
+/// snapshot pinned — never a torn mix of generations.
+#[test]
+fn differential_cancellation_mid_swap_stays_epoch_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff_0007);
+    let n = 14;
+    let (net, _) = random_network(&mut rng, n);
+    let net = Arc::new(net);
+    let store = random_store(&mut rng, n, 8, 1);
+    let mgr = EpochManager::new(Arc::clone(&net), store, 12);
+    let q = random_query(&mut rng, n);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let churn = scope.spawn(|| {
+            let mut churn_rng = StdRng::seed_from_u64(0xc4a9);
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                mgr.ingest(random_traj(&mut churn_rng, n));
+                mgr.publish();
+            }
+        });
+        for _ in 0..20 {
+            let snapshot = mgr.snapshot();
+            let token = CancellationToken::new();
+            token.cancel();
+            let ctl = RunControl::with_token(token);
+            let r = Expansion::default()
+                .run_with(&snapshot.database(), &q, &ctl)
+                .expect("cancelled run still returns");
+            assert!(
+                !r.completeness.is_exact(),
+                "a cancelled run must be best-effort"
+            );
+            for id in r.ids() {
+                assert!(
+                    snapshot.live().is_live(id),
+                    "{id} not live in the pinned epoch {}",
+                    snapshot.epoch()
+                );
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        churn.join().expect("churn thread");
+    });
 }

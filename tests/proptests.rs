@@ -134,6 +134,7 @@ proptest! {
                 spatial: s,
                 textual: 0.0,
                 temporal: 0.0,
+                order_blend: None,
             })
             .collect();
         for m in &all {
@@ -219,6 +220,46 @@ proptest! {
             for (g, o) in got.matches.iter().zip(oracle.matches.iter()) {
                 prop_assert!((g.similarity - o.similarity).abs() < 1e-9);
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The live-ingest invariant the epoch subsystem leans on:
+    /// `freeze` after an arbitrary interleaving of inserts and removes is
+    /// exactly the CSR index built directly from the surviving postings —
+    /// and the mutation return values agree with a set-semantics model.
+    #[test]
+    fn dynamic_index_freeze_equals_direct_build(
+        num_vertices in 1usize..12,
+        ops in proptest::collection::vec(
+            (0u32..12, 0u32..20, any::<bool>()), 0..120),
+    ) {
+        use std::collections::BTreeSet;
+        use uots::index::{DynamicVertexIndex, VertexInvertedIndex};
+        let mut dynamic = DynamicVertexIndex::new(num_vertices);
+        let mut surviving: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for (v, val, is_insert) in ops {
+            let v = v % num_vertices as u32;
+            if is_insert {
+                let fresh = dynamic.insert(NodeId(v), val);
+                prop_assert_eq!(fresh, surviving.insert((v, val)));
+            } else {
+                let removed = dynamic.remove(NodeId(v), val);
+                prop_assert_eq!(removed, surviving.remove(&(v, val)));
+            }
+        }
+        let frozen = dynamic.freeze();
+        let direct = VertexInvertedIndex::build(
+            num_vertices,
+            surviving.iter().map(|&(v, val)| (NodeId(v), val)),
+        );
+        prop_assert_eq!(frozen.num_postings(), surviving.len());
+        for v in 0..num_vertices {
+            let v = NodeId(v as u32);
+            prop_assert_eq!(frozen.values_at(v), direct.values_at(v));
         }
     }
 }
