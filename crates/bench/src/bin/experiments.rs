@@ -21,6 +21,8 @@
 //! * `d2` shared distance cache: speedup and hit rate vs uncached (extension)
 //! * `d3` live ingest: epoch-swap throughput and query latency under churn
 //!   vs the frozen baseline (extension)
+//! * `d4` durability: ingest throughput vs WAL fsync policy, and recovery
+//!   time vs WAL length, with and without checkpoints (extension)
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -855,6 +857,223 @@ fn main() {
             frozen_wall.as_secs_f64() * 1_000.0 / nq,
             churn_wall.as_secs_f64() * 1_000.0 / churn_nq,
         );
+        all_rows.extend(rows);
+    }
+
+    // ------- D4: durability — fsync policy cost and recovery time -------
+    if wants(&args, "d4") {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::time::{Duration, Instant};
+        use uots::core::wal::{FsyncPolicy, WalConfig, WalWriter};
+        use uots::durable::{recover, DurableIngest, RecoverySource};
+        use uots_core::Mutation;
+        use uots_trajectory::TrajectoryId;
+
+        let root = std::env::temp_dir().join(format!("uots_d4_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+
+        // one scripted mutation stream, identical across every policy run
+        let batches_total = 256usize;
+        let batch_size = 8usize;
+        let batches: Vec<Vec<Mutation>> = {
+            let mut rng = StdRng::seed_from_u64(0xd4);
+            let mut next_id = ds.store.len();
+            (0..batches_total)
+                .map(|_| {
+                    (0..batch_size)
+                        .map(|_| {
+                            if rng.gen_bool(0.7) {
+                                let src = TrajectoryId(rng.gen_range(0..ds.store.len()) as u32);
+                                next_id += 1;
+                                Mutation::Insert(ds.store.get(src).clone())
+                            } else {
+                                Mutation::Retire(TrajectoryId(rng.gen_range(0..next_id) as u32))
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let mutations_total = (batches_total * batch_size) as f64;
+
+        let mut rows = Vec::new();
+        let mut summary_tp = Vec::new();
+        for (name, policy) in [
+            ("batch", FsyncPolicy::EveryBatch),
+            (
+                "interval:5",
+                FsyncPolicy::Interval(Duration::from_millis(5)),
+            ),
+            ("off", FsyncPolicy::Never),
+        ] {
+            let dir = root.join(format!("fsync-{}", name.replace(':', "_")));
+            std::fs::create_dir_all(&dir).expect("d4 dir");
+            let mut ingest = DurableIngest::create(
+                Arc::new(ds.network.clone()),
+                ds.store.clone(),
+                ds.vocab.clone(),
+                &dir,
+                WalConfig {
+                    fsync: policy,
+                    ..WalConfig::default()
+                },
+                None,
+                None,
+            )
+            .expect("d4 wal opens");
+            let start = Instant::now();
+            for batch in &batches {
+                ingest.apply(batch.clone()).expect("d4 apply");
+            }
+            let wall = start.elapsed();
+            let throughput = mutations_total / wall.as_secs_f64().max(1e-12);
+            summary_tp.push((name, throughput));
+            rows.push(Row {
+                experiment: "d4".into(),
+                dataset: ds.name.clone(),
+                algorithm: format!("wal ingest (fsync={name})"),
+                parameter: "mutations/s".into(),
+                value: throughput,
+                queries: batches_total,
+                runtime_ms: wall.as_secs_f64() * 1_000.0 / batches_total as f64,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                max_ms: 0.0,
+                visited: mutations_total,
+                candidates: 0.0,
+                candidate_ratio: 0.0,
+                pruning_ratio: 0.0,
+                bound_gap: 0.0,
+                recall: 1.0,
+            });
+        }
+
+        // recovery time vs WAL length (no checkpoint: full replay + rebuild)
+        let mut recovery_summary = Vec::new();
+        for len in [batches_total / 4, batches_total / 2, batches_total] {
+            let dir = root.join(format!("recover-{len}"));
+            std::fs::create_dir_all(&dir).expect("d4 dir");
+            let mut writer = WalWriter::open(
+                &dir,
+                WalConfig {
+                    fsync: FsyncPolicy::Never,
+                    ..WalConfig::default()
+                },
+            )
+            .expect("d4 wal opens");
+            for batch in &batches[..len] {
+                writer.append(batch).expect("d4 append");
+            }
+            drop(writer);
+            let start = Instant::now();
+            let recovered = recover(&dir, Some(&ds), None).expect("d4 recovery");
+            let wall = start.elapsed();
+            assert_eq!(recovered.report.replayed_batches as usize, len);
+            recovery_summary.push((len, wall));
+            rows.push(Row {
+                experiment: "d4".into(),
+                dataset: ds.name.clone(),
+                algorithm: "recover (wal only)".into(),
+                parameter: "wal-batches".into(),
+                value: len as f64,
+                queries: 1,
+                runtime_ms: wall.as_secs_f64() * 1_000.0,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                max_ms: 0.0,
+                visited: recovered.report.replayed_mutations as f64,
+                candidates: 0.0,
+                candidate_ratio: 0.0,
+                pruning_ratio: 0.0,
+                bound_gap: 0.0,
+                recall: 1.0,
+            });
+        }
+
+        // checkpoints collapse replay: same full log, checkpoint cadence on
+        let dir = root.join("recover-checkpointed");
+        std::fs::create_dir_all(&dir).expect("d4 dir");
+        let mut ingest = DurableIngest::create(
+            Arc::new(ds.network.clone()),
+            ds.store.clone(),
+            ds.vocab.clone(),
+            &dir,
+            WalConfig {
+                fsync: FsyncPolicy::Never,
+                ..WalConfig::default()
+            },
+            Some(64),
+            None,
+        )
+        .expect("d4 wal opens");
+        for (i, batch) in batches.iter().enumerate() {
+            ingest.apply(batch.clone()).expect("d4 apply");
+            if (i + 1) % 64 == 0 {
+                ingest.publish().expect("d4 publish");
+            }
+        }
+        drop(ingest);
+        let start = Instant::now();
+        let recovered = recover(&dir, Some(&ds), None).expect("d4 recovery");
+        let ckpt_wall = start.elapsed();
+        assert!(matches!(
+            recovered.report.source,
+            RecoverySource::Checkpoint(_)
+        ));
+        let ckpt_replayed = recovered.report.replayed_batches;
+        rows.push(Row {
+            experiment: "d4".into(),
+            dataset: ds.name.clone(),
+            algorithm: "recover (checkpoint+tail)".into(),
+            parameter: "wal-batches".into(),
+            value: batches_total as f64,
+            queries: 1,
+            runtime_ms: ckpt_wall.as_secs_f64() * 1_000.0,
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            max_ms: 0.0,
+            visited: recovered.report.replayed_mutations as f64,
+            candidates: 0.0,
+            candidate_ratio: 0.0,
+            pruning_ratio: 0.0,
+            bound_gap: 0.0,
+            recall: 1.0,
+        });
+
+        print!(
+            "{}",
+            render_table(
+                "D4 — durability: WAL fsync cost and recovery time (extension)",
+                &rows
+            )
+        );
+        let fmt_tp = |tps: &[(&str, f64)]| {
+            tps.iter()
+                .map(|(n, t)| format!("{n} {t:.0}/s"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let fmt_rec = |recs: &[(usize, Duration)]| {
+            recs.iter()
+                .map(|(l, w)| format!("{l} batches {:.0} ms", w.as_secs_f64() * 1_000.0))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "d4 summary: ingest throughput by fsync policy — {}; recovery (full \
+             replay) — {}; with checkpoints every 64 batches the same {}-batch log \
+             recovers in {:.0} ms replaying only {} batches",
+            fmt_tp(&summary_tp),
+            fmt_rec(&recovery_summary),
+            batches_total,
+            ckpt_wall.as_secs_f64() * 1_000.0,
+            ckpt_replayed,
+        );
+        let _ = std::fs::remove_dir_all(&root);
         all_rows.extend(rows);
     }
 

@@ -1050,49 +1050,40 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
     }
 
     /// Picks the next source per the scheduling strategy; `None` when all
-    /// sources are exhausted.
+    /// sources are exhausted. Every arm is `Option`-native: exhaustion is
+    /// detected by the selection itself, never by a separate guard, so a
+    /// source going dead between sweeps ends the expansion cleanly instead
+    /// of panicking.
     fn pick_source(&mut self) -> Option<usize> {
         let n = self.num_sources();
-        if (0..n).all(|s| !self.source_live(s)) {
-            return None;
-        }
         let pick = match self.scheduler {
             Scheduler::RoundRobin => {
-                let mut s = self.rr_cursor;
-                loop {
-                    s %= n;
-                    if self.source_live(s) {
-                        self.rr_cursor = s + 1;
-                        break s;
-                    }
-                    s += 1;
-                }
+                // Lazy scan of one full rotation starting at the cursor;
+                // safe when n == 0 (empty range) or nothing is live (None).
+                let s = (0..n)
+                    .map(|off| (self.rr_cursor + off) % n.max(1))
+                    .find(|&s| self.source_live(s))?;
+                self.rr_cursor = s + 1;
+                s
             }
-            Scheduler::MinRadius => (0..n)
-                .filter(|&s| self.source_live(s))
-                .min_by(|&a, &b| {
-                    self.normalized_radius(a)
-                        .total_cmp(&self.normalized_radius(b))
-                })
-                .expect("at least one live source"),
+            Scheduler::MinRadius => (0..n).filter(|&s| self.source_live(s)).min_by(|&a, &b| {
+                self.normalized_radius(a)
+                    .total_cmp(&self.normalized_radius(b))
+            })?,
             Scheduler::Heuristic { recompute_every } => {
                 if self.steps_since_sweep >= recompute_every.max(1) {
                     self.sweep_labels();
                     self.steps_since_sweep = 0;
-                    self.current_source = (0..n)
-                        .filter(|&s| self.source_live(s))
-                        .max_by(|&a, &b| {
+                    self.current_source =
+                        (0..n).filter(|&s| self.source_live(s)).max_by(|&a, &b| {
                             self.labels[a].total_cmp(&self.labels[b]).then_with(|| {
                                 // tie-break: less-advanced source first
                                 self.normalized_radius(b)
                                     .total_cmp(&self.normalized_radius(a))
                             })
-                        })
-                        .expect("at least one live source");
+                        })?;
                 } else if !self.source_live(self.current_source) {
-                    self.current_source = (0..n)
-                        .find(|&s| self.source_live(s))
-                        .expect("at least one live source");
+                    self.current_source = (0..n).find(|&s| self.source_live(s))?;
                 }
                 self.steps_since_sweep += 1;
                 self.current_source
@@ -1353,6 +1344,93 @@ mod tests {
         assert_eq!(r.matches[0].id, TrajectoryId(1));
         assert_eq!(r.matches[0].spatial, 0.0);
         assert!((r.matches[0].textual - 1.0).abs() < 1e-12);
+    }
+
+    /// Three isolated components, query sources confined to two tiny ones:
+    /// every Dijkstra exhausts its component long before the collector is
+    /// satisfied, so each scheduler must survive total source exhaustion
+    /// (regression for the `.expect("at least one live source")` panics in
+    /// `pick_source`) and still answer exactly via the unvisited sweep.
+    fn exhaustion_fixture() -> (uots_network::RoadNetwork, TrajectoryStore) {
+        let mut b = NetworkBuilder::new();
+        // component A: nodes 0-1, component B: nodes 2-3, component C: 4-5
+        let a0 = b.add_node(Point::new(0.0, 0.0));
+        let a1 = b.add_node(Point::new(1.0, 0.0));
+        let b0 = b.add_node(Point::new(50.0, 0.0));
+        let b1 = b.add_node(Point::new(51.0, 0.0));
+        let c0 = b.add_node(Point::new(100.0, 100.0));
+        let c1 = b.add_node(Point::new(101.0, 100.0));
+        b.add_edge(a0, a1, None).unwrap();
+        b.add_edge(b0, b1, None).unwrap();
+        b.add_edge(c0, c1, None).unwrap();
+        let net = b.build().unwrap();
+        let mut store = TrajectoryStore::new();
+        store.push(traj(&[0, 1], 0.0, &[5])); // component A
+        store.push(traj(&[4, 5], 0.0, &[1, 2])); // component C: unreachable
+        store.push(traj(&[4, 5], 100.0, &[2])); // component C: unreachable
+        (net, store)
+    }
+
+    #[test]
+    fn full_source_exhaustion_terminates_cleanly_under_every_scheduler() {
+        let (net, store) = exhaustion_fixture();
+        let q = UotsQuery::new(vec![NodeId(0), NodeId(2)], kws(&[1, 2]))
+            .unwrap()
+            .reoptioned(QueryOptions {
+                k: 3,
+                ..Default::default()
+            })
+            .unwrap();
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let db = Database::new(&net, &store, &vidx);
+        let oracle =
+            crate::algorithms::Algorithm::run(&crate::algorithms::BruteForce, &db, &q).unwrap();
+        for s in [
+            Scheduler::RoundRobin,
+            Scheduler::MinRadius,
+            Scheduler::heuristic(),
+            // recompute_every = 1 forces the max_by re-selection on every
+            // step, including the step where the last source dies
+            Scheduler::Heuristic { recompute_every: 1 },
+        ] {
+            let r = run(&net, &store, &q, s);
+            assert_eq!(r.ids(), oracle.ids(), "{s:?}");
+            assert!(r.is_ranked(), "{s:?}");
+            for (x, y) in r.matches.iter().zip(oracle.matches.iter()) {
+                assert!((x.similarity - y.similarity).abs() < 1e-12, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustion_with_temporal_channel_and_threshold_search() {
+        // same fixture, but exercise the threshold driver and a temporal
+        // query, both of which share pick_source
+        let (net, store) = exhaustion_fixture();
+        let vidx = store.build_vertex_index(net.num_nodes());
+        let tidx = store.build_timestamp_index();
+        let db = Database::new(&net, &store, &vidx).with_timestamp_index(&tidx);
+        let q = UotsQuery::with_options(
+            vec![NodeId(0), NodeId(2)],
+            kws(&[2]),
+            vec![60.0],
+            QueryOptions {
+                weights: Weights::new(0.2, 0.4, 0.4).unwrap(),
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for s in [
+            Scheduler::RoundRobin,
+            Scheduler::MinRadius,
+            Scheduler::Heuristic { recompute_every: 1 },
+        ] {
+            let r = expansion_search(&db, &q, s).unwrap();
+            assert_eq!(r.matches.len(), 3, "{s:?}");
+            let t = threshold_search(&db, &q, 0.01, s).unwrap();
+            assert!(t.is_ranked(), "{s:?}");
+        }
     }
 
     #[test]

@@ -257,6 +257,51 @@ impl EpochManager {
         )
     }
 
+    /// Seeds a manager from recovered state: a master store with its
+    /// liveness mask (retired slots preserved so ids stay stable) and the
+    /// epoch number to resume from. This is the crash-recovery constructor:
+    /// checkpoint + WAL replay reconstruct `(store, live)`, and the first
+    /// snapshot must serve exactly the durable state. Only live
+    /// trajectories enter the vertex index — retired ones stay invisible.
+    pub fn from_parts(
+        network: Arc<RoadNetwork>,
+        store: TrajectoryStore,
+        live: LiveSet,
+        vocab_len: usize,
+        epoch: u64,
+    ) -> Self {
+        assert_eq!(
+            live.len(),
+            store.len(),
+            "liveness mask must cover the master store"
+        );
+        Self::build_with(network, store, live, vocab_len, epoch, None)
+    }
+
+    /// [`from_parts`](Self::from_parts) plus `uots_epoch_*` metrics.
+    pub fn from_parts_with_metrics(
+        network: Arc<RoadNetwork>,
+        store: TrajectoryStore,
+        live: LiveSet,
+        vocab_len: usize,
+        epoch: u64,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        assert_eq!(
+            live.len(),
+            store.len(),
+            "liveness mask must cover the master store"
+        );
+        Self::build_with(
+            network,
+            store,
+            live,
+            vocab_len,
+            epoch,
+            Some(EpochMetrics::register(registry)),
+        )
+    }
+
     fn build(
         network: Arc<RoadNetwork>,
         store: TrajectoryStore,
@@ -264,14 +309,27 @@ impl EpochManager {
         metrics: Option<EpochMetrics>,
     ) -> Self {
         let live = LiveSet::all_live(store.len());
+        Self::build_with(network, store, live, vocab_len, 0, metrics)
+    }
+
+    fn build_with(
+        network: Arc<RoadNetwork>,
+        store: TrajectoryStore,
+        live: LiveSet,
+        vocab_len: usize,
+        epoch: u64,
+        metrics: Option<EpochMetrics>,
+    ) -> Self {
         let mut dynamic = DynamicVertexIndex::new(network.num_nodes());
         for (id, t) in store.iter() {
-            for v in t.nodes() {
-                dynamic.insert(v, id);
+            if live.is_live(id) {
+                for v in t.nodes() {
+                    dynamic.insert(v, id);
+                }
             }
         }
         let seed = EpochSnapshot::build(
-            0,
+            epoch,
             Arc::clone(&network),
             vocab_len,
             store.clone(),
@@ -280,7 +338,7 @@ impl EpochManager {
             0,
         );
         if let Some(m) = &metrics {
-            m.current_epoch.set(0);
+            m.current_epoch.set(epoch as i64);
             m.live_trajectories.set(seed.stats.live as i64);
             m.pending_mutations.set(0);
         }
@@ -615,6 +673,46 @@ mod tests {
             .histogram("uots_epoch_swap_micros", &[])
             .expect("swap latency recorded");
         assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn from_parts_serves_exactly_the_mutated_state() {
+        let mgr = manager();
+        mgr.retire(TrajectoryId(1));
+        mgr.ingest(traj(&[8, 9], &[5]));
+        let snap = mgr.publish();
+        // rebuild a manager from the published master state, as crash
+        // recovery does from checkpoint + WAL replay
+        let recovered = EpochManager::from_parts(
+            Arc::clone(snap.network()),
+            snap.store().clone(),
+            snap.live().clone(),
+            8,
+            snap.epoch(),
+        );
+        let rsnap = recovered.snapshot();
+        assert_eq!(rsnap.epoch(), 1);
+        assert_eq!(rsnap.live(), snap.live());
+        let q = UotsQuery::with_options(
+            vec![NodeId(0), NodeId(20)],
+            KeywordSet::from_ids([uots_text::KeywordId(1), uots_text::KeywordId(5)]),
+            Vec::new(),
+            crate::QueryOptions {
+                k: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = Expansion::default().run(&snap.database(), &q).unwrap();
+        let b = Expansion::default().run(&rsnap.database(), &q).unwrap();
+        assert_eq!(a.ids(), b.ids());
+        for (x, y) in a.matches.iter().zip(b.matches.iter()) {
+            assert_eq!(x.similarity.to_bits(), y.similarity.to_bits());
+        }
+        // and the recovered manager keeps working: publish resumes the
+        // epoch sequence
+        recovered.ingest(traj(&[3, 4], &[2]));
+        assert_eq!(recovered.publish().epoch(), 2);
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod scheduling;
 pub mod similarity;
 pub mod testing;
 mod topk;
+pub mod wal;
 
 pub use budget::{CancellationToken, Completeness, ExecutionBudget, RunControl};
 pub use db::Database;
@@ -87,3 +88,4 @@ pub use query::{QueryOptions, UotsQuery, Weights, MAX_LOCATIONS};
 pub use result::{Match, QueryResult};
 pub use scheduling::Scheduler;
 pub use topk::TopK;
+pub use wal::{FsyncPolicy, WalConfig, WalError, WalReplay, WalWriter};

@@ -25,9 +25,10 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use uots_index::GridIndex;
 use uots_network::{NetworkBuilder, NodeId, Point, RoadNetwork};
 use uots_text::{KeywordId, KeywordSet, Vocabulary};
-use uots_trajectory::{Sample, TagModelConfig, TagSampler, Trajectory, TrajectoryStore};
+use uots_trajectory::{LiveSet, Sample, TagModelConfig, TagSampler, Trajectory, TrajectoryStore};
 
 const MAGIC: &[u8; 8] = b"UOTSDS1\0";
+const CKPT_MAGIC: &[u8; 8] = b"UOTSCKP1";
 
 /// Errors from [`load`] / [`load_file`].
 #[derive(Debug)]
@@ -87,26 +88,37 @@ pub fn save(ds: &Dataset, tag_cfg: &TagModelConfig, tag_seed: u64) -> Bytes {
     out.put_f64_le(tag_cfg.keyword_skew);
     out.put_f64_le(tag_cfg.background_prob);
 
-    out.put_u32_le(ds.network.num_nodes() as u32);
-    for p in ds.network.points() {
+    write_network(&mut out, &ds.network);
+    write_vocab(&mut out, &ds.vocab);
+    write_store(&mut out, &ds.store);
+    out.freeze()
+}
+
+fn write_network(out: &mut BytesMut, network: &RoadNetwork) {
+    out.put_u32_le(network.num_nodes() as u32);
+    for p in network.points() {
         out.put_f64_le(p.x);
         out.put_f64_le(p.y);
     }
-    out.put_u32_le(ds.network.num_edges() as u32);
-    for e in ds.network.edges() {
+    out.put_u32_le(network.num_edges() as u32);
+    for e in network.edges() {
         out.put_u32_le(e.a.0);
         out.put_u32_le(e.b.0);
         out.put_f64_le(e.weight);
     }
+}
 
-    out.put_u32_le(ds.vocab.len() as u32);
-    for (_, word) in ds.vocab.iter() {
+fn write_vocab(out: &mut BytesMut, vocab: &Vocabulary) {
+    out.put_u32_le(vocab.len() as u32);
+    for (_, word) in vocab.iter() {
         out.put_u16_le(word.len() as u16);
         out.put_slice(word.as_bytes());
     }
+}
 
-    out.put_u32_le(ds.store.len() as u32);
-    for (_, t) in ds.store.iter() {
+fn write_store(out: &mut BytesMut, store: &TrajectoryStore) {
+    out.put_u32_le(store.len() as u32);
+    for (_, t) in store.iter() {
         out.put_u32_le(t.len() as u32);
         for s in t.samples() {
             out.put_u32_le(s.node.0);
@@ -117,7 +129,6 @@ pub fn save(ds: &Dataset, tag_cfg: &TagModelConfig, tag_seed: u64) -> Bytes {
             out.put_u32_le(k.0);
         }
     }
-    out.freeze()
 }
 
 /// Deserializes a dataset and rebuilds every index.
@@ -155,6 +166,16 @@ pub fn load(mut buf: &[u8]) -> Result<Dataset, PersistError> {
             "tag sampler vocabulary mismatch: stored {}, regenerated {}",
             vocab.len(),
             regenerated_vocab.len()
+        )));
+    }
+
+    // checkpoints now gate recovery correctness, so a payload followed by
+    // anything — torn rewrite, concatenated file, junk — is corruption,
+    // not something to silently ignore
+    if buf.remaining() > 0 {
+        return Err(PersistError::Invalid(format!(
+            "{} trailing bytes after a complete payload",
+            buf.remaining()
         )));
     }
 
@@ -313,6 +334,176 @@ pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<Dataset, PersistEr
     load(&raw)
 }
 
+/// A durable snapshot of the live-ingest state: the epoch master store
+/// (retired slots included — ids are dense and never renumbered), the
+/// liveness mask over it, and the WAL high-water mark it covers.
+///
+/// Format `UOTSCKP1` (little-endian, whole-payload CRC32 trailer):
+///
+/// ```text
+/// magic   8 B  "UOTSCKP1"
+/// epoch   u64  epoch counter at checkpoint time
+/// lsn     u64  WAL high-water mark: last batch LSN applied to this state
+/// network as in UOTSDS1
+/// vocab   as in UOTSDS1
+/// store   as in UOTSDS1 (the *master* store, retired slots included)
+/// live    u32 len; ⌈len/64⌉ × u64 mask words
+/// crc     u32  CRC32 (IEEE) of every preceding byte, magic included
+/// ```
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Road network shared by every epoch (cache-survival invariant).
+    pub network: RoadNetwork,
+    /// Keyword vocabulary.
+    pub vocab: Vocabulary,
+    /// Master trajectory store, retired slots included.
+    pub store: TrajectoryStore,
+    /// Liveness mask over `store`.
+    pub live: LiveSet,
+    /// Epoch counter at checkpoint time.
+    pub epoch: u64,
+    /// Last WAL batch LSN whose effects are contained in this checkpoint;
+    /// recovery replays strictly newer records on top.
+    pub lsn: u64,
+}
+
+/// Serializes a checkpoint (see [`Checkpoint`] for the format).
+pub fn save_checkpoint(ck: &Checkpoint) -> Bytes {
+    let mut out = BytesMut::with_capacity(
+        64 + ck.network.num_nodes() * 16 + ck.network.num_edges() * 16 + ck.store.len() * 64,
+    );
+    out.put_slice(CKPT_MAGIC);
+    out.put_u64_le(ck.epoch);
+    out.put_u64_le(ck.lsn);
+    write_network(&mut out, &ck.network);
+    write_vocab(&mut out, &ck.vocab);
+    write_store(&mut out, &ck.store);
+    out.put_u32_le(ck.live.len() as u32);
+    for &w in ck.live.words() {
+        out.put_u64_le(w);
+    }
+    let crc = crc32(out.as_slice());
+    out.put_u32_le(crc);
+    out.freeze()
+}
+
+/// Deserializes and fully validates a checkpoint. Any corruption — bad
+/// magic, CRC mismatch, truncation, dangling references, trailing bytes —
+/// is an error; recovery falls back to an older checkpoint or the base
+/// dataset rather than trusting a damaged snapshot.
+pub fn load_checkpoint(raw: &[u8]) -> Result<Checkpoint, PersistError> {
+    if raw.len() < CKPT_MAGIC.len() + 4 {
+        return Err(PersistError::Truncated("checkpoint header"));
+    }
+    if &raw[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let (body, trailer) = raw.split_at(raw.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    let actual = crc32(body);
+    if stored != actual {
+        return Err(PersistError::Invalid(format!(
+            "checkpoint crc mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let mut buf = &body[CKPT_MAGIC.len()..];
+    need(&buf, 16, "checkpoint meta")?;
+    let epoch = buf.get_u64_le();
+    let lsn = buf.get_u64_le();
+    let network = read_network(&mut buf)?;
+    let vocab = read_vocab(&mut buf)?;
+    let store = read_store(&mut buf, &network, &vocab)?;
+    need(&buf, 4, "live mask length")?;
+    let live_len = buf.get_u32_le() as usize;
+    if live_len != store.len() {
+        return Err(PersistError::Invalid(format!(
+            "live mask covers {live_len} ids but the store holds {}",
+            store.len()
+        )));
+    }
+    let words_needed = live_len.div_ceil(64);
+    need(&buf, words_needed * 8, "live mask words")?;
+    let words: Vec<u64> = (0..words_needed).map(|_| buf.get_u64_le()).collect();
+    let live = LiveSet::from_words(live_len, words)
+        .ok_or_else(|| PersistError::Invalid("live mask has ghost ids beyond its length".into()))?;
+    if buf.remaining() > 0 {
+        return Err(PersistError::Invalid(format!(
+            "{} trailing bytes after a complete checkpoint",
+            buf.remaining()
+        )));
+    }
+    Ok(Checkpoint {
+        network,
+        vocab,
+        store,
+        live,
+        epoch,
+        lsn,
+    })
+}
+
+/// Saves a checkpoint to `path`, atomically: written to a `.tmp` sibling,
+/// synced, then renamed over the target so a crash mid-write never leaves
+/// a half-checkpoint under the final name.
+pub fn save_checkpoint_file(
+    ck: &Checkpoint,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    let bytes = save_checkpoint(ck);
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // persist the rename itself
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
+    Ok(())
+}
+
+/// Loads and validates a checkpoint from `path`.
+pub fn load_checkpoint_file(path: impl AsRef<std::path::Path>) -> Result<Checkpoint, PersistError> {
+    let raw = std::fs::read(path)?;
+    load_checkpoint(&raw)
+}
+
+/// CRC32 (IEEE 802.3, reflected) — implemented here because checkpoints
+/// must be self-validating and the workspace vendors no checksum crate.
+/// Nibble-table variant: tiny, and fast enough for checkpoint-sized blobs.
+fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 16] = [
+        0x0000_0000,
+        0x1db7_1064,
+        0x3b6e_20c8,
+        0x26d9_30ac,
+        0x76dc_4190,
+        0x6b6b_51f4,
+        0x4db2_6158,
+        0x5005_713c,
+        0xedb8_8320,
+        0xf00f_9344,
+        0xd6d6_a3e8,
+        0xcb61_b38c,
+        0x9b64_c2b0,
+        0x86d3_d2d4,
+        0xa00a_e278,
+        0xbdbd_f21c,
+    ];
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 4) ^ TABLE[((crc ^ b as u32) & 0xf) as usize];
+        crc = (crc >> 4) ^ TABLE[((crc ^ (b as u32 >> 4)) & 0xf) as usize];
+    }
+    !crc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,5 +611,105 @@ mod tests {
             load_file("/nonexistent/uots.ds"),
             Err(PersistError::Io(_))
         ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let (ds, cfg) = dataset();
+        let mut bytes = save(&ds, &cfg.tags, cfg.tag_seed).to_vec();
+        assert!(load(&bytes).is_ok());
+        for suffix in [&b"\x00"[..], b"junk", &[0xff; 64]] {
+            let mut extended = bytes.clone();
+            extended.extend_from_slice(suffix);
+            assert!(
+                matches!(load(&extended), Err(PersistError::Invalid(_))),
+                "{} appended bytes must be rejected",
+                suffix.len()
+            );
+        }
+        // a second full payload concatenated is also trailing garbage
+        let dup = bytes.clone();
+        bytes.extend_from_slice(&dup);
+        assert!(matches!(load(&bytes), Err(PersistError::Invalid(_))));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // the canonical IEEE 802.3 check value
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn checkpoint() -> Checkpoint {
+        let (ds, _) = dataset();
+        let mut live = LiveSet::all_live(ds.store.len());
+        live.retire(uots_trajectory::TrajectoryId(1));
+        Checkpoint {
+            network: ds.network,
+            vocab: ds.vocab,
+            store: ds.store,
+            live,
+            epoch: 7,
+            lsn: 42,
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let ck = checkpoint();
+        let bytes = save_checkpoint(&ck);
+        let back = load_checkpoint(&bytes).unwrap();
+        assert_eq!(back.epoch, 7);
+        assert_eq!(back.lsn, 42);
+        assert_eq!(ck.network, back.network);
+        assert_eq!(ck.live, back.live);
+        assert_eq!(ck.store.len(), back.store.len());
+        for (a, b) in ck.store.iter().zip(back.store.iter()) {
+            assert_eq!(a.1, b.1);
+        }
+        assert_eq!(ck.vocab.len(), back.vocab.len());
+    }
+
+    #[test]
+    fn checkpoint_detects_every_corruption_mode() {
+        let ck = checkpoint();
+        let bytes = save_checkpoint(&ck).to_vec();
+        // truncation at a spread of prefixes
+        for cut in [0usize, 4, 11, 24, 100, bytes.len() / 2, bytes.len() - 1] {
+            assert!(load_checkpoint(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // any single bit flip breaks the CRC
+        for pos in [8usize, 20, bytes.len() / 3, bytes.len() - 5] {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 0x10;
+            assert!(load_checkpoint(&mutated).is_err(), "flip at {pos}");
+        }
+        // trailing garbage lands after the CRC trailer, so the CRC no
+        // longer covers the tail: still rejected
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(b"xx");
+        assert!(load_checkpoint(&extended).is_err());
+        // a dataset payload is not a checkpoint
+        let (ds, cfg) = dataset();
+        let ds_bytes = save(&ds, &cfg.tags, cfg.tag_seed);
+        assert!(matches!(
+            load_checkpoint(&ds_bytes),
+            Err(PersistError::BadMagic)
+        ));
+        // the pristine payload still loads
+        assert!(load_checkpoint(&bytes).is_ok());
+    }
+
+    #[test]
+    fn checkpoint_file_round_trip_is_atomic() {
+        let ck = checkpoint();
+        let dir = std::env::temp_dir().join("uots_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.uotsck");
+        save_checkpoint_file(&ck, &path).unwrap();
+        assert!(!path.with_extension("tmp").exists(), "tmp must be renamed");
+        let back = load_checkpoint_file(&path).unwrap();
+        assert_eq!(back.lsn, ck.lsn);
+        std::fs::remove_file(&path).ok();
     }
 }

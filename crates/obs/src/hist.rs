@@ -191,7 +191,13 @@ impl LogHistogram {
     /// upper bound `b` such that at least `ceil(q * count)` observations are
     /// `<= b`, clamped into the exact observed `[min, max]` range. Relative
     /// error is at most 12.5%; `q = 0` returns the exact min and `q = 1` the
-    /// exact max. Returns 0 when empty.
+    /// exact max.
+    ///
+    /// **Empty histograms return the sentinel 0** — quantiles of an empty
+    /// distribution are undefined, and callers that need to distinguish
+    /// "never hit" from "observed 0" must check [`is_empty`](Self::is_empty)
+    /// (the registry exporters do: Prometheus text emits `NaN` quantile
+    /// samples and the JSON snapshot emits `null`).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -310,7 +316,11 @@ mod tests {
     fn empty_histogram_is_calm() {
         let h = LogHistogram::new();
         assert!(h.is_empty());
-        assert_eq!(h.quantile(0.5), 0);
+        // the documented empty sentinel: 0 at EVERY quantile, including the
+        // out-of-range values callers might clamp in
+        for q in [-1.0, 0.0, 0.5, 0.9, 0.99, 1.0, 2.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);

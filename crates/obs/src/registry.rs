@@ -310,11 +310,20 @@ impl MetricsRegistry {
                     Metric::Histogram(h) => {
                         let snap = h.snapshot();
                         for (label, q) in EXPORT_QUANTILES {
+                            // a never-hit histogram has no quantiles; the
+                            // Prometheus convention for empty summaries is
+                            // NaN, not a fabricated 0 (which would read as
+                            // a real "p99 = 0" to dashboards and alerts)
+                            let v = if snap.count() == 0 {
+                                f64::NAN
+                            } else {
+                                snap.quantile(q) as f64
+                            };
                             out.push_str(&sample_line(
                                 &f.name,
                                 &s.labels,
                                 Some(("quantile", label)),
-                                snap.quantile(q) as f64,
+                                v,
                             ));
                         }
                         let sum_name = format!("{}_sum", f.name);
@@ -360,6 +369,9 @@ impl MetricsRegistry {
                     }),
                     Metric::Histogram(h) => {
                         let hist = h.snapshot();
+                        // quantiles of a never-hit histogram are undefined:
+                        // export `null`, never a fabricated 0
+                        let q = |p: f64| (hist.count() > 0).then(|| hist.quantile(p));
                         snap.histograms.push(HistogramSnapshot {
                             name: f.name.clone(),
                             labels,
@@ -368,10 +380,10 @@ impl MetricsRegistry {
                             min: hist.min(),
                             max: hist.max(),
                             mean: hist.mean(),
-                            p50: hist.quantile(0.5),
-                            p90: hist.quantile(0.9),
-                            p95: hist.quantile(0.95),
-                            p99: hist.quantile(0.99),
+                            p50: q(0.5),
+                            p90: q(0.9),
+                            p95: q(0.95),
+                            p99: q(0.99),
                         })
                     }
                 }
@@ -435,14 +447,17 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Arithmetic mean.
     pub mean: f64,
-    /// 50th percentile (≤12.5% relative error).
-    pub p50: u64,
-    /// 90th percentile (≤12.5% relative error).
-    pub p90: u64,
-    /// 95th percentile (≤12.5% relative error).
-    pub p95: u64,
-    /// 99th percentile (≤12.5% relative error).
-    pub p99: u64,
+    /// 50th percentile (≤12.5% relative error); `None` when no
+    /// observation was ever recorded — quantiles of an empty distribution
+    /// are undefined, and exporting 0 would be indistinguishable from a
+    /// real measurement of 0.
+    pub p50: Option<u64>,
+    /// 90th percentile (≤12.5% relative error); `None` when empty.
+    pub p90: Option<u64>,
+    /// 95th percentile (≤12.5% relative error); `None` when empty.
+    pub p95: Option<u64>,
+    /// 99th percentile (≤12.5% relative error); `None` when empty.
+    pub p99: Option<u64>,
 }
 
 /// Point-in-time snapshot of a whole [`MetricsRegistry`], serializable to
@@ -792,6 +807,7 @@ mod tests {
             .unwrap();
         assert_eq!(hs.count, 10_000);
         for (got, truth) in [(hs.p50, 5_000.0), (hs.p95, 9_500.0), (hs.p99, 9_900.0)] {
+            let got = got.expect("non-empty histogram has quantiles");
             let rel = (got as f64 - truth).abs() / truth;
             assert!(rel <= 0.125, "got {got}, truth {truth}");
         }
@@ -813,6 +829,36 @@ mod tests {
         let json = reg.render_json();
         let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn never_hit_histogram_exports_no_misleading_quantiles() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("uots_recovery_ns", "recovery time"); // registered, never recorded
+        reg.histogram("uots_busy_ns", "busy one").record(0); // a REAL zero observation
+
+        // JSON: empty → null quantiles; a real 0 observation → Some(0)
+        let snap = reg.snapshot();
+        let empty = snap.histogram("uots_recovery_ns", &[]).unwrap();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p50, None);
+        assert_eq!(empty.p99, None);
+        let busy = snap.histogram("uots_busy_ns", &[]).unwrap();
+        assert_eq!(busy.p99, Some(0), "a recorded zero is a value, not absence");
+
+        // Prometheus: empty summary quantiles are NaN, never 0
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("uots_recovery_ns{quantile=\"0.99\"} NaN"),
+            "{text}"
+        );
+        assert!(text.contains("uots_recovery_ns_count 0"), "{text}");
+        assert!(text.contains("uots_busy_ns{quantile=\"0.99\"} 0"), "{text}");
+        validate_prometheus_text(&text).expect("NaN quantiles must validate");
+
+        // the JSON round-trips through serde with the nulls intact
+        let back: RegistrySnapshot = serde_json::from_str(&reg.render_json()).unwrap();
+        assert_eq!(back.histogram("uots_recovery_ns", &[]).unwrap().p99, None);
     }
 
     #[test]

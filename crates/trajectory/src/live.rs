@@ -22,8 +22,17 @@ pub struct LiveSet {
 impl LiveSet {
     /// A mask over `len` ids, all live.
     pub fn all_live(len: usize) -> Self {
+        let mut bits = vec![u64::MAX; len.div_ceil(64)];
+        if !len.is_multiple_of(64) {
+            if let Some(last) = bits.last_mut() {
+                // keep ghost bits beyond `len` clear, so masks built here
+                // compare equal (derived `Eq`) to masks grown bit-by-bit
+                // and the raw words round-trip through persistence
+                *last = u64::MAX >> (64 - len % 64);
+            }
+        }
         LiveSet {
-            bits: vec![u64::MAX; len.div_ceil(64)],
+            bits,
             len,
             live: len,
         }
@@ -114,6 +123,37 @@ impl LiveSet {
             .map(|i| TrajectoryId(i as u32))
     }
 
+    /// The raw bitmask words backing the mask (64 ids per word, LSB =
+    /// lowest id). Exposed for binary persistence (checkpoints); pair with
+    /// [`LiveSet::from_words`] to round-trip.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a mask over `len` ids from raw words, as produced by
+    /// [`LiveSet::words`]. Returns `None` when the word count does not
+    /// match `len` or a bit beyond `len` is set (corrupt persistence must
+    /// be detected, not silently truncated). The live count is recomputed
+    /// from the bits, never trusted from the caller.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return None; // ghost ids beyond the mask
+                }
+            }
+        }
+        let live = words.iter().map(|w| w.count_ones() as usize).sum();
+        Some(LiveSet {
+            bits: words,
+            len,
+            live,
+        })
+    }
+
     /// Copies the surviving trajectories of `store` into a fresh store with
     /// compacted (renumbered) ids, returning the store and the old → new id
     /// map. Compaction preserves id order, so relative tie-break order is
@@ -200,6 +240,37 @@ mod tests {
         assert_eq!(map[4], Some(TrajectoryId(2)));
         // surviving content in the original relative order
         assert_eq!(out.get(TrajectoryId(1)).samples()[0].node, NodeId(2));
+    }
+
+    #[test]
+    fn words_round_trip_and_reject_corruption() {
+        let mut l = LiveSet::all_live(70);
+        l.retire(TrajectoryId(7));
+        l.retire(TrajectoryId(69));
+        let back = LiveSet::from_words(70, l.words().to_vec()).unwrap();
+        assert_eq!(l, back);
+        assert_eq!(back.num_live(), 68);
+        // wrong word count
+        assert!(LiveSet::from_words(70, vec![0u64; 1]).is_none());
+        assert!(LiveSet::from_words(70, vec![0u64; 3]).is_none());
+        // ghost bit beyond len
+        let mut words = l.words().to_vec();
+        words[1] |= 1u64 << 63; // id 127 > 69
+        assert!(LiveSet::from_words(70, words).is_none());
+        // exact multiples of 64 have no tail to validate
+        assert!(LiveSet::from_words(64, vec![u64::MAX]).is_some());
+        assert!(LiveSet::from_words(0, vec![]).is_some());
+    }
+
+    #[test]
+    fn construction_paths_agree_on_representation() {
+        // all_live must not leave ghost bits in the tail word: a mask built
+        // whole and one grown bit-by-bit are semantically equal and must be
+        // representationally equal (derived Eq, persisted words)
+        let mut grown = LiveSet::none_live(0);
+        grown.grow_to(70);
+        assert_eq!(LiveSet::all_live(70), grown);
+        assert_eq!(LiveSet::all_live(70).words(), grown.words());
     }
 
     #[test]

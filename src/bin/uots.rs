@@ -8,6 +8,9 @@
 //! uots join          --data data.uotsds --theta T [--lambda L] [--threads N]
 //!                    [--metrics-out FILE]
 //! uots ingest        --data data.uotsds --script mut.txt [--batch N] [--verify]
+//!                    [--wal-dir DIR] [--fsync batch|off|interval:MS]
+//!                    [--checkpoint-every N] [--metrics-out FILE]
+//! uots recover       --wal-dir DIR [--data data.uotsds] [--verify]
 //!                    [--metrics-out FILE]
 //! uots check-metrics --file export.prom
 //! ```
@@ -20,14 +23,15 @@
 
 use std::sync::Arc;
 use uots::datagen::persist;
+use uots::durable::{recover, DurableIngest, RecoverySource};
 use uots::join::{
     record_join_metrics, ts_join_cached, ts_join_instrumented, ts_join_with, JoinConfig,
 };
 use uots::obs::validate_prometheus_text;
 use uots::prelude::*;
 use uots::{
-    DistanceCache, EpochManager, MetricsRegistry, PhaseNanos, Recorder, RunControl, Sample,
-    SearchContext, Trajectory, DEFAULT_CACHE_CAPACITY,
+    DistanceCache, EpochManager, FsyncPolicy, MetricsRegistry, PhaseNanos, Recorder, RunControl,
+    Sample, SearchContext, Trajectory, WalConfig, DEFAULT_CACHE_CAPACITY,
 };
 
 fn main() {
@@ -38,6 +42,7 @@ fn main() {
         Some("query") => cmd_query(&args[1..]),
         Some("join") => cmd_join(&args[1..]),
         Some("ingest") => cmd_ingest(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some("check-metrics") => cmd_check_metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -67,6 +72,9 @@ fn print_usage() {
          \x20          [--deadline-ms MS] [--max-visited N] [--metrics-out FILE]\n\
          \x20          [--cache-capacity N] [--no-cache]\n\
          \x20 ingest   --data FILE --script FILE [--batch N] [--verify]\n\
+         \x20          [--wal-dir DIR] [--fsync batch|off|interval:MS]\n\
+         \x20          [--checkpoint-every N] [--metrics-out FILE]\n\
+         \x20 recover  --wal-dir DIR [--data FILE] [--verify]\n\
          \x20          [--metrics-out FILE]\n\
          \x20 check-metrics --file FILE\n\n\
          ingest replays a mutation script (`ingest v1 v2 ... [| tag,tag]`,\n\
@@ -74,6 +82,13 @@ fn print_usage() {
          live store; --batch N auto-publishes every N mutations, --verify\n\
          differentially checks every published epoch against a from-scratch\n\
          rebuild of the surviving trajectories.\n\
+         --wal-dir makes ingest durable: every mutation hits a checksummed\n\
+         write-ahead log before it is applied (--fsync picks the sync\n\
+         policy, default batch), and --checkpoint-every N cuts a checkpoint\n\
+         after every N logged batches. recover rebuilds the serving state\n\
+         from the newest valid checkpoint plus the durable WAL tail\n\
+         (--data supplies the base dataset when no checkpoint exists);\n\
+         its --verify differentially checks the recovered snapshot.\n\
          --deadline-ms / --max-visited bound the work; when a bound trips,\n\
          the best results found so far are returned with a certified gap.\n\
          network distances are memoized in a shared cache by default;\n\
@@ -631,6 +646,50 @@ fn verify_epoch(
     Ok(())
 }
 
+/// The ingest sink: a bare [`EpochManager`], or a [`DurableIngest`]
+/// logging every mutation to a WAL (and cutting checkpoints) first.
+enum Ingestor {
+    Plain(Box<EpochManager>),
+    Durable(Box<DurableIngest>),
+}
+
+impl Ingestor {
+    fn ingest(&mut self, t: Trajectory) -> Result<TrajectoryId, String> {
+        match self {
+            Ingestor::Plain(m) => Ok(m.ingest(t)),
+            Ingestor::Durable(d) => d.ingest(t).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn retire(&mut self, id: TrajectoryId) -> Result<bool, String> {
+        match self {
+            Ingestor::Plain(m) => Ok(m.retire(id)),
+            Ingestor::Durable(d) => d.retire(id).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn publish(&mut self) -> Result<Arc<uots::EpochSnapshot>, String> {
+        match self {
+            Ingestor::Plain(m) => Ok(m.publish()),
+            Ingestor::Durable(d) => d.publish().map_err(|e| e.to_string()),
+        }
+    }
+
+    fn pending(&self) -> u64 {
+        match self {
+            Ingestor::Plain(m) => m.pending(),
+            Ingestor::Durable(d) => d.manager().pending(),
+        }
+    }
+
+    fn snapshot(&self) -> Arc<uots::EpochSnapshot> {
+        match self {
+            Ingestor::Plain(m) => m.snapshot(),
+            Ingestor::Durable(d) => d.snapshot(),
+        }
+    }
+}
+
 fn cmd_ingest(args: &[String]) -> i32 {
     let flags = match Flags::parse(args) {
         Ok(f) => f,
@@ -658,12 +717,48 @@ fn cmd_ingest(args: &[String]) -> i32 {
 
     let num_nodes = ds.network.num_nodes();
     let vocab_len = ds.vocab.len();
-    let mgr = EpochManager::with_metrics(
-        Arc::new(ds.network.clone()),
-        ds.store.clone(),
-        vocab_len,
-        &registry,
-    );
+    let mut sink = match flags.get("wal-dir") {
+        Some(dir) => {
+            let fsync = match FsyncPolicy::parse(flags.get("fsync").unwrap_or("batch")) {
+                Ok(p) => p,
+                Err(e) => return fail(format!("--fsync: {e}")),
+            };
+            let checkpoint_every = match flags.get("checkpoint-every") {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => return fail("--checkpoint-every must be a positive integer"),
+                },
+                None => None,
+            };
+            let config = WalConfig {
+                fsync,
+                ..WalConfig::default()
+            };
+            let durable = match DurableIngest::create(
+                Arc::new(ds.network.clone()),
+                ds.store.clone(),
+                ds.vocab.clone(),
+                dir,
+                config,
+                checkpoint_every,
+                Some(&registry),
+            ) {
+                Ok(d) => d,
+                Err(e) => return fail(format!("opening wal in {dir}: {e}")),
+            };
+            println!(
+                "durable ingest: wal in {dir} (fsync {fsync}, checkpoint every {})",
+                checkpoint_every.map_or("never".to_string(), |n| format!("{n} batches")),
+            );
+            Ingestor::Durable(Box::new(durable))
+        }
+        None => Ingestor::Plain(Box::new(EpochManager::with_metrics(
+            Arc::new(ds.network.clone()),
+            ds.store.clone(),
+            vocab_len,
+            &registry,
+        ))),
+    };
     let probes: Vec<UotsQuery> = workload::generate(&ds, &workload::WorkloadConfig::default())
         .into_iter()
         .take(3)
@@ -687,8 +782,8 @@ fn cmd_ingest(args: &[String]) -> i32 {
     let mut retired = 0u64;
     let mut published = 0u64;
     let mut since_publish = 0usize;
-    let do_publish = |mgr: &EpochManager, published: &mut u64| -> Result<(), String> {
-        let snap = mgr.publish();
+    let do_publish = |sink: &mut Ingestor, published: &mut u64| -> Result<(), String> {
+        let snap = sink.publish()?;
         *published += 1;
         let st = snap.stats();
         println!(
@@ -740,7 +835,10 @@ fn cmd_ingest(args: &[String]) -> i32 {
                 Ok(t) => t,
                 Err(e) => return fail(at(format!("{e}"))),
             };
-            let id = mgr.ingest(t);
+            let id = match sink.ingest(t) {
+                Ok(id) => id,
+                Err(e) => return fail(at(e)),
+            };
             debug_assert_eq!(id.index(), next_id);
             next_id += 1;
             ingested += 1;
@@ -750,13 +848,15 @@ fn cmd_ingest(args: &[String]) -> i32 {
                 Ok(v) if v < next_id => v,
                 _ => return fail(at(format!("bad trajectory id `{}`", rest.trim()))),
             };
-            if mgr.retire(TrajectoryId(id as u32)) {
-                retired += 1;
+            match sink.retire(TrajectoryId(id as u32)) {
+                Ok(true) => retired += 1,
+                Ok(false) => {}
+                Err(e) => return fail(at(e)),
             }
             true
         } else if line == "publish" {
             since_publish = 0;
-            if let Err(e) = do_publish(&mgr, &mut published) {
+            if let Err(e) = do_publish(&mut sink, &mut published) {
                 return fail(e);
             }
             false
@@ -767,20 +867,20 @@ fn cmd_ingest(args: &[String]) -> i32 {
             since_publish += 1;
             if since_publish >= batch {
                 since_publish = 0;
-                if let Err(e) = do_publish(&mgr, &mut published) {
+                if let Err(e) = do_publish(&mut sink, &mut published) {
                     return fail(e);
                 }
             }
         }
     }
-    if mgr.pending() > 0 {
-        if let Err(e) = do_publish(&mgr, &mut published) {
+    if sink.pending() > 0 {
+        if let Err(e) = do_publish(&mut sink, &mut published) {
             return fail(e);
         }
     }
 
     let elapsed = started.elapsed();
-    let final_snap = mgr.snapshot();
+    let final_snap = sink.snapshot();
     println!(
         "replayed {} mutations ({ingested} ingests, {retired} retires) over {published} \
          epochs in {elapsed:?} ({:.0} mutations/s); serving epoch {} with {} live trips",
@@ -789,6 +889,110 @@ fn cmd_ingest(args: &[String]) -> i32 {
         final_snap.epoch(),
         final_snap.stats().live
     );
+    if let Ingestor::Durable(d) = &sink {
+        println!(
+            "wal durable through lsn {} (last checkpoint at lsn {})",
+            d.next_lsn().saturating_sub(1),
+            d.last_checkpoint_lsn()
+        );
+    }
+    if let Some(path) = metrics_out {
+        if let Err(e) = write_metrics(&registry, &path) {
+            return fail(e);
+        }
+    }
+    0
+}
+
+fn cmd_recover(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let dir = match flags.require("wal-dir") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let base = match flags.get("data") {
+        Some(path) => match persist::load_file(path) {
+            Ok(ds) => Some(ds),
+            Err(e) => return fail(format!("loading {path}: {e}")),
+        },
+        None => None,
+    };
+    let verify = flags.get("verify").is_some();
+    let metrics_out = flags.get("metrics-out").map(str::to_string);
+    let registry = MetricsRegistry::default();
+
+    let recovered = match recover(dir, base.as_ref(), Some(&registry)) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("recovering from {dir}: {e}")),
+    };
+    let report = &recovered.report;
+    match &report.source {
+        RecoverySource::Checkpoint(path) => println!(
+            "recovered from checkpoint {} (lsn {})",
+            path.display(),
+            report.checkpoint_lsn
+        ),
+        RecoverySource::BaseDataset => println!("recovered from the base dataset (no checkpoint)"),
+    }
+    for rejected in &report.rejected_checkpoints {
+        println!("  skipped corrupt checkpoint {}", rejected.display());
+    }
+    println!(
+        "replayed {} wal batches ({} mutations); durable through lsn {} ({} us)",
+        report.replayed_batches,
+        report.replayed_mutations,
+        report.next_lsn.saturating_sub(1),
+        report.micros
+    );
+    if let Some(c) = &report.wal_corruption {
+        println!(
+            "wal tail cut at {} offset {}: {} — later records discarded",
+            c.segment.display(),
+            c.offset,
+            c.reason
+        );
+    }
+    let snap = recovered.manager.snapshot();
+    let st = snap.stats();
+    println!(
+        "serving epoch {}: {} live / {} total trajectories",
+        st.epoch, st.live, st.total
+    );
+    if verify {
+        let probe_source = match &base {
+            Some(ds) => ds,
+            None => {
+                return fail("--verify needs --data to derive probe queries");
+            }
+        };
+        let probes: Vec<UotsQuery> =
+            workload::generate(probe_source, &workload::WorkloadConfig::default())
+                .into_iter()
+                .take(3)
+                .map(|s| {
+                    UotsQuery::with_options(
+                        s.locations,
+                        s.keywords,
+                        vec![],
+                        QueryOptions {
+                            k: 5,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("workload specs are valid queries")
+                })
+                .collect();
+        if let Err(e) = verify_epoch(&snap, recovered.vocab.len(), &probes) {
+            return fail(e);
+        }
+        println!(
+            "verified against from-scratch rebuild ({} probes)",
+            probes.len()
+        );
+    }
     if let Some(path) = metrics_out {
         if let Err(e) = write_metrics(&registry, &path) {
             return fail(e);

@@ -1,0 +1,500 @@
+//! Durable live ingest: WAL + checkpoints + crash recovery over the epoch
+//! subsystem.
+//!
+//! This module ties the three layers together:
+//!
+//! * [`core::wal`](uots_core::wal) — the checksummed, segment-rotated
+//!   write-ahead log every mutation batch hits *before* it is applied;
+//! * [`datagen::persist`](uots_datagen::persist) checkpoints — periodic
+//!   [`Checkpoint`] snapshots of the master store + liveness mask, stamped
+//!   with the WAL high-water mark they contain;
+//! * [`EpochManager::from_parts`] — rebuilding a serving manager from
+//!   checkpoint + WAL tail after a crash.
+//!
+//! ## Invariants
+//!
+//! 1. **Log before apply.** [`DurableIngest::apply`] appends (and fsyncs,
+//!    per policy) the batch before touching the in-memory manager, so the
+//!    on-disk log is always a superset of the applied state.
+//! 2. **Checkpoints sit on publish boundaries.** A checkpoint is cut only
+//!    right after [`DurableIngest::publish`], from the freshly published
+//!    snapshot, stamped with the last LSN appended before the publish —
+//!    at that moment snapshot state ≡ durable state through that LSN.
+//! 3. **Recovery = checkpoint ⊕ WAL tail.** [`recover`] loads the newest
+//!    checkpoint that validates (falling back to older ones, then to the
+//!    base dataset at LSN 0), replays every durable WAL batch with a
+//!    greater LSN, and seeds a manager whose first snapshot answers
+//!    queries bit-identically to a from-scratch rebuild of that prefix —
+//!    the property `tests/wal_recovery.rs` proves at every crash point.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use uots_core::wal::{self, Corruption, WalConfig, WalError, WalWriter};
+use uots_core::{EpochManager, EpochSnapshot, Mutation};
+use uots_datagen::persist::{self, Checkpoint, PersistError};
+use uots_datagen::Dataset;
+use uots_network::RoadNetwork;
+use uots_obs::MetricsRegistry;
+use uots_text::Vocabulary;
+use uots_trajectory::{LiveSet, Trajectory, TrajectoryId, TrajectoryStore};
+
+/// Errors from the durable ingest path.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The write-ahead log failed (I/O or structural corruption).
+    Wal(WalError),
+    /// Checkpoint serialization/validation failed.
+    Persist(PersistError),
+    /// The log is internally inconsistent in a way checksums cannot
+    /// excuse (e.g. a CRC-valid retire of an id the store never issued).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Wal(e) => write!(f, "wal: {e}"),
+            DurableError::Persist(e) => write!(f, "checkpoint: {e}"),
+            DurableError::Inconsistent(m) => write!(f, "inconsistent log: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<WalError> for DurableError {
+    fn from(e: WalError) -> Self {
+        DurableError::Wal(e)
+    }
+}
+
+impl From<PersistError> for DurableError {
+    fn from(e: PersistError) -> Self {
+        DurableError::Persist(e)
+    }
+}
+
+struct DurableMetrics {
+    checkpoints: uots_obs::Counter,
+    checkpoint_micros: uots_obs::Histogram,
+    pruned_segments: uots_obs::Counter,
+}
+
+impl DurableMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        DurableMetrics {
+            checkpoints: registry.counter("uots_checkpoints_total", "Checkpoints written"),
+            checkpoint_micros: registry.histogram(
+                "uots_checkpoint_micros",
+                "Checkpoint write latency (serialize + fsync + rename), microseconds",
+            ),
+            pruned_segments: registry.counter(
+                "uots_wal_pruned_segments_total",
+                "WAL segments deleted after being covered by a checkpoint",
+            ),
+        }
+    }
+}
+
+/// Write-side handle combining an [`EpochManager`] with its WAL and
+/// checkpoint policy. Methods take `&mut self`: the durable path is
+/// single-writer by construction (the manager itself additionally
+/// serializes internally).
+pub struct DurableIngest {
+    manager: EpochManager,
+    wal: WalWriter,
+    dir: PathBuf,
+    vocab: Vocabulary,
+    /// Cut a checkpoint after this many batches (`None` = never).
+    checkpoint_every: Option<u64>,
+    batches_since_checkpoint: u64,
+    last_checkpoint_lsn: u64,
+    metrics: Option<DurableMetrics>,
+}
+
+impl DurableIngest {
+    /// Opens a durable ingest session over `dir` for a manager seeded with
+    /// `(network, store, vocab)`, everything live. `dir` holds both the
+    /// WAL segments and the checkpoints. The *base* state is **not**
+    /// logged: callers must retain it (or rely on checkpoints) for
+    /// recovery.
+    pub fn create(
+        network: Arc<RoadNetwork>,
+        store: TrajectoryStore,
+        vocab: Vocabulary,
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+        checkpoint_every: Option<u64>,
+        registry: Option<&MetricsRegistry>,
+    ) -> Result<Self, DurableError> {
+        let dir = dir.as_ref().to_path_buf();
+        let wal = match registry {
+            Some(r) => WalWriter::open_with_metrics(&dir, config, r)?,
+            None => WalWriter::open(&dir, config)?,
+        };
+        let vocab_len = vocab.len();
+        let manager = match registry {
+            Some(r) => EpochManager::with_metrics(network, store, vocab_len, r),
+            None => EpochManager::new(network, store, vocab_len),
+        };
+        Ok(DurableIngest {
+            manager,
+            wal,
+            dir,
+            vocab,
+            checkpoint_every,
+            batches_since_checkpoint: 0,
+            last_checkpoint_lsn: 0,
+            metrics: registry.map(DurableMetrics::register),
+        })
+    }
+
+    /// Resumes a durable ingest session from a recovered manager (see
+    /// [`recover`]); the WAL writer continues at the durable prefix's end.
+    pub fn resume(
+        recovered: Recovered,
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+        checkpoint_every: Option<u64>,
+        registry: Option<&MetricsRegistry>,
+    ) -> Result<Self, DurableError> {
+        let dir = dir.as_ref().to_path_buf();
+        let wal = match registry {
+            Some(r) => WalWriter::open_with_metrics(&dir, config, r)?,
+            None => WalWriter::open(&dir, config)?,
+        };
+        Ok(DurableIngest {
+            manager: recovered.manager,
+            wal,
+            dir,
+            vocab: recovered.vocab,
+            checkpoint_every,
+            batches_since_checkpoint: 0,
+            last_checkpoint_lsn: recovered.report.checkpoint_lsn,
+            metrics: registry.map(DurableMetrics::register),
+        })
+    }
+
+    /// The underlying manager (snapshots, stats).
+    pub fn manager(&self) -> &EpochManager {
+        &self.manager
+    }
+
+    /// The current serving snapshot.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.manager.snapshot()
+    }
+
+    /// LSN the next batch will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.wal.next_lsn()
+    }
+
+    /// High-water mark of the last checkpoint written (0 = none).
+    pub fn last_checkpoint_lsn(&self) -> u64 {
+        self.last_checkpoint_lsn
+    }
+
+    /// Logs `batch` as one WAL record, then applies it to the manager.
+    /// Returns the batch's LSN and the ids assigned to its inserts. On a
+    /// WAL error nothing is applied — the in-memory state never runs
+    /// ahead of the log.
+    pub fn apply(
+        &mut self,
+        batch: Vec<Mutation>,
+    ) -> Result<(u64, Vec<TrajectoryId>), DurableError> {
+        let lsn = self.wal.append(&batch)?;
+        let inserted = self.manager.apply(batch);
+        self.batches_since_checkpoint += 1;
+        Ok((lsn, inserted))
+    }
+
+    /// Logs and applies a single insert; returns its stable id.
+    pub fn ingest(&mut self, t: Trajectory) -> Result<TrajectoryId, DurableError> {
+        let (_, ids) = self.apply(vec![Mutation::Insert(t)])?;
+        Ok(ids.into_iter().next().expect("insert assigns an id"))
+    }
+
+    /// Logs and applies a single retire; returns whether `id` was live
+    /// (a retire of an already-retired id is logged but replays as the
+    /// same no-op it was).
+    pub fn retire(&mut self, id: TrajectoryId) -> Result<bool, DurableError> {
+        self.wal.append(&[Mutation::Retire(id)])?;
+        self.batches_since_checkpoint += 1;
+        Ok(self.manager.retire(id))
+    }
+
+    /// Publishes a fresh snapshot (see [`EpochManager::publish`]) and, if
+    /// the checkpoint cadence is due, cuts a checkpoint of it.
+    pub fn publish(&mut self) -> Result<Arc<EpochSnapshot>, DurableError> {
+        // capture the high-water mark *before* the swap: every batch
+        // appended so far is applied, so the snapshot contains exactly
+        // lsns 1..=high_water
+        let high_water = self.wal.next_lsn().saturating_sub(1);
+        let snapshot = self.manager.publish();
+        if let Some(every) = self.checkpoint_every {
+            if self.batches_since_checkpoint >= every {
+                self.checkpoint_snapshot(&snapshot, high_water)?;
+            }
+        }
+        Ok(snapshot)
+    }
+
+    /// Cuts a checkpoint of the current snapshot unconditionally. The
+    /// durable state must equal the snapshot, so this publishes first if
+    /// mutations are pending.
+    pub fn checkpoint_now(&mut self) -> Result<Arc<EpochSnapshot>, DurableError> {
+        let high_water = self.wal.next_lsn().saturating_sub(1);
+        let snapshot = if self.manager.pending() > 0 {
+            self.manager.publish()
+        } else {
+            self.manager.snapshot()
+        };
+        self.checkpoint_snapshot(&snapshot, high_water)?;
+        Ok(snapshot)
+    }
+
+    fn checkpoint_snapshot(
+        &mut self,
+        snapshot: &EpochSnapshot,
+        high_water: u64,
+    ) -> Result<(), DurableError> {
+        let started = Instant::now();
+        let ck = Checkpoint {
+            network: (**snapshot.network()).clone(),
+            vocab: self.vocab.clone(),
+            store: snapshot.store().clone(),
+            live: snapshot.live().clone(),
+            epoch: snapshot.epoch(),
+            lsn: high_water,
+        };
+        persist::save_checkpoint_file(&ck, checkpoint_path(&self.dir, high_water))?;
+        self.batches_since_checkpoint = 0;
+        self.last_checkpoint_lsn = high_water;
+        let pruned = wal::prune_segments(&self.dir, high_water)? as u64;
+        if let Some(m) = &self.metrics {
+            m.checkpoints.inc();
+            m.checkpoint_micros
+                .record(started.elapsed().as_micros() as u64);
+            m.pruned_segments.add(pruned);
+        }
+        Ok(())
+    }
+}
+
+fn checkpoint_path(dir: &Path, lsn: u64) -> PathBuf {
+    dir.join(format!("ckpt-{lsn:020}.uotsck"))
+}
+
+/// Lists checkpoint files in `dir`, newest (highest LSN) first.
+pub fn list_checkpoints(dir: impl AsRef<Path>) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir.as_ref())
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".uotsck"))
+        })
+        .collect();
+    out.sort();
+    out.reverse();
+    out
+}
+
+/// What [`recover`] rebuilt the manager from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// A validated checkpoint file.
+    Checkpoint(PathBuf),
+    /// The caller-supplied base dataset (no usable checkpoint).
+    BaseDataset,
+}
+
+/// Outcome of a [`recover`] run.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Where the base state came from.
+    pub source: RecoverySource,
+    /// WAL high-water mark of the recovered-from state (0 for the base
+    /// dataset).
+    pub checkpoint_lsn: u64,
+    /// Checkpoint files that failed validation and were skipped.
+    pub rejected_checkpoints: Vec<PathBuf>,
+    /// WAL batches replayed on top of the base state.
+    pub replayed_batches: u64,
+    /// Individual mutations inside those batches.
+    pub replayed_mutations: u64,
+    /// One past the highest durable LSN (where a resumed writer starts).
+    pub next_lsn: u64,
+    /// Set when the WAL scan stopped at a damaged record; everything
+    /// before it was recovered, everything after discarded.
+    pub wal_corruption: Option<Corruption>,
+    /// Wall-clock recovery time in microseconds.
+    pub micros: u64,
+}
+
+/// A recovered serving state: the manager plus the vocabulary it indexes.
+pub struct Recovered {
+    /// Manager seeded with the recovered store/mask, serving immediately.
+    pub manager: EpochManager,
+    /// Vocabulary (from the checkpoint, or the base dataset).
+    pub vocab: Vocabulary,
+    /// What happened.
+    pub report: RecoveryReport,
+}
+
+/// Rebuilds an [`EpochManager`] from the durable state in `dir`: the
+/// newest checkpoint that validates (corrupt ones are skipped — recovery
+/// must survive exactly the failures it exists for), plus the durable WAL
+/// tail. `base` seeds recovery when no checkpoint is usable; recovery
+/// fails only if neither exists. When `registry` is given, recovery
+/// counters/latency land in `uots_recovery_*`.
+pub fn recover(
+    dir: impl AsRef<Path>,
+    base: Option<&Dataset>,
+    registry: Option<&MetricsRegistry>,
+) -> Result<Recovered, DurableError> {
+    let started = Instant::now();
+    let dir = dir.as_ref();
+
+    // newest validating checkpoint wins; damaged ones are recorded + skipped
+    let mut rejected = Vec::new();
+    let mut checkpoint: Option<(PathBuf, Checkpoint)> = None;
+    for path in list_checkpoints(dir) {
+        match persist::load_checkpoint_file(&path) {
+            Ok(ck) => {
+                checkpoint = Some((path, ck));
+                break;
+            }
+            Err(_) => rejected.push(path),
+        }
+    }
+
+    let (source, network, vocab, mut store, mut live, epoch, after_lsn) = match checkpoint {
+        Some((path, ck)) => (
+            RecoverySource::Checkpoint(path),
+            Arc::new(ck.network),
+            ck.vocab,
+            ck.store,
+            ck.live,
+            ck.epoch,
+            ck.lsn,
+        ),
+        None => {
+            let ds = base.ok_or_else(|| {
+                DurableError::Inconsistent(
+                    "no usable checkpoint and no base dataset to recover from".into(),
+                )
+            })?;
+            let store = ds.store.clone();
+            let live = LiveSet::all_live(store.len());
+            (
+                RecoverySource::BaseDataset,
+                Arc::new(ds.network.clone()),
+                ds.vocab.clone(),
+                store,
+                live,
+                0,
+                0,
+            )
+        }
+    };
+
+    let replayed = wal::replay(dir, after_lsn)?;
+    let mut mutations = 0u64;
+    let batches = replayed.batches.len() as u64;
+    for (lsn, batch) in replayed.batches {
+        for m in batch {
+            mutations += 1;
+            match m {
+                Mutation::Insert(t) => {
+                    // ids must stay dense/stable: an insert lands at the
+                    // next id, exactly as the original ingest assigned it
+                    for v in t.nodes() {
+                        if !network.contains_node(v) {
+                            return Err(DurableError::Inconsistent(format!(
+                                "wal lsn {lsn}: insert references unknown vertex {v}"
+                            )));
+                        }
+                    }
+                    store.push(t);
+                    live.grow_to(store.len());
+                }
+                Mutation::Retire(id) => {
+                    if id.index() >= store.len() {
+                        return Err(DurableError::Inconsistent(format!(
+                            "wal lsn {lsn}: retire of id {id} the store never issued"
+                        )));
+                    }
+                    live.retire(id);
+                }
+            }
+        }
+    }
+
+    let vocab_len = vocab.len();
+    let manager = match registry {
+        Some(r) => EpochManager::from_parts_with_metrics(
+            Arc::clone(&network),
+            store,
+            live,
+            vocab_len,
+            epoch,
+            r,
+        ),
+        None => EpochManager::from_parts(Arc::clone(&network), store, live, vocab_len, epoch),
+    };
+
+    let micros = started.elapsed().as_micros() as u64;
+    if let Some(r) = registry {
+        r.counter("uots_recovery_total", "Crash recoveries performed")
+            .inc();
+        r.counter(
+            "uots_recovery_replayed_batches_total",
+            "WAL batches replayed during recovery",
+        )
+        .add(batches);
+        r.counter(
+            "uots_recovery_replayed_mutations_total",
+            "Mutations replayed during recovery",
+        )
+        .add(mutations);
+        if replayed.corruption.is_some() {
+            r.counter(
+                "uots_recovery_truncations_total",
+                "Recoveries that found a torn/corrupt WAL tail",
+            )
+            .inc();
+        }
+        r.counter(
+            "uots_recovery_rejected_checkpoints_total",
+            "Checkpoint files skipped as corrupt during recovery",
+        )
+        .add(rejected.len() as u64);
+        r.histogram(
+            "uots_recovery_micros",
+            "Crash recovery wall time (checkpoint load + WAL replay + index build), microseconds",
+        )
+        .record(micros);
+    }
+
+    Ok(Recovered {
+        manager,
+        vocab,
+        report: RecoveryReport {
+            source,
+            checkpoint_lsn: after_lsn,
+            rejected_checkpoints: rejected,
+            replayed_batches: batches,
+            replayed_mutations: mutations,
+            next_lsn: replayed.next_lsn,
+            wal_corruption: replayed.corruption,
+            micros,
+        },
+    })
+}

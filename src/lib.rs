@@ -45,6 +45,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod durable;
+
 pub use uots_core as core;
 pub use uots_datagen as datagen;
 pub use uots_index as index;
@@ -54,6 +56,7 @@ pub use uots_obs as obs;
 pub use uots_text as text;
 pub use uots_trajectory as trajectory;
 
+pub use uots_core::wal::{FsyncPolicy, WalConfig, WalError, WalWriter};
 pub use uots_core::{
     algorithms, epoch, expansion_search, no_cache_env, order, parallel, similarity,
     threshold_search, BatchOptions, BatchPolicy, CacheStats, CancellationToken, Completeness,

@@ -307,6 +307,116 @@ fn metrics_and_trace_outputs_are_valid() {
 }
 
 #[test]
+fn durable_ingest_and_recover_round_trip() {
+    let path = temp_dataset("durable.uotsds");
+    generate(&path);
+    let wal_dir = temp_dataset("durable.wal");
+    std::fs::remove_dir_all(&wal_dir).ok();
+    std::fs::create_dir_all(&wal_dir).unwrap();
+    let script = temp_dataset("durable.script");
+    std::fs::write(
+        &script,
+        "ingest 0 1 2\nretire 0\npublish\ningest 3 4 5\nretire 7\npublish\n",
+    )
+    .unwrap();
+
+    // durable ingest: wal + checkpoint cadence + per-epoch verification
+    let out = uots()
+        .args(["ingest", "--data"])
+        .arg(&path)
+        .arg("--script")
+        .arg(&script)
+        .arg("--wal-dir")
+        .arg(&wal_dir)
+        .args(["--fsync", "batch", "--checkpoint-every", "2", "--verify"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("durable ingest"), "{text}");
+    assert!(text.contains("wal durable through lsn 4"), "{text}");
+    assert!(
+        text.contains("verified against from-scratch rebuild"),
+        "{text}"
+    );
+    let names: Vec<String> = std::fs::read_dir(&wal_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        names.iter().any(|n| n.ends_with(".uotsck")),
+        "checkpoint cadence must have cut a checkpoint: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.ends_with(".seg")),
+        "wal segments must exist: {names:?}"
+    );
+
+    // recovery reproduces the state and verifies against a rebuild
+    let prom = temp_dataset("durable.prom");
+    let out = uots()
+        .args(["recover", "--wal-dir"])
+        .arg(&wal_dir)
+        .args(["--data"])
+        .arg(&path)
+        .arg("--verify")
+        .arg("--metrics-out")
+        .arg(&prom)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recovered from checkpoint"), "{text}");
+    assert!(text.contains("durable through lsn 4"), "{text}");
+    assert!(
+        text.contains("verified against from-scratch rebuild"),
+        "{text}"
+    );
+    let prom_text = std::fs::read_to_string(&prom).unwrap();
+    assert!(prom_text.contains("uots_recovery_total"), "{prom_text}");
+
+    // bad fsync policy is rejected up front
+    let out = uots()
+        .args(["ingest", "--data"])
+        .arg(&path)
+        .arg("--script")
+        .arg(&script)
+        .arg("--wal-dir")
+        .arg(&wal_dir)
+        .args(["--fsync", "sometimes"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--fsync"));
+
+    // recovery without a checkpoint or base dataset is a clean error
+    let empty = temp_dataset("durable.empty.wal");
+    std::fs::remove_dir_all(&empty).ok();
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = uots()
+        .args(["recover", "--wal-dir"])
+        .arg(&empty)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no usable checkpoint"));
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&script).ok();
+    std::fs::remove_file(&prom).ok();
+    std::fs::remove_dir_all(&wal_dir).ok();
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+#[test]
 fn generate_rejects_unknown_preset() {
     let out = uots()
         .args([

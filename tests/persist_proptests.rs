@@ -55,4 +55,48 @@ proptest! {
     fn random_garbage_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..600)) {
         let _ = persist::load(&garbage);
     }
+
+    /// A valid payload with *anything* appended must be rejected — trailing
+    /// garbage means the file is not what the writer produced, and silently
+    /// ignoring it would let a concatenation or torn copy masquerade as
+    /// valid (and never panic while being rejected).
+    #[test]
+    fn appended_suffix_is_rejected_not_ignored(
+        seed in any::<u64>(),
+        suffix in proptest::collection::vec(any::<u8>(), 1..300),
+    ) {
+        let cfg = DatasetConfig::small(4, seed % 100);
+        let ds = Dataset::build(&cfg).expect("dataset builds");
+        let mut bytes = persist::save(&ds, &cfg.tags, cfg.tag_seed).to_vec();
+        prop_assert!(persist::load(&bytes).is_ok(), "sanity: untouched payload loads");
+        bytes.extend_from_slice(&suffix);
+        prop_assert!(
+            persist::load(&bytes).is_err(),
+            "a payload with {} trailing bytes must not load",
+            suffix.len()
+        );
+    }
+
+    /// The same holds for checkpoints — though there the CRC trailer means
+    /// an appended suffix is indistinguishable from any other corruption.
+    #[test]
+    fn checkpoint_suffix_is_rejected(
+        seed in any::<u64>(),
+        suffix in proptest::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let cfg = DatasetConfig::small(4, seed % 100);
+        let ds = Dataset::build(&cfg).expect("dataset builds");
+        let ck = persist::Checkpoint {
+            network: ds.network.clone(),
+            vocab: ds.vocab.clone(),
+            store: ds.store.clone(),
+            live: uots::LiveSet::all_live(ds.store.len()),
+            epoch: 1,
+            lsn: 7,
+        };
+        let mut bytes = persist::save_checkpoint(&ck).to_vec();
+        prop_assert!(persist::load_checkpoint(&bytes).is_ok(), "sanity: untouched checkpoint loads");
+        bytes.extend_from_slice(&suffix);
+        prop_assert!(persist::load_checkpoint(&bytes).is_err());
+    }
 }

@@ -138,6 +138,11 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes { data: self.data }
     }
+
+    /// View of the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
 }
 
 impl BufMut for BytesMut {
