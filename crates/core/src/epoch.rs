@@ -158,7 +158,7 @@ impl EpochSnapshot {
 }
 
 /// A batched ingest-path mutation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Mutation {
     /// Append a trajectory (live immediately in the *next* published
     /// epoch).

@@ -70,6 +70,10 @@ pub mod testing;
 mod topk;
 pub mod wal;
 
+/// Re-export of the storage seam ([`uots_storage`]): backend traits,
+/// `StdFs`, the `FaultFs` injector, the error taxonomy and retry policy.
+pub use uots_storage as storage;
+
 pub use budget::{CancellationToken, Completeness, ExecutionBudget, RunControl};
 pub use db::Database;
 pub use distcache::{

@@ -41,20 +41,50 @@
 //! the loss window to the configured duration, `Never` leaves flushing
 //! to the OS (crash-consistent but not crash-durable: the checksums still
 //! guarantee recovery never applies a half-written record).
+//!
+//! ## Failing storage and the fsyncgate rule
+//!
+//! All file operations go through a [`StorageBackend`], so faults can be
+//! injected underneath the writer. The writer's contract under faults:
+//!
+//! * **A batch is never acknowledged unless its durability step
+//!   succeeded.** `append` returns `Err` on any write or (policy-required)
+//!   sync failure, and `next_lsn` does not advance — a retry reuses the
+//!   same LSN, so the log and the in-memory state can never disagree
+//!   about which batch an LSN names.
+//! * **A failed fsync permanently poisons the segment.** POSIX lets the
+//!   kernel drop dirty pages and clear the error after a failed fsync, so
+//!   buffered bytes must never be re-trusted. The writer *seals* the
+//!   segment — truncates it to the last known-durable boundary (the cut
+//!   itself is synced) — and opens a fresh segment where the durable
+//!   prefix left off. Records that were appended but not yet synced
+//!   (`Interval`/`Never` policies) are re-written from memory into the
+//!   fresh segment under their original LSNs, so nothing the caller was
+//!   told `Ok` about silently vanishes from the log.
+//! * **Sealing itself can fail.** The seal plan is then retained and
+//!   retried at the start of the next `append`/`sync`; until it succeeds
+//!   every call fails fast. [`WalWriter::pending_seal`] exposes the state.
+//! * A torn write (partial record followed by an error) seals at the last
+//!   record boundary instead: the prefix pages are intact, and the
+//!   truncate-with-sync both cuts the garbage and makes the prefix
+//!   durable.
 
 use crate::epoch::Mutation;
 use std::fmt;
-use std::fs::{self, File};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uots_network::NodeId;
 use uots_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use uots_storage::{StdFs, StorageBackend, StorageFile};
 use uots_text::{KeywordId, KeywordSet};
 use uots_trajectory::{Sample, Trajectory, TrajectoryId};
 
 const SEGMENT_MAGIC: &[u8; 8] = b"UOTSWAL1";
-const HEADER_LEN: u64 = 16; // magic + first_lsn
+/// Segment header size: magic + first_lsn. A corruption offset below this
+/// means the segment header itself is damaged (the whole file is
+/// unusable); at or past it, the damage is a torn record tail.
+pub const HEADER_LEN: u64 = 16;
 const RECORD_HEADER_LEN: usize = 16; // len + crc + lsn
 /// Upper bound on one record's payload; a decoded length beyond this is
 /// corruption, not a real batch — it must not drive allocation.
@@ -156,8 +186,11 @@ struct WalMetrics {
     appends: Counter,
     bytes: Counter,
     fsyncs: Counter,
+    fsync_failures: Counter,
+    sealed_segments: Counter,
     rotations: Counter,
     last_lsn: Gauge,
+    durable_lsn: Gauge,
     append_micros: Histogram,
 }
 
@@ -167,9 +200,21 @@ impl WalMetrics {
             appends: registry.counter("uots_wal_appends_total", "WAL batch records appended"),
             bytes: registry.counter("uots_wal_bytes_total", "WAL bytes written (records only)"),
             fsyncs: registry.counter("uots_wal_fsyncs_total", "WAL fsync calls issued"),
+            fsync_failures: registry.counter(
+                "uots_wal_fsync_failures_total",
+                "WAL fsync calls that failed (each poisons its segment)",
+            ),
+            sealed_segments: registry.counter(
+                "uots_wal_sealed_segments_total",
+                "WAL segments sealed after a write/fsync failure",
+            ),
             rotations: registry
                 .counter("uots_wal_segment_rotations_total", "WAL segment rotations"),
             last_lsn: registry.gauge("uots_wal_last_lsn", "Highest LSN appended to the WAL"),
+            durable_lsn: registry.gauge(
+                "uots_wal_durable_lsn",
+                "Highest LSN known durable on stable storage",
+            ),
             append_micros: registry.histogram(
                 "uots_wal_append_micros",
                 "WAL append latency (encode + write + fsync), microseconds",
@@ -186,18 +231,40 @@ impl WalMetrics {
 pub struct WalWriter {
     dir: PathBuf,
     config: WalConfig,
-    file: File,
+    backend: Arc<dyn StorageBackend>,
+    file: Box<dyn StorageFile>,
     segment_path: PathBuf,
     segment_len: u64,
+    /// LSN of the next batch to append. Advances only on success, so a
+    /// failed append's retry reuses the same LSN.
     next_lsn: u64,
+    /// Segment length up to which bytes are known durable.
+    durable_len: u64,
+    /// One past the highest LSN known durable.
+    durable_next_lsn: u64,
+    /// Records appended but not yet synced (`Interval`/`Never`), kept so
+    /// a seal can re-write them into a fresh segment after fsync loss.
+    unsynced: Vec<(u64, Vec<u8>)>,
+    /// Set when a failure requires sealing but the seal itself has not
+    /// succeeded yet; retried before any further write.
+    pending_seal: Option<SealPlan>,
     last_sync: Instant,
     metrics: Option<WalMetrics>,
 }
 
+/// The deferred-seal state: truncate the poisoned segment at the durable
+/// boundary, open a fresh segment, re-write the unsynced records.
+struct SealPlan {
+    truncate_at: u64,
+    reopen_at: u64,
+    rewrite: Vec<(u64, Vec<u8>)>,
+}
+
 impl WalWriter {
-    /// Opens (creating if needed) the log directory for appending.
+    /// Opens (creating if needed) the log directory for appending, on the
+    /// production [`StdFs`] backend.
     pub fn open(dir: impl AsRef<Path>, config: WalConfig) -> Result<Self, WalError> {
-        Self::open_inner(dir.as_ref(), config, None)
+        Self::open_inner(dir.as_ref(), config, Arc::new(StdFs), None)
     }
 
     /// [`open`](Self::open) plus `uots_wal_*` metrics registered in
@@ -207,43 +274,77 @@ impl WalWriter {
         config: WalConfig,
         registry: &MetricsRegistry,
     ) -> Result<Self, WalError> {
-        Self::open_inner(dir.as_ref(), config, Some(WalMetrics::register(registry)))
+        Self::open_inner(
+            dir.as_ref(),
+            config,
+            Arc::new(StdFs),
+            Some(WalMetrics::register(registry)),
+        )
+    }
+
+    /// [`open`](Self::open) on an explicit storage backend (fault
+    /// injection goes through here).
+    pub fn open_with_backend(
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Self, WalError> {
+        Self::open_inner(dir.as_ref(), config, backend, None)
+    }
+
+    /// [`open_with_backend`](Self::open_with_backend) plus metrics.
+    pub fn open_with_backend_and_metrics(
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+        backend: Arc<dyn StorageBackend>,
+        registry: &MetricsRegistry,
+    ) -> Result<Self, WalError> {
+        Self::open_inner(
+            dir.as_ref(),
+            config,
+            backend,
+            Some(WalMetrics::register(registry)),
+        )
     }
 
     fn open_inner(
         dir: &Path,
         config: WalConfig,
+        backend: Arc<dyn StorageBackend>,
         metrics: Option<WalMetrics>,
     ) -> Result<Self, WalError> {
-        fs::create_dir_all(dir)?;
-        let scan = replay(dir, u64::MAX)?; // parse everything, keep nothing
+        backend.create_dir_all(dir)?;
+        let scan = replay_with(&*backend, dir, u64::MAX)?; // parse everything, keep nothing
         if let Some(c) = &scan.corruption {
             // Seal the durable prefix on disk: truncate the torn tail and
             // drop every later segment. Without this, records appended to
             // the new segment would sit *behind* the corruption and replay
             // (which stops at the first bad record) could never reach them.
             if c.offset >= HEADER_LEN {
-                let f = fs::OpenOptions::new().write(true).open(&c.segment)?;
-                f.set_len(c.offset)?;
-                f.sync_all()?;
+                backend.truncate(&c.segment, c.offset)?;
             } else {
-                fs::remove_file(&c.segment)?;
+                backend.remove_file(&c.segment)?;
             }
-            for seg in list_segments(dir)? {
+            for seg in list_segments_with(&*backend, dir)? {
                 if seg > c.segment {
-                    fs::remove_file(&seg)?;
+                    backend.remove_file(&seg)?;
                 }
             }
         }
         let next_lsn = scan.next_lsn;
-        let (file, segment_path) = new_segment(dir, next_lsn)?;
+        let (file, segment_path) = new_segment(&*backend, dir, next_lsn)?;
         Ok(WalWriter {
             dir: dir.to_path_buf(),
             config,
+            backend,
             file,
             segment_path,
             segment_len: HEADER_LEN,
             next_lsn,
+            durable_len: HEADER_LEN,
+            durable_next_lsn: next_lsn,
+            unsynced: Vec::new(),
+            pending_seal: None,
             last_sync: Instant::now(),
             metrics,
         })
@@ -252,6 +353,19 @@ impl WalWriter {
     /// The LSN the next appended batch will receive.
     pub fn next_lsn(&self) -> u64 {
         self.next_lsn
+    }
+
+    /// The highest LSN known to be on stable storage (0 if none). Under
+    /// `EveryBatch` this trails `next_lsn() - 1` only across a failure;
+    /// under `Interval`/`Never` it lags by the unsynced window.
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable_next_lsn.saturating_sub(1)
+    }
+
+    /// Whether a failed seal is still pending (the writer refuses appends
+    /// until the seal succeeds on retry).
+    pub fn pending_seal(&self) -> bool {
+        self.pending_seal.is_some()
     }
 
     /// The log directory.
@@ -268,9 +382,14 @@ impl WalWriter {
     /// Appends one mutation batch as a single record and returns its LSN.
     /// The record is written (and fsynced per policy) before this returns,
     /// so on success the caller may apply the batch to the in-memory
-    /// manager knowing recovery will replay it.
+    /// manager knowing recovery will replay it. On failure `next_lsn` is
+    /// unchanged — retrying appends the same batch under the same LSN —
+    /// and the segment has been sealed at the last trustworthy boundary
+    /// (see the module docs; if sealing itself failed it is retried here
+    /// before anything else is written).
     pub fn append(&mut self, batch: &[Mutation]) -> Result<u64, WalError> {
         let started = Instant::now();
+        self.heal()?;
         let lsn = self.next_lsn;
         let payload = encode_batch(batch);
         let mut record = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
@@ -280,20 +399,45 @@ impl WalWriter {
         crc_input.extend_from_slice(&payload);
         record.extend_from_slice(&crc32(&crc_input).to_le_bytes());
         record.extend_from_slice(&crc_input);
-        self.file.write_all(&record)?;
-        self.segment_len += record.len() as u64;
-        self.next_lsn += 1;
-        match self.config.fsync {
-            FsyncPolicy::EveryBatch => self.sync()?,
-            FsyncPolicy::Interval(d) => {
-                if self.last_sync.elapsed() >= d {
-                    self.sync()?;
-                }
-            }
-            FsyncPolicy::Never => {}
+        if let Err(e) = self.file.write_all(&record) {
+            // Torn write: a prefix of the record may be on disk, followed
+            // by nothing — but the pages before it are intact. Seal at the
+            // last record boundary: the truncate cuts the garbage and its
+            // sync makes the (previously unsynced) prefix durable.
+            self.plan_seal(self.segment_len, lsn, Vec::new());
+            let _ = self.heal(); // best effort now; retried on next call
+            return Err(e.into());
         }
+        self.segment_len += record.len() as u64;
+        let sync_due = match self.config.fsync {
+            FsyncPolicy::EveryBatch => true,
+            FsyncPolicy::Interval(d) => self.last_sync.elapsed() >= d,
+            FsyncPolicy::Never => false,
+        };
+        if sync_due {
+            if let Err(e) = self.sync_file() {
+                // Fsyncgate: every byte past durable_len may be gone and
+                // must never be re-trusted. Seal at the durable boundary
+                // and re-write the unsynced records (all acked under
+                // Interval/Never) into a fresh segment. The current batch
+                // is NOT among them: it was never acked, its LSN is
+                // reused by the caller's retry.
+                self.segment_len -= record.len() as u64; // logical un-append
+                let rewrite = std::mem::take(&mut self.unsynced);
+                self.plan_seal(self.durable_len, self.durable_next_lsn, rewrite);
+                let _ = self.heal();
+                return Err(e.into());
+            }
+            self.mark_durable_to(self.segment_len, lsn + 1);
+        } else {
+            self.unsynced.push((lsn, record.clone()));
+        }
+        self.next_lsn = lsn + 1;
         if self.segment_len >= self.config.segment_bytes {
-            self.rotate()?;
+            // The batch is already as durable as the policy promises; a
+            // rotation failure must not reject it (a retry would append a
+            // duplicate). Sealing machinery recovers on the next call.
+            let _ = self.rotate();
         }
         if let Some(m) = &self.metrics {
             m.appends.inc();
@@ -304,14 +448,98 @@ impl WalWriter {
         Ok(lsn)
     }
 
-    /// Forces everything appended so far to stable storage.
+    /// Forces everything appended so far to stable storage. On failure the
+    /// segment is sealed (fsyncgate) with acked-but-unsynced records
+    /// re-written to a fresh segment; see the module docs.
     pub fn sync(&mut self) -> Result<(), WalError> {
-        self.file.sync_data()?;
-        self.last_sync = Instant::now();
-        if let Some(m) = &self.metrics {
-            m.fsyncs.inc();
+        self.heal()?;
+        if self.durable_len == self.segment_len && self.durable_next_lsn == self.next_lsn {
+            return Ok(()); // nothing new; don't risk a pointless fsync
         }
+        if let Err(e) = self.sync_file() {
+            let rewrite = std::mem::take(&mut self.unsynced);
+            self.plan_seal(self.durable_len, self.durable_next_lsn, rewrite);
+            let _ = self.heal();
+            return Err(e.into());
+        }
+        self.mark_durable_to(self.segment_len, self.next_lsn);
         Ok(())
+    }
+
+    /// Raw fsync + bookkeeping; callers decide the failure semantics.
+    fn sync_file(&mut self) -> std::io::Result<()> {
+        match self.file.sync_data() {
+            Ok(()) => {
+                self.last_sync = Instant::now();
+                if let Some(m) = &self.metrics {
+                    m.fsyncs.inc();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if let Some(m) = &self.metrics {
+                    m.fsync_failures.inc();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn mark_durable_to(&mut self, len: u64, next: u64) {
+        self.durable_len = len;
+        self.durable_next_lsn = next;
+        self.unsynced.clear();
+        if let Some(m) = &self.metrics {
+            m.durable_lsn.set(next.saturating_sub(1) as i64);
+        }
+    }
+
+    fn plan_seal(&mut self, truncate_at: u64, reopen_at: u64, rewrite: Vec<(u64, Vec<u8>)>) {
+        debug_assert!(self.pending_seal.is_none(), "heal() runs before writes");
+        self.pending_seal = Some(SealPlan {
+            truncate_at,
+            reopen_at,
+            rewrite,
+        });
+    }
+
+    /// Executes a pending seal, if any. Mutates `self` only after every
+    /// step succeeded, so a failed heal can be retried from scratch (the
+    /// truncate and the segment re-create are idempotent).
+    fn heal(&mut self) -> Result<(), WalError> {
+        let Some(plan) = self.pending_seal.take() else {
+            return Ok(());
+        };
+        let result = (|| -> Result<(Box<dyn StorageFile>, PathBuf, u64), WalError> {
+            self.backend
+                .truncate(&self.segment_path, plan.truncate_at)?;
+            let (mut file, path) = new_segment(&*self.backend, &self.dir, plan.reopen_at)?;
+            let mut len = HEADER_LEN;
+            for (_, rec) in &plan.rewrite {
+                file.write_all(rec)?;
+                len += rec.len() as u64;
+            }
+            if !plan.rewrite.is_empty() {
+                file.sync_data()?;
+            }
+            Ok((file, path, len))
+        })();
+        match result {
+            Ok((file, path, len)) => {
+                self.file = file;
+                self.segment_path = path;
+                self.segment_len = len;
+                self.mark_durable_to(len, self.next_lsn);
+                if let Some(m) = &self.metrics {
+                    m.sealed_segments.inc();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.pending_seal = Some(plan);
+                Err(e)
+            }
+        }
     }
 
     fn rotate(&mut self) -> Result<(), WalError> {
@@ -319,10 +547,11 @@ impl WalWriter {
         // new one starts taking records, or pruning could discard the only
         // copy of a batch that never hit the disk
         self.sync()?;
-        let (file, path) = new_segment(&self.dir, self.next_lsn)?;
+        let (file, path) = new_segment(&*self.backend, &self.dir, self.next_lsn)?;
         self.file = file;
         self.segment_path = path;
         self.segment_len = HEADER_LEN;
+        self.durable_len = HEADER_LEN;
         if let Some(m) = &self.metrics {
             m.rotations.inc();
         }
@@ -334,9 +563,13 @@ fn segment_path(dir: &Path, first_lsn: u64) -> PathBuf {
     dir.join(format!("wal-{first_lsn:020}.seg"))
 }
 
-fn new_segment(dir: &Path, first_lsn: u64) -> Result<(File, PathBuf), WalError> {
+fn new_segment(
+    backend: &dyn StorageBackend,
+    dir: &Path,
+    first_lsn: u64,
+) -> Result<(Box<dyn StorageFile>, PathBuf), WalError> {
     let path = segment_path(dir, first_lsn);
-    let mut file = File::create(&path)?;
+    let mut file = backend.create(&path)?;
     file.write_all(SEGMENT_MAGIC)?;
     file.write_all(&first_lsn.to_le_bytes())?;
     file.sync_data()?;
@@ -345,11 +578,18 @@ fn new_segment(dir: &Path, first_lsn: u64) -> Result<(File, PathBuf), WalError> 
 
 /// Lists the segment files of `dir` in LSN order.
 pub fn list_segments(dir: &Path) -> Result<Vec<PathBuf>, WalError> {
+    list_segments_with(&StdFs, dir)
+}
+
+/// [`list_segments`] through an explicit backend.
+pub fn list_segments_with(
+    backend: &dyn StorageBackend,
+    dir: &Path,
+) -> Result<Vec<PathBuf>, WalError> {
     let mut segs: Vec<PathBuf> = Vec::new();
-    match fs::read_dir(dir) {
+    match backend.read_dir(dir) {
         Ok(entries) => {
-            for e in entries {
-                let p = e?.path();
+            for p in entries {
                 let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
                 if name.starts_with("wal-") && name.ends_with(".seg") {
                     segs.push(p);
@@ -397,13 +637,21 @@ pub struct WalReplay {
 /// durable and must not be applied (the log is only meaningful as a
 /// prefix). The cut point is reported in [`WalReplay::corruption`].
 pub fn replay(dir: impl AsRef<Path>, after_lsn: u64) -> Result<WalReplay, WalError> {
-    let dir = dir.as_ref();
+    replay_with(&StdFs, dir.as_ref(), after_lsn)
+}
+
+/// [`replay`] through an explicit backend.
+pub fn replay_with(
+    backend: &dyn StorageBackend,
+    dir: &Path,
+    after_lsn: u64,
+) -> Result<WalReplay, WalError> {
     let mut batches = Vec::new();
     let mut next_lsn: u64 = 1;
     let mut corruption = None;
     let mut expect_lsn: Option<u64> = None;
-    'segments: for seg in list_segments(dir)? {
-        let raw = fs::read(&seg)?;
+    'segments: for seg in list_segments_with(backend, dir)? {
+        let raw = backend.read(&seg)?;
         if raw.len() < HEADER_LEN as usize || &raw[..8] != SEGMENT_MAGIC {
             corruption = Some(Corruption {
                 segment: seg,
@@ -462,15 +710,24 @@ pub fn replay(dir: impl AsRef<Path>, after_lsn: u64) -> Result<WalReplay, WalErr
 /// in it is `<= upto_lsn`. The newest segment is always kept (it anchors
 /// `next_lsn` for future writers). Returns the number of segments removed.
 pub fn prune_segments(dir: impl AsRef<Path>, upto_lsn: u64) -> Result<usize, WalError> {
-    let segs = list_segments(dir.as_ref())?;
+    prune_segments_with(&StdFs, dir.as_ref(), upto_lsn)
+}
+
+/// [`prune_segments`] through an explicit backend.
+pub fn prune_segments_with(
+    backend: &dyn StorageBackend,
+    dir: &Path,
+    upto_lsn: u64,
+) -> Result<usize, WalError> {
+    let segs = list_segments_with(backend, dir)?;
     let mut removed = 0;
     for pair in segs.windows(2) {
-        let next_first = match read_first_lsn(&pair[1]) {
+        let next_first = match read_first_lsn(backend, &pair[1]) {
             Some(l) => l,
             None => break, // damaged header: leave everything for recovery to report
         };
         if next_first != 0 && next_first - 1 <= upto_lsn {
-            fs::remove_file(&pair[0])?;
+            backend.remove_file(&pair[0])?;
             removed += 1;
         } else {
             break; // segments are ordered; nothing later can be prunable
@@ -479,16 +736,12 @@ pub fn prune_segments(dir: impl AsRef<Path>, upto_lsn: u64) -> Result<usize, Wal
     Ok(removed)
 }
 
-fn read_first_lsn(seg: &Path) -> Option<u64> {
-    let mut header = [0u8; HEADER_LEN as usize];
-    let mut f = File::open(seg).ok()?;
-    std::io::Read::read_exact(&mut f, &mut header).ok()?;
-    if &header[..8] != SEGMENT_MAGIC {
+fn read_first_lsn(backend: &dyn StorageBackend, seg: &Path) -> Option<u64> {
+    let raw = backend.read(seg).ok()?;
+    if raw.len() < HEADER_LEN as usize || &raw[..8] != SEGMENT_MAGIC {
         return None;
     }
-    Some(u64::from_le_bytes(
-        header[8..16].try_into().expect("8 bytes"),
-    ))
+    Some(u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")))
 }
 
 /// Decodes one record at the start of `buf`, expecting `expect_lsn`.
@@ -641,6 +894,8 @@ pub(crate) fn crc32(data: &[u8]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
+    use uots_storage::fault::{Fault, FaultConfig, FaultFs, OpKind, ScriptedFault};
     use uots_trajectory::Sample;
 
     fn tmpdir(name: &str) -> PathBuf {
@@ -911,5 +1166,163 @@ mod tests {
         assert!(r.corruption.is_none());
         assert_eq!(r.batches.len(), 1, "lsn 3 must survive pruning");
         assert_eq!(r.next_lsn, 4);
+    }
+
+    #[test]
+    fn failed_sync_never_acks_seals_and_new_segment_is_replayable() {
+        let dir = tmpdir("fsync_fail");
+        // sync #0 = new-segment header sync, #1 = first append, #2 = the
+        // victim: fails with fsyncgate page loss
+        let fs = FaultFs::scripted(
+            11,
+            vec![ScriptedFault {
+                op: OpKind::Sync,
+                nth: 2,
+                fault: Fault::FsyncLoss,
+            }],
+        );
+        let mut w = WalWriter::open_with_backend(&dir, WalConfig::default(), fs).unwrap();
+        assert_eq!(w.append(&batches()[0]).unwrap(), 1);
+        let err = w.append(&batches()[1]).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "{err}");
+        // never acked: the LSN was not consumed, durability didn't move
+        assert_eq!(w.next_lsn(), 2);
+        assert_eq!(w.durable_lsn(), 1);
+        // the segment was sealed and a fresh one opened straight away
+        assert!(!w.pending_seal());
+        // the retry lands in the new segment under the same LSN
+        assert_eq!(w.append(&batches()[1]).unwrap(), 2);
+        assert_eq!(w.durable_lsn(), 2);
+        drop(w);
+        assert!(
+            list_segments(&dir).unwrap().len() >= 2,
+            "sealing must have opened a fresh segment"
+        );
+        let r = replay(&dir, 0).unwrap();
+        assert!(r.corruption.is_none(), "{:?}", r.corruption);
+        assert_eq!(r.batches.len(), 2);
+        for ((lsn, got), (i, want)) in r.batches.iter().zip(batches().iter().enumerate()) {
+            assert_eq!(*lsn, i as u64 + 1);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert!(mutations_eq(g, w));
+            }
+        }
+    }
+
+    #[test]
+    fn torn_write_seals_at_record_boundary_and_retry_succeeds() {
+        let dir = tmpdir("torn_write");
+        // writes #0/#1 = segment header; #2 = first record; #3 = victim
+        let fs = FaultFs::scripted(
+            23,
+            vec![ScriptedFault {
+                op: OpKind::Write,
+                nth: 3,
+                fault: Fault::ShortWrite,
+            }],
+        );
+        let mut w = WalWriter::open_with_backend(&dir, WalConfig::default(), fs).unwrap();
+        assert_eq!(w.append(&batches()[0]).unwrap(), 1);
+        assert!(w.append(&batches()[1]).is_err());
+        assert_eq!(w.next_lsn(), 2, "failed append must not consume the LSN");
+        assert!(!w.pending_seal());
+        assert_eq!(w.append(&batches()[1]).unwrap(), 2);
+        drop(w);
+        // the partial record was cut; both batches replay cleanly
+        let r = replay(&dir, 0).unwrap();
+        assert!(r.corruption.is_none(), "{:?}", r.corruption);
+        assert_eq!(r.batches.len(), 2);
+        assert_eq!(r.next_lsn, 3);
+    }
+
+    #[test]
+    fn acked_unsynced_records_survive_fsync_loss() {
+        // Under Never, appends are acked without syncing. An explicit
+        // sync that fails with page loss must not lose those acked
+        // records: they are re-written into the fresh segment.
+        let dir = tmpdir("rewrite");
+        let cfg = WalConfig {
+            segment_bytes: 4 << 20,
+            fsync: FsyncPolicy::Never,
+        };
+        // sync #0 = header sync; #1 = the explicit sync() below
+        let fs = FaultFs::scripted(
+            31,
+            vec![ScriptedFault {
+                op: OpKind::Sync,
+                nth: 1,
+                fault: Fault::FsyncLoss,
+            }],
+        );
+        let mut w = WalWriter::open_with_backend(&dir, cfg, fs).unwrap();
+        assert_eq!(w.append(&batches()[0]).unwrap(), 1);
+        assert_eq!(w.append(&batches()[1]).unwrap(), 2);
+        assert_eq!(w.durable_lsn(), 0, "nothing synced yet");
+        assert!(w.sync().is_err());
+        // the seal re-wrote both acked records durably
+        assert!(!w.pending_seal());
+        assert_eq!(w.durable_lsn(), 2);
+        assert_eq!(w.append(&batches()[2]).unwrap(), 3);
+        w.sync().unwrap();
+        drop(w);
+        let r = replay(&dir, 0).unwrap();
+        assert!(r.corruption.is_none(), "{:?}", r.corruption);
+        assert_eq!(r.batches.len(), 3);
+        assert_eq!(r.next_lsn, 4);
+    }
+
+    #[test]
+    fn transient_faults_leave_writer_usable_and_log_clean() {
+        let dir = tmpdir("transient");
+        let fs = FaultFs::scripted(
+            7,
+            vec![
+                ScriptedFault {
+                    op: OpKind::Write,
+                    nth: 2,
+                    fault: Fault::Transient,
+                },
+                ScriptedFault {
+                    op: OpKind::Sync,
+                    nth: 3,
+                    fault: Fault::Transient,
+                },
+            ],
+        );
+        let mut w = WalWriter::open_with_backend(&dir, WalConfig::default(), fs).unwrap();
+        // both injected failures reject one call; immediate retry works
+        let mut appended = 0u64;
+        for b in batches() {
+            loop {
+                match w.append(&b) {
+                    Ok(lsn) => {
+                        appended += 1;
+                        assert_eq!(lsn, appended);
+                        break;
+                    }
+                    Err(WalError::Io(_)) => continue,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+        }
+        drop(w);
+        let r = replay(&dir, 0).unwrap();
+        assert!(r.corruption.is_none(), "{:?}", r.corruption);
+        assert_eq!(r.batches.len(), 3);
+    }
+
+    #[test]
+    fn writer_under_quiet_fault_backend_matches_stdfs() {
+        let dir = tmpdir("quiet_backend");
+        let fs = FaultFs::random(FaultConfig::quiet(1));
+        let mut w = WalWriter::open_with_backend(&dir, WalConfig::default(), fs).unwrap();
+        for b in batches() {
+            w.append(&b).unwrap();
+        }
+        drop(w);
+        let r = replay(&dir, 0).unwrap();
+        assert!(r.corruption.is_none());
+        assert_eq!(r.batches.len(), 3);
     }
 }

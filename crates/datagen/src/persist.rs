@@ -309,7 +309,10 @@ fn read_store(
     Ok(store)
 }
 
-/// Saves a dataset to `path`.
+/// Saves a dataset to `path`, atomically: written to a `.tmp` sibling,
+/// synced, renamed over the target, and the parent directory is synced so
+/// the rename itself is durable. A crash or storage fault mid-save never
+/// leaves a torn dataset under the final name.
 ///
 /// # Errors
 ///
@@ -319,8 +322,18 @@ pub fn save_file(
     cfg: &DatasetConfig,
     path: impl AsRef<std::path::Path>,
 ) -> Result<(), PersistError> {
+    save_file_with(&uots_storage::StdFs, ds, cfg, path.as_ref())
+}
+
+/// [`save_file`] through an explicit storage backend.
+pub fn save_file_with(
+    backend: &dyn uots_storage::StorageBackend,
+    ds: &Dataset,
+    cfg: &DatasetConfig,
+    path: &std::path::Path,
+) -> Result<(), PersistError> {
     let bytes = save(ds, &cfg.tags, cfg.tag_seed);
-    std::fs::write(path, &bytes)?;
+    uots_storage::write_atomic(backend, path, &bytes)?;
     Ok(())
 }
 
@@ -443,34 +456,39 @@ pub fn load_checkpoint(raw: &[u8]) -> Result<Checkpoint, PersistError> {
 }
 
 /// Saves a checkpoint to `path`, atomically: written to a `.tmp` sibling,
-/// synced, then renamed over the target so a crash mid-write never leaves
-/// a half-checkpoint under the final name.
+/// synced, renamed over the target, and the parent directory is synced —
+/// the directory fsync is what makes the *rename* durable, and its error
+/// is propagated like any other (a swallowed one would report a
+/// checkpoint as saved that a power loss could still roll back).
 pub fn save_checkpoint_file(
     ck: &Checkpoint,
     path: impl AsRef<std::path::Path>,
 ) -> Result<(), PersistError> {
-    let path = path.as_ref();
-    let tmp = path.with_extension("tmp");
+    save_checkpoint_file_with(&uots_storage::StdFs, ck, path.as_ref())
+}
+
+/// [`save_checkpoint_file`] through an explicit storage backend.
+pub fn save_checkpoint_file_with(
+    backend: &dyn uots_storage::StorageBackend,
+    ck: &Checkpoint,
+    path: &std::path::Path,
+) -> Result<(), PersistError> {
     let bytes = save_checkpoint(ck);
-    {
-        use std::io::Write;
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    if let Some(dir) = path.parent() {
-        // persist the rename itself
-        if let Ok(d) = std::fs::File::open(dir) {
-            d.sync_all().ok();
-        }
-    }
+    uots_storage::write_atomic(backend, path, &bytes)?;
     Ok(())
 }
 
 /// Loads and validates a checkpoint from `path`.
 pub fn load_checkpoint_file(path: impl AsRef<std::path::Path>) -> Result<Checkpoint, PersistError> {
-    let raw = std::fs::read(path)?;
+    load_checkpoint_file_with(&uots_storage::StdFs, path.as_ref())
+}
+
+/// [`load_checkpoint_file`] through an explicit storage backend.
+pub fn load_checkpoint_file_with(
+    backend: &dyn uots_storage::StorageBackend,
+    path: &std::path::Path,
+) -> Result<Checkpoint, PersistError> {
+    let raw = backend.read(path)?;
     load_checkpoint(&raw)
 }
 
@@ -711,5 +729,83 @@ mod tests {
         let back = load_checkpoint_file(&path).unwrap();
         assert_eq!(back.lsn, ck.lsn);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dataset_save_is_atomic_under_write_faults() {
+        use uots_storage::fault::{Fault, FaultFs, OpKind, ScriptedFault};
+        let (ds, cfg) = dataset();
+        let dir = std::env::temp_dir().join("uots_persist_fault_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.uots");
+        // a good save first, so the fault case has something to protect
+        save_file(&ds, &cfg, &path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        // now a save whose tmp-file write tears mid-way: the target file
+        // must be untouched (the torn bytes only ever exist in the .tmp)
+        let fs = FaultFs::scripted(
+            77,
+            vec![ScriptedFault {
+                op: OpKind::Write,
+                nth: 0,
+                fault: Fault::ShortWrite,
+            }],
+        );
+        assert!(matches!(
+            save_file_with(&*fs, &ds, &cfg, &path),
+            Err(PersistError::Io(_))
+        ));
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            pristine,
+            "a failed save must never damage the existing dataset"
+        );
+        // and a save whose directory fsync fails must report the error:
+        // the rename's durability is unknown, pretending success would be
+        // the swallowed-fsync bug
+        let fs = FaultFs::scripted(
+            78,
+            vec![ScriptedFault {
+                op: OpKind::SyncDir,
+                nth: 0,
+                fault: Fault::Permanent,
+            }],
+        );
+        assert!(matches!(
+            save_file_with(&*fs, &ds, &cfg, &path),
+            Err(PersistError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_save_propagates_dir_fsync_failure() {
+        use uots_storage::fault::{Fault, FaultFs, OpKind, ScriptedFault};
+        let ck = checkpoint();
+        let dir = std::env::temp_dir().join("uots_ckpt_fault_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.uotsck");
+        let fs = FaultFs::scripted(
+            79,
+            vec![ScriptedFault {
+                op: OpKind::SyncDir,
+                nth: 0,
+                fault: Fault::Permanent,
+            }],
+        );
+        assert!(
+            matches!(
+                save_checkpoint_file_with(&*fs, &ck, &path),
+                Err(PersistError::Io(_))
+            ),
+            "directory-fsync failure decides rename durability; it must propagate"
+        );
+        // without faults the same backend path round-trips
+        save_checkpoint_file_with(&uots_storage::StdFs, &ck, &path).unwrap();
+        let back = load_checkpoint_file_with(&uots_storage::StdFs, &path).unwrap();
+        assert_eq!(back.lsn, ck.lsn);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,6 +12,8 @@
 //!                    [--checkpoint-every N] [--metrics-out FILE]
 //! uots recover       --wal-dir DIR [--data data.uotsds] [--verify]
 //!                    [--metrics-out FILE]
+//! uots status        --wal-dir DIR
+//! uots fsck          --wal-dir DIR [--data data.uotsds]
 //! uots check-metrics --file export.prom
 //! ```
 //!
@@ -20,15 +22,32 @@
 //! a preset + seed, the other commands load it. `--metrics-out` writes a
 //! Prometheus text exposition of the run, `--trace` a per-query JSON span
 //! timeline, and `check-metrics` validates an exposition file (used in CI).
+//!
+//! ## Exit codes
+//!
+//! The durability commands (`recover`, `status`, `fsck`) report what they
+//! found through distinct exit codes so scripts and runbooks can branch
+//! without parsing output:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | clean — no damage found, nothing skipped |
+//! | 1 | operational error (I/O failure, bad arguments' values, …) |
+//! | 2 | usage error (unknown command or malformed flags) |
+//! | 3 | recovered, but with fallback: a corrupt checkpoint was skipped or a torn WAL tail was cut (`recover` only) |
+//! | 4 | corruption found (`status` reports it; `fsck` also quarantined it) but the directory still recovers |
+//! | 5 | unrecoverable: no usable checkpoint and no base dataset |
 
 use std::sync::Arc;
 use uots::datagen::persist;
-use uots::durable::{recover, DurableIngest, RecoverySource};
+use uots::durable::{recover, DurableError, DurableIngest, RecoverySource};
 use uots::join::{
     record_join_metrics, ts_join_cached, ts_join_instrumented, ts_join_with, JoinConfig,
 };
 use uots::obs::validate_prometheus_text;
 use uots::prelude::*;
+use uots::scrub::{self, ScrubReport};
+use uots::storage::StdFs;
 use uots::{
     DistanceCache, EpochManager, FsyncPolicy, MetricsRegistry, PhaseNanos, Recorder, RunControl,
     Sample, SearchContext, Trajectory, WalConfig, DEFAULT_CACHE_CAPACITY,
@@ -43,6 +62,8 @@ fn main() {
         Some("join") => cmd_join(&args[1..]),
         Some("ingest") => cmd_ingest(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
         Some("check-metrics") => cmd_check_metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -76,6 +97,8 @@ fn print_usage() {
          \x20          [--checkpoint-every N] [--metrics-out FILE]\n\
          \x20 recover  --wal-dir DIR [--data FILE] [--verify]\n\
          \x20          [--metrics-out FILE]\n\
+         \x20 status   --wal-dir DIR\n\
+         \x20 fsck     --wal-dir DIR [--data FILE]\n\
          \x20 check-metrics --file FILE\n\n\
          ingest replays a mutation script (`ingest v1 v2 ... [| tag,tag]`,\n\
          `retire ID`, `publish`; `#` comments) against an epoch-swapped\n\
@@ -95,9 +118,22 @@ fn print_usage() {
          --cache-capacity N sizes it (0 disables), --no-cache or the\n\
          UOTS_NO_CACHE env var turns it off. results are identical either way.\n\
          --metrics-out writes a Prometheus text exposition, --trace a JSON\n\
-         span timeline; check-metrics validates an exposition file."
+         span timeline; check-metrics validates an exposition file.\n\
+         status is a read-only integrity walk of a durable ingest directory\n\
+         (checkpoint CRCs + WAL durable prefix); fsck additionally moves\n\
+         wholly-unusable files into DIR/quarantine/ with a manifest — it\n\
+         never deletes anything. recover/status/fsck exit codes: 0 clean,\n\
+         1 operational error, 2 usage, 3 recovered-with-fallback,\n\
+         4 corruption found (still recoverable), 5 unrecoverable."
     );
 }
+
+// Exit codes of the durability commands — see the module docs.
+const EXIT_CLEAN: i32 = 0;
+const EXIT_ERROR: i32 = 1;
+const EXIT_RECOVERED_WITH_FALLBACK: i32 = 3;
+const EXIT_CORRUPTION_FOUND: i32 = 4;
+const EXIT_UNRECOVERABLE: i32 = 5;
 
 /// Tiny flag parser: `--name value` pairs, `--at` repeatable. A flag
 /// followed by another `--flag` (or by nothing) is a boolean switch and
@@ -151,7 +187,7 @@ impl Flags {
 
 fn fail(msg: impl std::fmt::Display) -> i32 {
     eprintln!("error: {msg}");
-    1
+    EXIT_ERROR
 }
 
 /// Parses the shared `--deadline-ms` / `--max-visited` budget flags.
@@ -926,6 +962,14 @@ fn cmd_recover(args: &[String]) -> i32 {
 
     let recovered = match recover(dir, base.as_ref(), Some(&registry)) {
         Ok(r) => r,
+        // Inconsistent means the durable state itself cannot produce a
+        // valid serving state (no base to fall back to, or a log that
+        // replays into nonsense) — that is the unrecoverable exit, not an
+        // operational hiccup a retry might clear.
+        Err(e @ DurableError::Inconsistent(_)) => {
+            eprintln!("error: recovering from {dir}: {e}");
+            return EXIT_UNRECOVERABLE;
+        }
         Err(e) => return fail(format!("recovering from {dir}: {e}")),
     };
     let report = &recovered.report;
@@ -998,7 +1042,120 @@ fn cmd_recover(args: &[String]) -> i32 {
             return fail(e);
         }
     }
-    0
+    if !report.rejected_checkpoints.is_empty() || report.wal_corruption.is_some() {
+        EXIT_RECOVERED_WITH_FALLBACK
+    } else {
+        EXIT_CLEAN
+    }
+}
+
+/// Prints the shared portion of a `status`/`fsck` report and returns the
+/// exit code it implies.
+fn report_scrub(r: &ScrubReport, has_base: bool) -> i32 {
+    println!(
+        "{} wal segment(s), {} checkpoint(s) examined",
+        r.segments, r.checkpoints
+    );
+    for (path, reason) in &r.invalid_checkpoints {
+        println!("  corrupt checkpoint {}: {reason}", path.display());
+    }
+    for (path, reason) in &r.unusable_segments {
+        println!("  unusable segment {}: {reason}", path.display());
+    }
+    if let Some(c) = &r.torn_tail {
+        println!(
+            "  torn tail in {} at offset {}: {} — records before it are durable; \
+             reopen/recovery truncates the tear",
+            c.segment.display(),
+            c.offset,
+            c.reason
+        );
+    }
+    for q in &r.quarantined {
+        println!(
+            "  quarantined {} -> {}",
+            q.original.display(),
+            q.quarantined.display()
+        );
+    }
+    match &r.plan.checkpoint {
+        Some((path, lsn)) => println!(
+            "recovery plan: checkpoint {} (lsn {lsn}) + {} wal batch(es) \
+             ({} mutations); writer resumes at lsn {}",
+            path.display(),
+            r.plan.replayable_batches,
+            r.plan.replayable_mutations,
+            r.plan.next_lsn
+        ),
+        None => println!(
+            "recovery plan: no usable checkpoint — base dataset + {} wal batch(es) \
+             ({} mutations); writer resumes at lsn {}",
+            r.plan.replayable_batches, r.plan.replayable_mutations, r.plan.next_lsn
+        ),
+    }
+    if r.is_clean() {
+        println!("clean");
+        EXIT_CLEAN
+    } else if r.recoverable(has_base) {
+        EXIT_CORRUPTION_FOUND
+    } else {
+        println!("unrecoverable: no usable checkpoint (supply --data for a base dataset)");
+        EXIT_UNRECOVERABLE
+    }
+}
+
+fn cmd_status(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let dir = match flags.require("wal-dir") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let report = match scrub::inspect(&StdFs, std::path::Path::new(dir)) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("inspecting {dir}: {e}")),
+    };
+    println!("status of {dir} (read-only):");
+    // status cannot know whether the operator holds the base dataset;
+    // assume they might, so a checkpoint-less-but-intact dir reports 4
+    // rather than 5
+    report_scrub(&report, true)
+}
+
+fn cmd_fsck(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(e),
+    };
+    let dir = match flags.require("wal-dir") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    // --data proves the operator can supply the base dataset, which decides
+    // corruption-found (4) vs unrecoverable (5) when no checkpoint survives
+    let has_base = match flags.get("data") {
+        Some(path) => match persist::load_file(path) {
+            Ok(_) => true,
+            Err(e) => return fail(format!("loading {path}: {e}")),
+        },
+        None => false,
+    };
+    let report = match scrub::scrub(&StdFs, std::path::Path::new(dir)) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("scrubbing {dir}: {e}")),
+    };
+    println!("fsck of {dir}:");
+    let code = report_scrub(&report, has_base);
+    if !report.quarantined.is_empty() {
+        println!(
+            "{} file(s) moved to {}/quarantine/ (see MANIFEST.txt); nothing was deleted",
+            report.quarantined.len(),
+            dir
+        );
+    }
+    code
 }
 
 fn cmd_check_metrics(args: &[String]) -> i32 {

@@ -26,11 +26,33 @@
 //!    greater LSN, and seeds a manager whose first snapshot answers
 //!    queries bit-identically to a from-scratch rebuild of that prefix —
 //!    the property `tests/wal_recovery.rs` proves at every crash point.
+//!
+//! ## Failing storage: retry, then degrade — never lie
+//!
+//! Every file operation goes through a
+//! [`StorageBackend`](uots_core::storage::StorageBackend), and WAL append
+//! failures are handled by class ([`ErrorClass`](uots_core::storage::ErrorClass)):
+//!
+//! * **Transient** errors (interrupt, timeout, ENOSPC an operator might
+//!   clear) are retried with bounded exponential backoff + jitter under a
+//!   [`RetryPolicy`]. Each retry reuses the same LSN — the WAL writer
+//!   advances it only on success — so a retry can never duplicate a batch.
+//! * **Permanent** errors get at most one retry (which, after the WAL's
+//!   sealing, lands on a *fresh* segment — the failure may be local to one
+//!   file), then the ingest flips to the terminal
+//!   [`Degraded`](IngestState::Degraded) state: queries keep serving the
+//!   last published snapshot, every mutation is rejected with
+//!   [`DurableError::ReadOnly`], and the state is visible in
+//!   `uots_durable_*` metrics and [`DurableIngest::status`].
+//! * **Checkpoint failures never degrade** ingest: the WAL alone carries
+//!   full durability; a failed checkpoint is counted, surfaced in
+//!   status, and retried at the next cadence point.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use uots_core::storage::{ErrorClass, RetryPolicy, StdFs, StorageBackend};
 use uots_core::wal::{self, Corruption, WalConfig, WalError, WalWriter};
 use uots_core::{EpochManager, EpochSnapshot, Mutation};
 use uots_datagen::persist::{self, Checkpoint, PersistError};
@@ -50,6 +72,13 @@ pub enum DurableError {
     /// The log is internally inconsistent in a way checksums cannot
     /// excuse (e.g. a CRC-valid retire of an id the store never issued).
     Inconsistent(String),
+    /// The ingest is in read-only degraded mode: durability cannot be
+    /// guaranteed, so mutations are rejected. Queries keep serving the
+    /// last published snapshot.
+    ReadOnly {
+        /// Why the ingest degraded (the original storage failure).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for DurableError {
@@ -58,6 +87,9 @@ impl std::fmt::Display for DurableError {
             DurableError::Wal(e) => write!(f, "wal: {e}"),
             DurableError::Persist(e) => write!(f, "checkpoint: {e}"),
             DurableError::Inconsistent(m) => write!(f, "inconsistent log: {m}"),
+            DurableError::ReadOnly { reason } => {
+                write!(f, "ingest degraded to read-only: {reason}")
+            }
         }
     }
 }
@@ -80,6 +112,11 @@ struct DurableMetrics {
     checkpoints: uots_obs::Counter,
     checkpoint_micros: uots_obs::Histogram,
     pruned_segments: uots_obs::Counter,
+    retries: uots_obs::Counter,
+    append_failures: uots_obs::Counter,
+    checkpoint_failures: uots_obs::Counter,
+    degraded: uots_obs::Gauge,
+    rejected_mutations: uots_obs::Counter,
 }
 
 impl DurableMetrics {
@@ -94,8 +131,63 @@ impl DurableMetrics {
                 "uots_wal_pruned_segments_total",
                 "WAL segments deleted after being covered by a checkpoint",
             ),
+            retries: registry.counter(
+                "uots_durable_retries_total",
+                "WAL append attempts retried after a storage error",
+            ),
+            append_failures: registry.counter(
+                "uots_durable_append_failures_total",
+                "WAL appends that failed after exhausting the retry budget",
+            ),
+            checkpoint_failures: registry.counter(
+                "uots_durable_checkpoint_failures_total",
+                "Checkpoint writes that failed (retried at the next cadence)",
+            ),
+            degraded: registry.gauge(
+                "uots_durable_degraded",
+                "1 when ingest is read-only degraded, else 0",
+            ),
+            rejected_mutations: registry.counter(
+                "uots_durable_rejected_mutations_total",
+                "Mutations rejected because ingest is degraded",
+            ),
         }
     }
+}
+
+/// Write-path health of a [`DurableIngest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestState {
+    /// Accepting mutations.
+    Healthy,
+    /// Terminal read-only state: a storage failure exhausted its retry
+    /// budget. Queries serve the last published snapshot; every mutation
+    /// is rejected with [`DurableError::ReadOnly`]. Recovery is operator
+    /// action: fix the storage, restart, `recover()`.
+    Degraded {
+        /// The storage failure that tripped it.
+        reason: String,
+    },
+}
+
+/// A point-in-time health summary for operators ([`DurableIngest::status`],
+/// surfaced by `uots status`).
+#[derive(Debug, Clone)]
+pub struct DurableStatus {
+    /// Write-path state.
+    pub state: IngestState,
+    /// LSN the next batch would receive.
+    pub next_lsn: u64,
+    /// Highest LSN known durable on stable storage.
+    pub durable_lsn: u64,
+    /// High-water mark of the last checkpoint written (0 = none).
+    pub last_checkpoint_lsn: u64,
+    /// Batches applied since that checkpoint.
+    pub batches_since_checkpoint: u64,
+    /// Checkpoint writes that failed since startup.
+    pub checkpoint_failures: u64,
+    /// The most recent checkpoint failure, if any.
+    pub last_checkpoint_error: Option<String>,
 }
 
 /// Write-side handle combining an [`EpochManager`] with its WAL and
@@ -107,10 +199,16 @@ pub struct DurableIngest {
     wal: WalWriter,
     dir: PathBuf,
     vocab: Vocabulary,
+    backend: Arc<dyn StorageBackend>,
+    retry: RetryPolicy,
+    /// `Some(reason)` once the ingest has degraded to read-only.
+    degraded: Option<String>,
     /// Cut a checkpoint after this many batches (`None` = never).
     checkpoint_every: Option<u64>,
     batches_since_checkpoint: u64,
     last_checkpoint_lsn: u64,
+    checkpoint_failures: u64,
+    last_checkpoint_error: Option<String>,
     metrics: Option<DurableMetrics>,
 }
 
@@ -129,10 +227,39 @@ impl DurableIngest {
         checkpoint_every: Option<u64>,
         registry: Option<&MetricsRegistry>,
     ) -> Result<Self, DurableError> {
+        Self::create_with_backend(
+            network,
+            store,
+            vocab,
+            dir,
+            config,
+            checkpoint_every,
+            registry,
+            Arc::new(StdFs),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// [`create`](Self::create) on an explicit storage backend and retry
+    /// policy (fault injection goes through here).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_with_backend(
+        network: Arc<RoadNetwork>,
+        store: TrajectoryStore,
+        vocab: Vocabulary,
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+        checkpoint_every: Option<u64>,
+        registry: Option<&MetricsRegistry>,
+        backend: Arc<dyn StorageBackend>,
+        retry: RetryPolicy,
+    ) -> Result<Self, DurableError> {
         let dir = dir.as_ref().to_path_buf();
         let wal = match registry {
-            Some(r) => WalWriter::open_with_metrics(&dir, config, r)?,
-            None => WalWriter::open(&dir, config)?,
+            Some(r) => {
+                WalWriter::open_with_backend_and_metrics(&dir, config, Arc::clone(&backend), r)?
+            }
+            None => WalWriter::open_with_backend(&dir, config, Arc::clone(&backend))?,
         };
         let vocab_len = vocab.len();
         let manager = match registry {
@@ -144,9 +271,14 @@ impl DurableIngest {
             wal,
             dir,
             vocab,
+            backend,
+            retry,
+            degraded: None,
             checkpoint_every,
             batches_since_checkpoint: 0,
             last_checkpoint_lsn: 0,
+            checkpoint_failures: 0,
+            last_checkpoint_error: None,
             metrics: registry.map(DurableMetrics::register),
         })
     }
@@ -160,19 +292,59 @@ impl DurableIngest {
         checkpoint_every: Option<u64>,
         registry: Option<&MetricsRegistry>,
     ) -> Result<Self, DurableError> {
+        Self::resume_with_backend(
+            recovered,
+            dir,
+            config,
+            checkpoint_every,
+            registry,
+            Arc::new(StdFs),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// [`resume`](Self::resume) on an explicit storage backend and retry
+    /// policy.
+    pub fn resume_with_backend(
+        recovered: Recovered,
+        dir: impl AsRef<Path>,
+        config: WalConfig,
+        checkpoint_every: Option<u64>,
+        registry: Option<&MetricsRegistry>,
+        backend: Arc<dyn StorageBackend>,
+        retry: RetryPolicy,
+    ) -> Result<Self, DurableError> {
         let dir = dir.as_ref().to_path_buf();
         let wal = match registry {
-            Some(r) => WalWriter::open_with_metrics(&dir, config, r)?,
-            None => WalWriter::open(&dir, config)?,
+            Some(r) => {
+                WalWriter::open_with_backend_and_metrics(&dir, config, Arc::clone(&backend), r)?
+            }
+            None => WalWriter::open_with_backend(&dir, config, Arc::clone(&backend))?,
         };
+        // refuse to reissue LSNs an existing checkpoint already covers —
+        // replay would skip the duplicates, silently dropping new batches
+        // at the next recovery
+        if wal.next_lsn() < recovered.report.next_lsn {
+            return Err(DurableError::Inconsistent(format!(
+                "wal ends at lsn {} but the recovered state covers lsn {}: \
+                 resuming would reissue checkpoint-covered lsns",
+                wal.next_lsn().saturating_sub(1),
+                recovered.report.next_lsn.saturating_sub(1),
+            )));
+        }
         Ok(DurableIngest {
             manager: recovered.manager,
             wal,
             dir,
             vocab: recovered.vocab,
+            backend,
+            retry,
+            degraded: None,
             checkpoint_every,
             batches_since_checkpoint: 0,
             last_checkpoint_lsn: recovered.report.checkpoint_lsn,
+            checkpoint_failures: 0,
+            last_checkpoint_error: None,
             metrics: registry.map(DurableMetrics::register),
         })
     }
@@ -197,15 +369,95 @@ impl DurableIngest {
         self.last_checkpoint_lsn
     }
 
+    /// Whether the ingest has degraded to read-only.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// Point-in-time health summary (what `uots status` prints for a live
+    /// embedder).
+    pub fn status(&self) -> DurableStatus {
+        DurableStatus {
+            state: match &self.degraded {
+                None => IngestState::Healthy,
+                Some(reason) => IngestState::Degraded {
+                    reason: reason.clone(),
+                },
+            },
+            next_lsn: self.wal.next_lsn(),
+            durable_lsn: self.wal.durable_lsn(),
+            last_checkpoint_lsn: self.last_checkpoint_lsn,
+            batches_since_checkpoint: self.batches_since_checkpoint,
+            checkpoint_failures: self.checkpoint_failures,
+            last_checkpoint_error: self.last_checkpoint_error.clone(),
+        }
+    }
+
+    fn degrade(&mut self, reason: String) {
+        if self.degraded.is_none() {
+            self.degraded = Some(reason);
+            if let Some(m) = &self.metrics {
+                m.degraded.set(1);
+            }
+        }
+    }
+
+    /// Appends with the retry policy: transient errors back off and
+    /// retry (each retry reuses the same LSN — the writer advances it
+    /// only on success); permanent errors get one fresh-segment retry;
+    /// exhaustion degrades the ingest and returns the final error.
+    fn append_with_retry(&mut self, batch: &[Mutation]) -> Result<u64, DurableError> {
+        if let Some(reason) = &self.degraded {
+            if let Some(m) = &self.metrics {
+                m.rejected_mutations.add(batch.len().max(1) as u64);
+            }
+            return Err(DurableError::ReadOnly {
+                reason: reason.clone(),
+            });
+        }
+        let mut attempts = 0u32;
+        loop {
+            let err = match self.wal.append(batch) {
+                Ok(lsn) => return Ok(lsn),
+                Err(e) => e,
+            };
+            attempts += 1;
+            let class = match &err {
+                WalError::Io(io) => ErrorClass::of(io),
+                // structural corruption: retrying cannot repair a log
+                WalError::Corrupt(_) => ErrorClass::Permanent,
+            };
+            if self.retry.allows_retry(class, attempts) {
+                if let Some(m) = &self.metrics {
+                    m.retries.inc();
+                }
+                let backoff = self.retry.backoff(attempts);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                continue;
+            }
+            if let Some(m) = &self.metrics {
+                m.append_failures.inc();
+            }
+            self.degrade(format!(
+                "wal append failed after {attempts} attempt(s) ({class:?}): {err}"
+            ));
+            return Err(err.into());
+        }
+    }
+
     /// Logs `batch` as one WAL record, then applies it to the manager.
     /// Returns the batch's LSN and the ids assigned to its inserts. On a
     /// WAL error nothing is applied — the in-memory state never runs
-    /// ahead of the log.
+    /// ahead of the log. Storage errors are retried per the
+    /// [`RetryPolicy`]; exhaustion degrades the ingest to read-only
+    /// (subsequent calls fail fast with [`DurableError::ReadOnly`]).
     pub fn apply(
         &mut self,
         batch: Vec<Mutation>,
     ) -> Result<(u64, Vec<TrajectoryId>), DurableError> {
-        let lsn = self.wal.append(&batch)?;
+        let lsn = self.append_with_retry(&batch)?;
         let inserted = self.manager.apply(batch);
         self.batches_since_checkpoint += 1;
         Ok((lsn, inserted))
@@ -221,13 +473,20 @@ impl DurableIngest {
     /// (a retire of an already-retired id is logged but replays as the
     /// same no-op it was).
     pub fn retire(&mut self, id: TrajectoryId) -> Result<bool, DurableError> {
-        self.wal.append(&[Mutation::Retire(id)])?;
+        self.append_with_retry(&[Mutation::Retire(id)])?;
         self.batches_since_checkpoint += 1;
         Ok(self.manager.retire(id))
     }
 
     /// Publishes a fresh snapshot (see [`EpochManager::publish`]) and, if
     /// the checkpoint cadence is due, cuts a checkpoint of it.
+    ///
+    /// A *checkpoint* failure does not fail the publish and does not
+    /// degrade ingest — the WAL already carries full durability; the
+    /// failure is counted, visible in [`status`](Self::status), and the
+    /// checkpoint is retried at the next cadence point. Publishing is
+    /// allowed while degraded (it cannot lose anything: no new mutations
+    /// are being accepted).
     pub fn publish(&mut self) -> Result<Arc<EpochSnapshot>, DurableError> {
         // capture the high-water mark *before* the swap: every batch
         // appended so far is applied, so the snapshot contains exactly
@@ -236,7 +495,9 @@ impl DurableIngest {
         let snapshot = self.manager.publish();
         if let Some(every) = self.checkpoint_every {
             if self.batches_since_checkpoint >= every {
-                self.checkpoint_snapshot(&snapshot, high_water)?;
+                if let Err(e) = self.checkpoint_snapshot(&snapshot, high_water) {
+                    self.note_checkpoint_failure(&e);
+                }
             }
         }
         Ok(snapshot)
@@ -244,7 +505,9 @@ impl DurableIngest {
 
     /// Cuts a checkpoint of the current snapshot unconditionally. The
     /// durable state must equal the snapshot, so this publishes first if
-    /// mutations are pending.
+    /// mutations are pending. Unlike the cadence-driven checkpoint in
+    /// [`publish`](Self::publish), an explicit request propagates the
+    /// failure (the caller asked for exactly this work).
     pub fn checkpoint_now(&mut self) -> Result<Arc<EpochSnapshot>, DurableError> {
         let high_water = self.wal.next_lsn().saturating_sub(1);
         let snapshot = if self.manager.pending() > 0 {
@@ -252,8 +515,19 @@ impl DurableIngest {
         } else {
             self.manager.snapshot()
         };
-        self.checkpoint_snapshot(&snapshot, high_water)?;
+        if let Err(e) = self.checkpoint_snapshot(&snapshot, high_water) {
+            self.note_checkpoint_failure(&e);
+            return Err(e);
+        }
         Ok(snapshot)
+    }
+
+    fn note_checkpoint_failure(&mut self, e: &DurableError) {
+        self.checkpoint_failures += 1;
+        self.last_checkpoint_error = Some(e.to_string());
+        if let Some(m) = &self.metrics {
+            m.checkpoint_failures.inc();
+        }
     }
 
     fn checkpoint_snapshot(
@@ -262,6 +536,16 @@ impl DurableIngest {
         high_water: u64,
     ) -> Result<(), DurableError> {
         let started = Instant::now();
+        // A checkpoint asserts "state through `high_water` is durable", so
+        // the log must be durable through it *first*. Under a lazy fsync
+        // policy the WAL can lag the applied state; without this sync a
+        // crash could preserve the checkpoint but not the log tail it
+        // summarizes — and a resumed writer, continuing from the shorter
+        // log, would reissue LSNs the checkpoint already covers, which a
+        // later recovery would silently skip.
+        if self.wal.durable_lsn() < high_water {
+            self.wal.sync()?;
+        }
         let ck = Checkpoint {
             network: (**snapshot.network()).clone(),
             vocab: self.vocab.clone(),
@@ -270,10 +554,14 @@ impl DurableIngest {
             epoch: snapshot.epoch(),
             lsn: high_water,
         };
-        persist::save_checkpoint_file(&ck, checkpoint_path(&self.dir, high_water))?;
+        persist::save_checkpoint_file_with(
+            &*self.backend,
+            &ck,
+            &checkpoint_path(&self.dir, high_water),
+        )?;
         self.batches_since_checkpoint = 0;
         self.last_checkpoint_lsn = high_water;
-        let pruned = wal::prune_segments(&self.dir, high_water)? as u64;
+        let pruned = wal::prune_segments_with(&*self.backend, &self.dir, high_water)? as u64;
         if let Some(m) = &self.metrics {
             m.checkpoints.inc();
             m.checkpoint_micros
@@ -290,11 +578,15 @@ fn checkpoint_path(dir: &Path, lsn: u64) -> PathBuf {
 
 /// Lists checkpoint files in `dir`, newest (highest LSN) first.
 pub fn list_checkpoints(dir: impl AsRef<Path>) -> Vec<PathBuf> {
-    let mut out: Vec<PathBuf> = std::fs::read_dir(dir.as_ref())
+    list_checkpoints_with(&StdFs, dir.as_ref())
+}
+
+/// [`list_checkpoints`] through an explicit backend.
+pub fn list_checkpoints_with(backend: &dyn StorageBackend, dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = backend
+        .read_dir(dir)
         .into_iter()
         .flatten()
-        .flatten()
-        .map(|e| e.path())
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
@@ -359,14 +651,23 @@ pub fn recover(
     base: Option<&Dataset>,
     registry: Option<&MetricsRegistry>,
 ) -> Result<Recovered, DurableError> {
+    recover_with(&StdFs, dir.as_ref(), base, registry)
+}
+
+/// [`recover`] through an explicit storage backend.
+pub fn recover_with(
+    backend: &dyn StorageBackend,
+    dir: &Path,
+    base: Option<&Dataset>,
+    registry: Option<&MetricsRegistry>,
+) -> Result<Recovered, DurableError> {
     let started = Instant::now();
-    let dir = dir.as_ref();
 
     // newest validating checkpoint wins; damaged ones are recorded + skipped
     let mut rejected = Vec::new();
     let mut checkpoint: Option<(PathBuf, Checkpoint)> = None;
-    for path in list_checkpoints(dir) {
-        match persist::load_checkpoint_file(&path) {
+    for path in list_checkpoints_with(backend, dir) {
+        match persist::load_checkpoint_file_with(backend, &path) {
             Ok(ck) => {
                 checkpoint = Some((path, ck));
                 break;
@@ -405,7 +706,7 @@ pub fn recover(
         }
     };
 
-    let replayed = wal::replay(dir, after_lsn)?;
+    let replayed = wal::replay_with(backend, dir, after_lsn)?;
     let mut mutations = 0u64;
     let batches = replayed.batches.len() as u64;
     for (lsn, batch) in replayed.batches {
@@ -492,9 +793,190 @@ pub fn recover(
             rejected_checkpoints: rejected,
             replayed_batches: batches,
             replayed_mutations: mutations,
-            next_lsn: replayed.next_lsn,
+            // the durable state extends to whichever reaches further: the
+            // log's last replayable record or the checkpoint (whose
+            // segments may have been pruned or lost while it survived)
+            next_lsn: replayed.next_lsn.max(after_lsn + 1),
             wal_corruption: replayed.corruption,
             micros,
         },
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uots_core::storage::fault::{Fault, FaultFs, OpKind, ScriptedFault};
+    use uots_datagen::DatasetConfig;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("uots_durable_tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ingest_over(
+        ds: &Dataset,
+        dir: &Path,
+        backend: Arc<dyn StorageBackend>,
+        checkpoint_every: Option<u64>,
+    ) -> DurableIngest {
+        DurableIngest::create_with_backend(
+            Arc::new(ds.network.clone()),
+            ds.store.clone(),
+            ds.vocab.clone(),
+            dir,
+            WalConfig::default(),
+            checkpoint_every,
+            None,
+            backend,
+            RetryPolicy::without_backoff(),
+        )
+        .unwrap()
+    }
+
+    fn donor(ds: &Dataset, i: u32) -> Trajectory {
+        ds.store.get(TrajectoryId(i)).clone()
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_stay_invisible() {
+        let ds = Dataset::build(&DatasetConfig::small(16, 5)).unwrap();
+        let dir = tmpdir("transient");
+        // writes #0/#1 are the segment header; #2 = first record write
+        let fs = FaultFs::scripted(
+            3,
+            vec![
+                ScriptedFault {
+                    op: OpKind::Write,
+                    nth: 2,
+                    fault: Fault::Transient,
+                },
+                ScriptedFault {
+                    op: OpKind::Sync,
+                    nth: 3,
+                    fault: Fault::Transient,
+                },
+            ],
+        );
+        let mut ingest = ingest_over(&ds, &dir, fs, None);
+        for i in 0..3 {
+            ingest
+                .apply(vec![Mutation::Insert(donor(&ds, i))])
+                .expect("transient faults must be absorbed by the retry policy");
+        }
+        assert!(!ingest.is_degraded());
+        assert!(matches!(ingest.status().state, IngestState::Healthy));
+        // the log is complete and clean
+        let r = wal::replay(&dir, 0).unwrap();
+        assert!(r.corruption.is_none());
+        assert_eq!(r.batches.len(), 3);
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_read_only() {
+        let ds = Dataset::build(&DatasetConfig::small(16, 5)).unwrap();
+        let dir = tmpdir("degrade");
+        // permanent failure on the first record write AND on its one
+        // fresh-segment retry: budget exhausted (permanent_attempts = 2)
+        let fs = FaultFs::scripted(
+            9,
+            vec![
+                ScriptedFault {
+                    op: OpKind::Write,
+                    nth: 2,
+                    fault: Fault::Permanent,
+                },
+                ScriptedFault {
+                    op: OpKind::Write,
+                    nth: 5,
+                    fault: Fault::Permanent,
+                },
+            ],
+        );
+        let mut ingest = ingest_over(&ds, &dir, fs, None);
+        let err = ingest
+            .apply(vec![Mutation::Insert(donor(&ds, 0))])
+            .unwrap_err();
+        assert!(matches!(err, DurableError::Wal(_)), "{err}");
+        assert!(ingest.is_degraded());
+        match ingest.status().state {
+            IngestState::Degraded { reason } => {
+                assert!(reason.contains("2 attempt"), "{reason}")
+            }
+            s => panic!("expected degraded, got {s:?}"),
+        }
+        // mutations now fail fast with the structured read-only error
+        let err = ingest.ingest(donor(&ds, 1)).unwrap_err();
+        assert!(matches!(err, DurableError::ReadOnly { .. }), "{err}");
+        let err = ingest.retire(TrajectoryId(0)).unwrap_err();
+        assert!(matches!(err, DurableError::ReadOnly { .. }), "{err}");
+        // queries keep serving: snapshots and publishes still work
+        let snap = ingest.publish().unwrap();
+        assert_eq!(snap.store().len(), ds.store.len());
+        // nothing unacked leaked into the log
+        let r = wal::replay(&dir, 0).unwrap();
+        assert_eq!(r.batches.len(), 0, "no batch was ever acked");
+    }
+
+    #[test]
+    fn checkpoint_failure_is_counted_but_does_not_degrade() {
+        let ds = Dataset::build(&DatasetConfig::small(16, 5)).unwrap();
+        let dir = tmpdir("ckpt_fail");
+        // the WAL never fsyncs directories, so SyncDir #0 is the first
+        // checkpoint's rename-durability fsync
+        let fs = FaultFs::scripted(
+            5,
+            vec![ScriptedFault {
+                op: OpKind::SyncDir,
+                nth: 0,
+                fault: Fault::Permanent,
+            }],
+        );
+        let mut ingest = ingest_over(&ds, &dir, fs, Some(1));
+        ingest.apply(vec![Mutation::Insert(donor(&ds, 0))]).unwrap();
+        // cadence due: the publish succeeds even though its checkpoint fails
+        ingest.publish().unwrap();
+        assert!(
+            !ingest.is_degraded(),
+            "checkpoint failures must not degrade"
+        );
+        let status = ingest.status();
+        assert_eq!(status.checkpoint_failures, 1);
+        assert!(status.last_checkpoint_error.is_some());
+        assert_eq!(status.last_checkpoint_lsn, 0, "nothing durable yet");
+        // the next cadence point retries and succeeds
+        ingest.apply(vec![Mutation::Insert(donor(&ds, 1))]).unwrap();
+        ingest.publish().unwrap();
+        let status = ingest.status();
+        assert_eq!(status.checkpoint_failures, 1, "no new failure");
+        assert_eq!(status.last_checkpoint_lsn, 2);
+        assert!(!list_checkpoints(&dir).is_empty());
+    }
+
+    #[test]
+    fn explicit_checkpoint_propagates_its_failure() {
+        let ds = Dataset::build(&DatasetConfig::small(16, 5)).unwrap();
+        let dir = tmpdir("ckpt_now");
+        let fs = FaultFs::scripted(
+            6,
+            vec![ScriptedFault {
+                op: OpKind::SyncDir,
+                nth: 0,
+                fault: Fault::Permanent,
+            }],
+        );
+        let mut ingest = ingest_over(&ds, &dir, fs, None);
+        ingest.apply(vec![Mutation::Insert(donor(&ds, 0))]).unwrap();
+        let err = ingest.checkpoint_now().unwrap_err();
+        assert!(matches!(err, DurableError::Persist(_)), "{err}");
+        assert!(!ingest.is_degraded());
+        assert_eq!(ingest.status().checkpoint_failures, 1);
+        // retrying explicitly now succeeds
+        ingest.checkpoint_now().unwrap();
+        assert_eq!(ingest.status().last_checkpoint_lsn, 1);
+    }
 }

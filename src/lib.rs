@@ -46,8 +46,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod durable;
+pub mod scrub;
 
 pub use uots_core as core;
+pub use uots_core::storage;
 pub use uots_datagen as datagen;
 pub use uots_index as index;
 pub use uots_join as join;
