@@ -248,6 +248,11 @@ pub struct WalWriter {
     /// Set when a failure requires sealing but the seal itself has not
     /// succeeded yet; retried before any further write.
     pending_seal: Option<SealPlan>,
+    /// A partially-created segment left behind by a failed rotation. It
+    /// must be removed before any *later* segment is created: replay
+    /// stops at its bad header, and a reopen would otherwise discard
+    /// every segment after it — including acked, durable records.
+    stray_segment: Option<PathBuf>,
     last_sync: Instant,
     metrics: Option<WalMetrics>,
 }
@@ -345,6 +350,7 @@ impl WalWriter {
             durable_next_lsn: next_lsn,
             unsynced: Vec::new(),
             pending_seal: None,
+            stray_segment: None,
             last_sync: Instant::now(),
             metrics,
         })
@@ -503,6 +509,29 @@ impl WalWriter {
         });
     }
 
+    /// Removes the stray segment a failed rotation left behind, if any.
+    /// Must succeed before any later segment is created: replay stops at
+    /// the stray's bad header, so segments behind it are unreachable and
+    /// a reopen would delete them. Idempotent; a missing file counts as
+    /// removed (the create itself may have been what failed).
+    fn remove_stray(&mut self) -> Result<(), WalError> {
+        let Some(path) = self.stray_segment.clone() else {
+            return Ok(());
+        };
+        match self.backend.remove_file(&path) {
+            Ok(()) => {
+                self.stray_segment = None;
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // the failed rotation never got as far as creating it
+                self.stray_segment = None;
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// Executes a pending seal, if any. Mutates `self` only after every
     /// step succeeded, so a failed heal can be retried from scratch (the
     /// truncate and the segment re-create are idempotent).
@@ -510,6 +539,11 @@ impl WalWriter {
         let Some(plan) = self.pending_seal.take() else {
             return Ok(());
         };
+        // the fresh segment below must not land behind a rotation stray
+        if let Err(e) = self.remove_stray() {
+            self.pending_seal = Some(plan);
+            return Err(e);
+        }
         let result = (|| -> Result<(Box<dyn StorageFile>, PathBuf, u64), WalError> {
             self.backend
                 .truncate(&self.segment_path, plan.truncate_at)?;
@@ -547,15 +581,30 @@ impl WalWriter {
         // new one starts taking records, or pruning could discard the only
         // copy of a batch that never hit the disk
         self.sync()?;
-        let (file, path) = new_segment(&*self.backend, &self.dir, self.next_lsn)?;
-        self.file = file;
-        self.segment_path = path;
-        self.segment_len = HEADER_LEN;
-        self.durable_len = HEADER_LEN;
-        if let Some(m) = &self.metrics {
-            m.rotations.inc();
+        // a stray from an earlier failed rotation must be gone first, or
+        // the segment created here would sit behind it, unreachable
+        self.remove_stray()?;
+        match new_segment(&*self.backend, &self.dir, self.next_lsn) {
+            Ok((file, path)) => {
+                self.file = file;
+                self.segment_path = path;
+                self.segment_len = HEADER_LEN;
+                self.durable_len = HEADER_LEN;
+                if let Some(m) = &self.metrics {
+                    m.rotations.inc();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // new_segment may have created the file before its header
+                // write/sync failed; while it exists under a wal-*.seg
+                // name, replay stops at its bad header. Remove it — now if
+                // possible, else before the next segment is created.
+                self.stray_segment = Some(segment_path(&self.dir, self.next_lsn));
+                let _ = self.remove_stray(); // best effort; retried later
+                Err(e)
+            }
         }
-        Ok(())
     }
 }
 
@@ -1208,6 +1257,62 @@ mod tests {
                 assert!(mutations_eq(g, w));
             }
         }
+    }
+
+    #[test]
+    fn failed_rotation_never_strands_a_partial_segment() {
+        // A rotation whose new_segment fails partway (create succeeds,
+        // header write fails) must not leave the partial wal-N file
+        // behind: later segments would be created *behind* it, replay
+        // would stop at its bad header, and a reopen would delete those
+        // later segments — losing acked, durable records.
+        let dir = tmpdir("stray_rotation");
+        let cfg = WalConfig {
+            segment_bytes: 64, // rotate after every record
+            fsync: FsyncPolicy::EveryBatch,
+        };
+        // Writes: #0/#1 open's header, #2 record 1, #3/#4 rotation header,
+        // #5 record 2, #6 = the victim: the magic write of the rotation
+        // after record 2. Remove #0 is the immediate stray cleanup — fail
+        // it too, so the stray must survive until the *next* rotation's
+        // cleanup (Remove #1).
+        let fs = FaultFs::scripted(
+            41,
+            vec![
+                ScriptedFault {
+                    op: OpKind::Write,
+                    nth: 6,
+                    fault: Fault::Permanent,
+                },
+                ScriptedFault {
+                    op: OpKind::Remove,
+                    nth: 0,
+                    fault: Fault::Transient,
+                },
+            ],
+        );
+        let mut w = WalWriter::open_with_backend(&dir, cfg, fs).unwrap();
+        // four appends of the large batch (its record tops segment_bytes,
+        // so every append rotates); the rotation failure after lsn 2 must
+        // stay invisible (the batch was already durable when it struck)
+        for lsn in 1..=4 {
+            assert_eq!(w.append(&batches()[0]).unwrap(), lsn);
+        }
+        assert_eq!(w.durable_lsn(), 4);
+        drop(w);
+        // the stray wal-3 file is gone, not stranded mid-sequence
+        assert!(
+            !segment_path(&dir, 3).exists(),
+            "partial rotation segment must have been removed"
+        );
+        let r = replay(&dir, 0).unwrap();
+        assert!(r.corruption.is_none(), "{:?}", r.corruption);
+        assert_eq!(r.batches.len(), 4);
+        assert_eq!(r.next_lsn, 5);
+        // and a reopen (the step that deletes segments behind corruption)
+        // still sees every acked batch
+        let w = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(w.next_lsn(), 5, "acked lsn 4 must survive reopen");
     }
 
     #[test]

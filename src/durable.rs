@@ -115,6 +115,7 @@ struct DurableMetrics {
     retries: uots_obs::Counter,
     append_failures: uots_obs::Counter,
     checkpoint_failures: uots_obs::Counter,
+    prune_failures: uots_obs::Counter,
     degraded: uots_obs::Gauge,
     rejected_mutations: uots_obs::Counter,
 }
@@ -142,6 +143,10 @@ impl DurableMetrics {
             checkpoint_failures: registry.counter(
                 "uots_durable_checkpoint_failures_total",
                 "Checkpoint writes that failed (retried at the next cadence)",
+            ),
+            prune_failures: registry.counter(
+                "uots_durable_prune_failures_total",
+                "Segment prunes that failed after the covering checkpoint landed",
             ),
             degraded: registry.gauge(
                 "uots_durable_degraded",
@@ -188,6 +193,12 @@ pub struct DurableStatus {
     pub checkpoint_failures: u64,
     /// The most recent checkpoint failure, if any.
     pub last_checkpoint_error: Option<String>,
+    /// Segment prunes that failed after their checkpoint landed. Benign
+    /// (extra log stays on disk; retried at the next checkpoint) but
+    /// worth watching: a persistent cause means unbounded log growth.
+    pub prune_failures: u64,
+    /// The most recent prune failure, if any.
+    pub last_prune_error: Option<String>,
 }
 
 /// Write-side handle combining an [`EpochManager`] with its WAL and
@@ -209,6 +220,8 @@ pub struct DurableIngest {
     last_checkpoint_lsn: u64,
     checkpoint_failures: u64,
     last_checkpoint_error: Option<String>,
+    prune_failures: u64,
+    last_prune_error: Option<String>,
     metrics: Option<DurableMetrics>,
 }
 
@@ -279,6 +292,8 @@ impl DurableIngest {
             last_checkpoint_lsn: 0,
             checkpoint_failures: 0,
             last_checkpoint_error: None,
+            prune_failures: 0,
+            last_prune_error: None,
             metrics: registry.map(DurableMetrics::register),
         })
     }
@@ -345,6 +360,8 @@ impl DurableIngest {
             last_checkpoint_lsn: recovered.report.checkpoint_lsn,
             checkpoint_failures: 0,
             last_checkpoint_error: None,
+            prune_failures: 0,
+            last_prune_error: None,
             metrics: registry.map(DurableMetrics::register),
         })
     }
@@ -390,6 +407,8 @@ impl DurableIngest {
             batches_since_checkpoint: self.batches_since_checkpoint,
             checkpoint_failures: self.checkpoint_failures,
             last_checkpoint_error: self.last_checkpoint_error.clone(),
+            prune_failures: self.prune_failures,
+            last_prune_error: self.last_prune_error.clone(),
         }
     }
 
@@ -561,7 +580,22 @@ impl DurableIngest {
         )?;
         self.batches_since_checkpoint = 0;
         self.last_checkpoint_lsn = high_water;
-        let pruned = wal::prune_segments_with(&*self.backend, &self.dir, high_water)? as u64;
+        // The checkpoint is durable at this point; pruning is cleanup of
+        // segments it already covers. A prune failure leaves extra (but
+        // harmless) log on disk, so it must not be reported as a failed
+        // checkpoint — it gets its own accounting and the next successful
+        // checkpoint retries the removal.
+        let pruned = match wal::prune_segments_with(&*self.backend, &self.dir, high_water) {
+            Ok(n) => n as u64,
+            Err(e) => {
+                self.prune_failures += 1;
+                self.last_prune_error = Some(e.to_string());
+                if let Some(m) = &self.metrics {
+                    m.prune_failures.inc();
+                }
+                0
+            }
+        };
         if let Some(m) = &self.metrics {
             m.checkpoints.inc();
             m.checkpoint_micros
@@ -663,12 +697,35 @@ pub fn recover_with(
 ) -> Result<Recovered, DurableError> {
     let started = Instant::now();
 
-    // newest validating checkpoint wins; damaged ones are recorded + skipped
+    // One scan of the whole durable log up front: the replay guarantees
+    // the surviving batches form one strictly-sequential LSN run, so a
+    // checkpoint candidate can be checked for tail contiguity below.
+    let replayed = wal::replay_with(backend, dir, 0)?;
+    // The first surviving batch past `after_lsn`, if any. A usable base
+    // state must be continued *exactly* at after_lsn + 1: segments in
+    // between may have been pruned against a newer checkpoint that is now
+    // unusable, and replaying a gapped tail would assign wrong dense ids
+    // to inserts and retire wrong rows — silently.
+    let tail_gap = |after_lsn: u64| -> Option<u64> {
+        replayed
+            .batches
+            .iter()
+            .map(|(l, _)| *l)
+            .find(|l| *l > after_lsn)
+            .filter(|first| *first != after_lsn + 1)
+    };
+
+    // newest validating checkpoint with a contiguous tail wins; damaged
+    // or gapped ones are recorded + skipped
     let mut rejected = Vec::new();
     let mut checkpoint: Option<(PathBuf, Checkpoint)> = None;
     for path in list_checkpoints_with(backend, dir) {
         match persist::load_checkpoint_file_with(backend, &path) {
             Ok(ck) => {
+                if tail_gap(ck.lsn).is_some() {
+                    rejected.push(path);
+                    continue;
+                }
                 checkpoint = Some((path, ck));
                 break;
             }
@@ -692,6 +749,16 @@ pub fn recover_with(
                     "no usable checkpoint and no base dataset to recover from".into(),
                 )
             })?;
+            if let Some(first) = tail_gap(0) {
+                // the base dataset is the last resort — a gap here cannot
+                // fall back any further, and applying the tail anyway
+                // would corrupt ids silently
+                return Err(DurableError::Inconsistent(format!(
+                    "wal tail starts at lsn {first} but recovery has no checkpoint \
+                     covering lsns 1..{first}: segments were pruned against a \
+                     checkpoint that is no longer usable"
+                )));
+            }
             let store = ds.store.clone();
             let live = LiveSet::all_live(store.len());
             (
@@ -706,10 +773,13 @@ pub fn recover_with(
         }
     };
 
-    let replayed = wal::replay_with(backend, dir, after_lsn)?;
     let mut mutations = 0u64;
-    let batches = replayed.batches.len() as u64;
+    let mut batches = 0u64;
     for (lsn, batch) in replayed.batches {
+        if lsn <= after_lsn {
+            continue; // already contained in the recovered base state
+        }
+        batches += 1;
         for m in batch {
             mutations += 1;
             match m {
@@ -955,6 +1025,64 @@ mod tests {
         assert_eq!(status.checkpoint_failures, 1, "no new failure");
         assert_eq!(status.last_checkpoint_lsn, 2);
         assert!(!list_checkpoints(&dir).is_empty());
+    }
+
+    #[test]
+    fn prune_failure_after_a_durable_checkpoint_is_not_a_checkpoint_failure() {
+        let ds = Dataset::build(&DatasetConfig::small(16, 5)).unwrap();
+        let dir = tmpdir("prune_fail");
+        // nothing else removes files in this script: Remove #0 is the
+        // covered-segment prune right after the first checkpoint lands
+        let fs = FaultFs::scripted(
+            7,
+            vec![ScriptedFault {
+                op: OpKind::Remove,
+                nth: 0,
+                fault: Fault::Permanent,
+            }],
+        );
+        let mut ingest = DurableIngest::create_with_backend(
+            Arc::new(ds.network.clone()),
+            ds.store.clone(),
+            ds.vocab.clone(),
+            &dir,
+            WalConfig {
+                segment_bytes: 1, // rotate every batch: something to prune
+                ..WalConfig::default()
+            },
+            None,
+            None,
+            fs,
+            RetryPolicy::without_backoff(),
+        )
+        .unwrap();
+        ingest.apply(vec![Mutation::Insert(donor(&ds, 0))]).unwrap();
+        ingest.apply(vec![Mutation::Insert(donor(&ds, 1))]).unwrap();
+        // the checkpoint file is durable; only the cleanup prune fails
+        ingest
+            .checkpoint_now()
+            .expect("a durable checkpoint must not be failed by its prune");
+        let status = ingest.status();
+        assert_eq!(
+            status.checkpoint_failures, 0,
+            "{:?}",
+            status.last_checkpoint_error
+        );
+        assert!(status.last_checkpoint_error.is_none());
+        assert_eq!(status.last_checkpoint_lsn, 2);
+        assert_eq!(status.prune_failures, 1);
+        assert!(status.last_prune_error.is_some());
+        // the next checkpoint retries the removal and succeeds
+        ingest.apply(vec![Mutation::Insert(donor(&ds, 2))]).unwrap();
+        ingest.checkpoint_now().unwrap();
+        let status = ingest.status();
+        assert_eq!(status.prune_failures, 1, "no new failure");
+        assert_eq!(status.last_checkpoint_lsn, 3);
+        // and recovery of the directory is unaffected throughout
+        drop(ingest);
+        let recovered = recover(&dir, Some(&ds), None).expect("recovery");
+        assert_eq!(recovered.report.checkpoint_lsn, 3);
+        assert_eq!(recovered.manager.snapshot().store().len(), ds.store.len() + 3);
     }
 
     #[test]

@@ -122,19 +122,19 @@ fn walk(
     dir: &Path,
     quarantine: bool,
 ) -> Result<ScrubReport, std::io::Error> {
-    // -- checkpoints: every one is CRC-validated independently
+    // -- checkpoints: every one is CRC-validated independently. Only
+    //    *validation* failures mark a checkpoint corrupt — an I/O error
+    //    reading it is an operational problem (possibly transient), and
+    //    quarantining a perfectly good checkpoint over a read hiccup
+    //    would demote the recovery plan for nothing.
     let checkpoint_paths = list_checkpoints_with(backend, dir);
     let checkpoints = checkpoint_paths.len();
     let mut invalid_checkpoints = Vec::new();
-    let mut newest_valid: Option<(PathBuf, u64)> = None;
+    let mut valid: Vec<(PathBuf, u64)> = Vec::new(); // newest-first
     for path in checkpoint_paths {
         match persist::load_checkpoint_file_with(backend, &path) {
-            Ok(ck) => {
-                // list is newest-first; keep the first that validates
-                if newest_valid.is_none() {
-                    newest_valid = Some((path, ck.lsn));
-                }
-            }
+            Ok(ck) => valid.push((path, ck.lsn)),
+            Err(persist::PersistError::Io(e)) => return Err(e),
             Err(e) => invalid_checkpoints.push((path, e.to_string())),
         }
     }
@@ -184,12 +184,29 @@ fn walk(
     // -- recovery plan over what (now) remains
     // (re-)scan: under scrub the unusable files are gone by now, so the
     // prefix this sees is exactly what recovery would see
-    let after_lsn = newest_valid.as_ref().map_or(0, |(_, lsn)| *lsn);
-    let plan_scan = wal::replay_with(backend, dir, after_lsn).map_err(wal_io)?;
-    let replayable_mutations = plan_scan.batches.iter().map(|(_, b)| b.len() as u64).sum();
+    let plan_scan = wal::replay_with(backend, dir, 0).map_err(wal_io)?;
+    // recovery refuses a checkpoint whose surviving WAL tail does not
+    // continue exactly at its lsn + 1 (segments in the gap were pruned
+    // against a newer checkpoint that is now unusable) — mirror that
+    // choice here so the plan reports what recover() would really use
+    let chosen = valid.into_iter().find(|(_, lsn)| {
+        plan_scan
+            .batches
+            .iter()
+            .map(|(l, _)| *l)
+            .find(|l| *l > *lsn)
+            .is_none_or(|first| first == lsn + 1)
+    });
+    let after_lsn = chosen.as_ref().map_or(0, |(_, lsn)| *lsn);
+    let tail: Vec<&(u64, Vec<uots_core::Mutation>)> = plan_scan
+        .batches
+        .iter()
+        .filter(|(l, _)| *l > after_lsn)
+        .collect();
+    let replayable_mutations = tail.iter().map(|(_, b)| b.len() as u64).sum();
     let plan = RecoveryPlan {
-        checkpoint: newest_valid,
-        replayable_batches: plan_scan.batches.len() as u64,
+        checkpoint: chosen,
+        replayable_batches: tail.len() as u64,
         replayable_mutations,
         next_lsn: plan_scan.next_lsn,
     };
@@ -228,6 +245,14 @@ fn quarantine_files(
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
         Err(e) => return Err(e),
     };
+    // Existing quarantine contents, from the directory listing — probing
+    // with read() would treat an existing-but-unreadable file as absent
+    // and let the rename below destroy earlier evidence.
+    let mut taken: std::collections::HashSet<String> = backend
+        .read_dir(&qdir)?
+        .into_iter()
+        .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(str::to_string))
+        .collect();
     let mut entries = Vec::new();
     for (original, reason) in files {
         let name = original
@@ -236,12 +261,14 @@ fn quarantine_files(
             .unwrap_or("unnamed")
             .to_string();
         // never overwrite earlier evidence: suffix until fresh
-        let mut target = qdir.join(&name);
+        let mut fresh = name.clone();
         let mut n = 0;
-        while backend.read(&target).is_ok() {
+        while taken.contains(&fresh) {
             n += 1;
-            target = qdir.join(format!("{name}.{n}"));
+            fresh = format!("{name}.{n}");
         }
+        taken.insert(fresh.clone());
+        let target = qdir.join(&fresh);
         backend.rename(original, &target)?;
         let kept = target
             .file_name()

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use uots::core::testing::corrupt;
 use uots::core::wal::{self, FsyncPolicy, WalConfig, WalWriter};
 use uots::datagen::persist::{self, Checkpoint};
-use uots::durable::{recover, DurableIngest, RecoverySource};
+use uots::durable::{recover, DurableError, DurableIngest, RecoverySource};
 use uots::prelude::*;
 use uots::{
     EpochSnapshot, KeywordSet, LiveSet, Mutation, QueryResult, Sample, Trajectory, TrajectoryStore,
@@ -534,6 +534,74 @@ fn checkpoints_shorten_replay_and_corrupt_ones_fall_back() {
     corrupt::truncate_file(wal_dir.join(format!("ckpt-{:020}.uotsck", 3)), 10).unwrap();
     let r = all("all checkpoints corrupt", full as u64, 2);
     assert_eq!(r.report.source, RecoverySource::BaseDataset);
+}
+
+/// Once `prune_segments` has deleted log covered by the newest checkpoint,
+/// older checkpoints are no longer valid recovery bases: the surviving
+/// tail starts past the LSNs they'd need replayed. Recovery must reject
+/// such a fallback (and the base-dataset arm) rather than splice the tail
+/// onto a state missing the pruned range — which would assign wrong dense
+/// [`TrajectoryId`]s silently.
+#[test]
+fn pruned_log_rejects_gapped_checkpoint_fallback() {
+    let dir = tmpdir("gapped");
+    let wal_dir = dir.join("wal");
+    std::fs::create_dir_all(&wal_dir).unwrap();
+    let ds = Dataset::build(&DatasetConfig::small(22, 7)).expect("dataset builds");
+    let batches = scripted_batches(&ds, 8, 0xfa11);
+
+    let mut writer = WalWriter::open(
+        &wal_dir,
+        WalConfig {
+            fsync: FsyncPolicy::Never,
+            segment_bytes: 1, // rotate after every batch: one LSN per segment
+            ..WalConfig::default()
+        },
+    )
+    .expect("wal opens");
+    for batch in &batches {
+        writer.append(batch).expect("append");
+    }
+    drop(writer);
+
+    for lsn in [3u64, 6] {
+        let (store, live) = expected_state(&ds, &batches, lsn as usize);
+        let ck = Checkpoint {
+            network: ds.network.clone(),
+            vocab: ds.vocab.clone(),
+            store,
+            live,
+            epoch: lsn,
+            lsn,
+        };
+        persist::save_checkpoint_file(&ck, wal_dir.join(format!("ckpt-{lsn:020}.uotsck")))
+            .expect("checkpoint saves");
+    }
+    // prune against the newest checkpoint: segments for lsns 1..=6 go,
+    // the surviving tail starts at lsn 7
+    let pruned = wal::prune_segments(&wal_dir, 6).expect("prune");
+    assert_eq!(pruned, 6, "one segment per lsn");
+
+    // with the lsn-6 checkpoint intact the tail is contiguous and recovery
+    // reproduces the full state
+    let recovered = recover(&wal_dir, Some(&ds), None).expect("recovery");
+    assert_eq!(recovered.report.replayed_batches, 2);
+    let (want_store, want_live) = expected_state(&ds, &batches, batches.len());
+    let snap = recovered.manager.snapshot();
+    assert_eq!(snap.store().len(), want_store.len());
+    assert_eq!(snap.live(), &want_live);
+
+    // corrupt it: the lsn-3 checkpoint would need lsns 4..=6 replayed but
+    // they are gone, and the base dataset would need 1..=6 — both gapped.
+    // Recovery must refuse, not silently skip the pruned range.
+    corrupt::flip_bit(wal_dir.join(format!("ckpt-{:020}.uotsck", 6)), 40, 2).unwrap();
+    match recover(&wal_dir, Some(&ds), None) {
+        Err(DurableError::Inconsistent(msg)) => {
+            assert!(msg.contains("pruned"), "{msg}")
+        }
+        Err(e) => panic!("want Inconsistent, got {e}"),
+        Ok(_) => panic!("gapped fallback must be rejected"),
+    }
 }
 
 /// End-to-end through [`DurableIngest`]: the write path cuts checkpoints
