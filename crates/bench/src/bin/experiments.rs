@@ -40,6 +40,9 @@ struct Args {
     queries: usize,
     only: Option<HashSet<String>>,
     json: Option<String>,
+    /// Directory for the per-experiment `BENCH_<id>.json` row files
+    /// (`None` = suppressed via `--no-bench-json`).
+    bench_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +51,7 @@ fn parse_args() -> Args {
     let mut queries = 16usize;
     let mut only = None;
     let mut json = None;
+    let mut bench_dir = Some(".".to_string());
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -75,10 +79,21 @@ fn parse_args() -> Args {
                 i += 1;
                 json = Some(argv[i].clone());
             }
+            "--bench-dir" => {
+                i += 1;
+                bench_dir = Some(argv[i].clone());
+            }
+            "--no-bench-json" => {
+                bench_dir = None;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--scale tiny|bench|brn|nrn] [--trips N] \
-                     [--queries N] [--only t1,f2,...] [--json PATH]"
+                     [--queries N] [--only t1,f2,...] [--json PATH] \
+                     [--bench-dir DIR] [--no-bench-json]\n\
+                     every experiment also writes its rows as BENCH_<id>.json \
+                     (preset, seed, percentiles, visited counts) into \
+                     --bench-dir (default .); --no-bench-json suppresses them"
                 );
                 std::process::exit(0);
             }
@@ -96,6 +111,7 @@ fn parse_args() -> Args {
         queries,
         only,
         json,
+        bench_dir,
     }
 }
 
@@ -1075,6 +1091,35 @@ fn main() {
         );
         let _ = std::fs::remove_dir_all(&root);
         all_rows.extend(rows);
+    }
+
+    // machine-readable perf trajectory: one BENCH_<id>.json per experiment,
+    // every row tagged with the dataset preset and seed
+    if let Some(dir) = &args.bench_dir {
+        let dir = std::path::Path::new(dir);
+        let preset = format!("{:?}", args.scale).to_lowercase();
+        let seed = base_cfg.trips.seed;
+        let mut ids: Vec<&str> = Vec::new();
+        for r in &all_rows {
+            if !ids.contains(&r.experiment.as_str()) {
+                ids.push(&r.experiment);
+            }
+        }
+        let mut written = Vec::new();
+        for id in ids {
+            let rows: Vec<Row> = all_rows
+                .iter()
+                .filter(|r| r.experiment == id)
+                .cloned()
+                .collect();
+            match uots_bench::write_bench_json(dir, id, &preset, seed, &rows) {
+                Ok(path) => written.push(path.display().to_string()),
+                Err(e) => eprintln!("warning: writing BENCH_{id}.json: {e}"),
+            }
+        }
+        if !written.is_empty() {
+            println!("\nbench rows: {}", written.join(", "));
+        }
     }
 
     if let Some(path) = &args.json {

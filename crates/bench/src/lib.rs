@@ -329,6 +329,40 @@ pub fn render_table(title: &str, rows: &[Row]) -> String {
     out
 }
 
+/// Writes one experiment's rows as `BENCH_<experiment>.json` under `dir`:
+/// a JSON array where every row object additionally carries the run's
+/// dataset `preset` and generator `seed`, so downstream tooling can track
+/// the perf trajectory without parsing the text tables. Returns the path
+/// written.
+pub fn write_bench_json(
+    dir: &std::path::Path,
+    experiment: &str,
+    preset: &str,
+    seed: u64,
+    rows: &[Row],
+) -> std::io::Result<std::path::PathBuf> {
+    use serde::Content;
+    let arr = Content::Seq(
+        rows.iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("preset".to_string(), Content::Str(preset.to_string())),
+                    ("seed".to_string(), Content::U64(seed)),
+                ];
+                if let Content::Map(m) = r.serialize() {
+                    fields.extend(m);
+                }
+                Content::Map(fields)
+            })
+            .collect(),
+    );
+    let json =
+        serde_json::to_string_pretty(&arr).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
 fn format_value(v: f64) -> String {
     if (v.fract()).abs() < 1e-9 && v.abs() < 1e15 {
         format!("{}", v as i64)

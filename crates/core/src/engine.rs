@@ -49,7 +49,7 @@ use std::collections::{BinaryHeap, HashMap};
 use uots_index::TimeExpansion;
 use uots_network::landmarks::Landmarks;
 use uots_network::TotalF64;
-use uots_obs::{Phase, Recorder};
+use uots_obs::{Phase, Recorder, TailSampler};
 use uots_trajectory::TrajectoryId;
 
 /// Per-trajectory scan state.
@@ -238,6 +238,41 @@ pub fn expansion_search_ctx(
     result.metrics.phases = rec.phases_snapshot();
     result.metrics.runtime = start.elapsed();
     Ok(result)
+}
+
+/// [`expansion_search_ctx`] feeding a [`TailSampler`]: the query runs
+/// under a tracing recorder when the sampler keeps traces (see
+/// [`TailSampler::with_tracing`]) and its latency/outcome are observed
+/// either way, so slow, best-effort, and errored queries leave full
+/// exemplars while the fast majority costs only a histogram update.
+///
+/// # Errors
+///
+/// Propagates [`Database::validate`] failures.
+pub fn expansion_search_sampled(
+    db: &Database<'_>,
+    query: &UotsQuery,
+    scheduler: Scheduler,
+    ctl: &RunControl,
+    ctx: &SearchContext,
+    sampler: &TailSampler,
+) -> Result<QueryResult, CoreError> {
+    let mut rec = match sampler.trace_spans() {
+        Some(cap) => Recorder::tracing("expansion", cap),
+        None => Recorder::disabled(),
+    };
+    let result = expansion_search_ctx(db, query, scheduler, ctl, &mut rec, ctx);
+    let trace = rec.finish().and_then(|report| report.trace);
+    let (latency_us, best_effort, errored) = match &result {
+        Ok(r) => (
+            u64::try_from(r.metrics.runtime.as_micros()).unwrap_or(u64::MAX),
+            !r.completeness.is_exact(),
+            false,
+        ),
+        Err(_) => (0, false, true),
+    };
+    sampler.observe(&query.summary(), latency_us, best_effort, errored, trace);
+    result
 }
 
 /// Convenience: [`expansion_search`] sharing the caller's [`SearchContext`]

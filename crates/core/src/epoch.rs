@@ -46,7 +46,7 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::Instant;
 use uots_index::{DynamicVertexIndex, KeywordInvertedIndex, TimestampIndex, VertexInvertedIndex};
 use uots_network::RoadNetwork;
-use uots_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use uots_obs::{Counter, EventJournal, Gauge, Histogram, MetricsRegistry};
 use uots_trajectory::{LiveSet, Trajectory, TrajectoryId, TrajectoryStore};
 
 /// Diagnostic counters describing one published epoch.
@@ -226,6 +226,7 @@ pub struct EpochManager {
     network: Arc<RoadNetwork>,
     vocab_len: usize,
     metrics: Option<EpochMetrics>,
+    journal: Option<EventJournal>,
 }
 
 fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -354,7 +355,14 @@ impl EpochManager {
             network,
             vocab_len,
             metrics,
+            journal: None,
         }
+    }
+
+    /// Attaches an operational [`EventJournal`]; every snapshot swap is
+    /// recorded there with its epoch, batch size, and swap latency.
+    pub fn set_journal(&mut self, journal: EventJournal) {
+        self.journal = Some(journal);
     }
 
     /// The current serving snapshot. In-flight queries keep whatever `Arc`
@@ -484,6 +492,18 @@ impl EpochManager {
             if secs > 0.0 {
                 m.ingest_throughput.set((mutations as f64 / secs) as i64);
             }
+        }
+        if let Some(j) = &self.journal {
+            j.info(
+                "epoch",
+                "snapshot_published",
+                &[
+                    ("epoch", epoch.to_string()),
+                    ("mutations", mutations.to_string()),
+                    ("live", snapshot.stats.live.to_string()),
+                    ("swap_micros", started.elapsed().as_micros().to_string()),
+                ],
+            );
         }
         snapshot
     }

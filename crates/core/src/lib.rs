@@ -81,8 +81,9 @@ pub use distcache::{
     DEFAULT_CACHE_CAPACITY,
 };
 pub use engine::{
-    expansion_search, expansion_search_ctx, expansion_search_recorded, expansion_search_with,
-    expansion_search_with_cache, threshold_search, threshold_search_ctx, threshold_search_with,
+    expansion_search, expansion_search_ctx, expansion_search_recorded, expansion_search_sampled,
+    expansion_search_with, expansion_search_with_cache, threshold_search, threshold_search_ctx,
+    threshold_search_with,
 };
 pub use epoch::{EpochManager, EpochSnapshot, EpochStats, Mutation};
 pub use error::CoreError;

@@ -29,7 +29,7 @@ use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use uots_obs::{Counter, Gauge, Histogram, MetricsRegistry, Recorder};
+use uots_obs::{Counter, Gauge, Histogram, MetricsRegistry, Recorder, TailSampler};
 
 /// How a batch reacts to a failing query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -109,6 +109,7 @@ pub struct BatchObserver {
     panicked: Counter,
     rejected: Counter,
     latency_us: Histogram,
+    sampler: Option<TailSampler>,
 }
 
 impl BatchObserver {
@@ -142,7 +143,23 @@ impl BatchObserver {
                 "uots_query_latency_us",
                 "Per-query wall-clock latency in microseconds",
             ),
+            sampler: None,
         }
+    }
+
+    /// Attaches a [`TailSampler`]: every observed query feeds its latency
+    /// and outcome into the sampler, and — when the sampler was built with
+    /// tracing ([`TailSampler::with_tracing`]) — runs under a tracing
+    /// recorder so slow/best-effort/errored queries keep full
+    /// [`QueryTrace`](uots_obs::QueryTrace) exemplars.
+    pub fn with_sampler(mut self, sampler: TailSampler) -> Self {
+        self.sampler = Some(sampler);
+        self
+    }
+
+    /// The attached tail sampler, if any.
+    pub fn sampler(&self) -> Option<&TailSampler> {
+        self.sampler.as_ref()
     }
 
     /// The registry this observer records into.
@@ -209,6 +226,9 @@ fn run_isolated<A: Algorithm + ?Sized>(
 /// [`run_isolated`], optionally reporting to an observer. Observed queries
 /// run under a phases-only [`Recorder`] so their `metrics.phases` breakdown
 /// is populated; unobserved queries keep the zero-cost disabled recorder.
+/// When the observer carries a tracing [`TailSampler`], queries run under a
+/// tracing recorder instead and the finished trace is offered to the
+/// sampler (kept only for slow/best-effort/errored queries).
 fn run_observed<A: Algorithm + ?Sized>(
     db: &Database<'_>,
     algorithm: &A,
@@ -220,14 +240,29 @@ fn run_observed<A: Algorithm + ?Sized>(
     let Some(obs) = obs else {
         return run_isolated(db, algorithm, query, ctl, ctx);
     };
+    let trace_spans = obs.sampler.as_ref().and_then(|s| s.trace_spans());
     obs.on_start();
     let start = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        let mut rec = Recorder::phases_only(algorithm.name());
-        algorithm.run_ctx(db, query, ctl, &mut rec, ctx)
+    let (result, trace) = catch_unwind(AssertUnwindSafe(|| {
+        let mut rec = match trace_spans {
+            Some(cap) => Recorder::tracing(algorithm.name(), cap),
+            None => Recorder::phases_only(algorithm.name()),
+        };
+        let result = algorithm.run_ctx(db, query, ctl, &mut rec, ctx);
+        let trace = rec.finish().and_then(|report| report.trace);
+        (result, trace)
     }))
-    .unwrap_or_else(|payload| Err(CoreError::QueryPanicked(panic_message(payload))));
-    obs.on_finish(&result, start.elapsed());
+    .unwrap_or_else(|payload| (Err(CoreError::QueryPanicked(panic_message(payload))), None));
+    let elapsed = start.elapsed();
+    obs.on_finish(&result, elapsed);
+    if let Some(sampler) = &obs.sampler {
+        let latency_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let (best_effort, errored) = match &result {
+            Ok(r) => (!r.completeness.is_exact(), false),
+            Err(_) => (false, true),
+        };
+        sampler.observe(&query.summary(), latency_us, best_effort, errored, trace);
+    }
     result
 }
 

@@ -233,6 +233,17 @@ impl UotsQuery {
         &self.locations
     }
 
+    /// Compact one-line description for telemetry (trace-exemplar and
+    /// journal labels): location count, keyword count, and k.
+    pub fn summary(&self) -> String {
+        format!(
+            "locs={} keywords={} k={}",
+            self.locations.len(),
+            self.keywords.len(),
+            self.options.k
+        )
+    }
+
     /// The preference keywords.
     #[inline]
     pub fn keywords(&self) -> &KeywordSet {

@@ -75,7 +75,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uots_network::NodeId;
-use uots_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use uots_obs::{Counter, EventJournal, Gauge, Histogram, MetricsRegistry};
 use uots_storage::{StdFs, StorageBackend, StorageFile};
 use uots_text::{KeywordId, KeywordSet};
 use uots_trajectory::{Sample, Trajectory, TrajectoryId};
@@ -255,6 +255,7 @@ pub struct WalWriter {
     stray_segment: Option<PathBuf>,
     last_sync: Instant,
     metrics: Option<WalMetrics>,
+    journal: Option<EventJournal>,
 }
 
 /// The deferred-seal state: truncate the poisoned segment at the durable
@@ -353,7 +354,14 @@ impl WalWriter {
             stray_segment: None,
             last_sync: Instant::now(),
             metrics,
+            journal: None,
         })
+    }
+
+    /// Attaches an operational [`EventJournal`]; rotation, sealing,
+    /// stray-segment removal, and fsync failures are recorded there.
+    pub fn set_journal(&mut self, journal: EventJournal) {
+        self.journal = Some(journal);
     }
 
     /// The LSN the next appended batch will receive.
@@ -486,6 +494,16 @@ impl WalWriter {
                 if let Some(m) = &self.metrics {
                     m.fsync_failures.inc();
                 }
+                if let Some(j) = &self.journal {
+                    j.error(
+                        "wal",
+                        "fsync_failure",
+                        &[
+                            ("segment", self.segment_path.display().to_string()),
+                            ("error", e.to_string()),
+                        ],
+                    );
+                }
                 Err(e)
             }
         }
@@ -521,6 +539,13 @@ impl WalWriter {
         match self.backend.remove_file(&path) {
             Ok(()) => {
                 self.stray_segment = None;
+                if let Some(j) = &self.journal {
+                    j.warn(
+                        "wal",
+                        "stray_segment_removed",
+                        &[("segment", path.display().to_string())],
+                    );
+                }
                 Ok(())
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -560,12 +585,24 @@ impl WalWriter {
         })();
         match result {
             Ok((file, path, len)) => {
+                let sealed = std::mem::replace(&mut self.segment_path, path);
                 self.file = file;
-                self.segment_path = path;
                 self.segment_len = len;
                 self.mark_durable_to(len, self.next_lsn);
                 if let Some(m) = &self.metrics {
                     m.sealed_segments.inc();
+                }
+                if let Some(j) = &self.journal {
+                    j.warn(
+                        "wal",
+                        "segment_sealed",
+                        &[
+                            ("segment", sealed.display().to_string()),
+                            ("truncate_at", plan.truncate_at.to_string()),
+                            ("reopen_lsn", plan.reopen_at.to_string()),
+                            ("rewritten_records", plan.rewrite.len().to_string()),
+                        ],
+                    );
                 }
                 Ok(())
             }
@@ -593,6 +630,16 @@ impl WalWriter {
                 if let Some(m) = &self.metrics {
                     m.rotations.inc();
                 }
+                if let Some(j) = &self.journal {
+                    j.info(
+                        "wal",
+                        "segment_rotated",
+                        &[
+                            ("segment", self.segment_path.display().to_string()),
+                            ("first_lsn", self.next_lsn.to_string()),
+                        ],
+                    );
+                }
                 Ok(())
             }
             Err(e) => {
@@ -601,6 +648,19 @@ impl WalWriter {
                 // name, replay stops at its bad header. Remove it — now if
                 // possible, else before the next segment is created.
                 self.stray_segment = Some(segment_path(&self.dir, self.next_lsn));
+                if let Some(j) = &self.journal {
+                    j.warn(
+                        "wal",
+                        "rotation_failed",
+                        &[
+                            (
+                                "stray",
+                                segment_path(&self.dir, self.next_lsn).display().to_string(),
+                            ),
+                            ("error", e.to_string()),
+                        ],
+                    );
+                }
                 let _ = self.remove_stray(); // best effort; retried later
                 Err(e)
             }

@@ -23,6 +23,16 @@
 //!   ([`MetricsRegistry::render_json`]), with
 //!   [`validate_prometheus_text`] closing the loop in CI.
 //!
+//! On top of the per-query telemetry sits the operational plane:
+//!
+//! * [`EventJournal`] — a bounded ring of structured operational events
+//!   (what happened when: seals, retries, degradations, quarantines) with
+//!   JSON-lines export and drop counting;
+//! * [`TailSampler`] — tail-based sampling that keeps full trace
+//!   exemplars only for slow / best-effort / errored queries;
+//! * [`ObsServer`] — a dependency-free `TcpListener` thread serving
+//!   `/metrics`, `/status`, `/journal`, and `/traces` live.
+//!
 //! ```
 //! use uots_obs::{MetricsRegistry, Phase, Recorder};
 //!
@@ -49,14 +59,23 @@
 #![warn(rust_2018_idioms)]
 
 mod hist;
+pub mod journal;
 mod phase;
 mod registry;
+pub mod sampler;
+pub mod serve;
 mod trace;
 
 pub use hist::LogHistogram;
+pub use journal::{EventJournal, JournalEvent, Severity, DEFAULT_JOURNAL_CAPACITY};
 pub use phase::{Phase, PhaseNanos, NUM_PHASES};
 pub use registry::{
     validate_prometheus_text, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram,
     HistogramSnapshot, LabelPair, MetricsRegistry, RegistrySnapshot, ValidationSummary,
 };
+pub use sampler::{
+    KeepReason, SamplerStats, TailSampler, TraceExemplar, DEFAULT_EXEMPLAR_CAPACITY,
+    DEFAULT_SLOW_QUANTILE,
+};
+pub use serve::{ObsServer, ObsState, StatusProvider};
 pub use trace::{EventRecord, QueryTrace, Recorder, RecorderReport, SpanRecord};

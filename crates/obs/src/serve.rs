@@ -1,0 +1,421 @@
+//! Live exposition endpoint: a dependency-free HTTP/1.1 server over
+//! `std::net::TcpListener` on a plain OS thread — no async runtime.
+//!
+//! A long-running ingest or query batch becomes inspectable *while it
+//! runs*: start an [`ObsServer`] next to the work, hand it clones of the
+//! observability handles, and `curl` the process from outside.
+//!
+//! ## Endpoint contract
+//!
+//! | path | payload | source |
+//! |------|---------|--------|
+//! | `GET /metrics` | Prometheus text exposition 0.0.4 | [`MetricsRegistry::render_prometheus`] |
+//! | `GET /status`  | JSON health document | caller-installed provider ([`ObsState::with_status`]) |
+//! | `GET /journal?n=K` | JSON lines, the `K` (default 128) most recent events | [`EventJournal::export_jsonl`] |
+//! | `GET /traces`  | `{"stats":…,"exemplars":[…]}` JSON | [`TailSampler::export_json`] |
+//! | `GET /` | plain-text index of the above | — |
+//!
+//! Every `/metrics` response is re-validated with
+//! [`validate_prometheus_text`](crate::validate_prometheus_text) before it
+//! leaves the process; a registry that somehow renders an invalid
+//! exposition produces a 500, never a silently-malformed 200.
+//!
+//! The server holds only cheap `Arc` clones of the handles: it never
+//! blocks the instrumented hot path, and components the caller did not
+//! install answer 404. One connection is served at a time (requests are
+//! a few hundred bytes and responses are built in memory, so a scrape is
+//! microseconds; an idle keep-alive peer cannot starve others because
+//! every response closes the connection and reads carry a timeout).
+
+use crate::journal::EventJournal;
+use crate::registry::{validate_prometheus_text, MetricsRegistry};
+use crate::sampler::TailSampler;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Produces the `/status` JSON document on demand. Installed by the
+/// embedder so the obs crate stays independent of the durable facade's
+/// status types.
+pub type StatusProvider = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// What an [`ObsServer`] exposes: any subset of the observability
+/// handles. Missing components answer 404 on their endpoint.
+#[derive(Clone, Default)]
+pub struct ObsState {
+    registry: Option<MetricsRegistry>,
+    journal: Option<EventJournal>,
+    sampler: Option<TailSampler>,
+    status: Option<StatusProvider>,
+}
+
+impl std::fmt::Debug for ObsState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsState")
+            .field("registry", &self.registry.is_some())
+            .field("journal", &self.journal.is_some())
+            .field("sampler", &self.sampler.is_some())
+            .field("status", &self.status.is_some())
+            .finish()
+    }
+}
+
+impl ObsState {
+    /// An empty state; add components with the `with_*` builders.
+    pub fn new() -> ObsState {
+        ObsState::default()
+    }
+
+    /// Serves `registry` at `/metrics`.
+    pub fn with_registry(mut self, registry: MetricsRegistry) -> ObsState {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Serves `journal` at `/journal`.
+    pub fn with_journal(mut self, journal: EventJournal) -> ObsState {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Serves `sampler` at `/traces`.
+    pub fn with_sampler(mut self, sampler: TailSampler) -> ObsState {
+        self.sampler = Some(sampler);
+        self
+    }
+
+    /// Serves `provider()` at `/status`. The provider must return a JSON
+    /// document; it is called once per request, so it always reflects the
+    /// live state.
+    pub fn with_status(
+        mut self,
+        provider: impl Fn() -> String + Send + Sync + 'static,
+    ) -> ObsState {
+        self.status = Some(Arc::new(provider));
+        self
+    }
+}
+
+/// A running exposition server. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the accept thread and releases the
+/// port.
+pub struct ObsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`, port 0 for ephemeral) and
+    /// starts the accept thread serving `state`.
+    pub fn start(addr: &str, state: ObsState) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("uots-obs-serve".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // one bad peer must not take the endpoint down
+                        let _ = handle_connection(stream, &state);
+                    }
+                }
+            })?;
+        Ok(ObsServer {
+            local_addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the accept thread and releases the port. Idempotent; also
+    /// runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // the accept loop blocks in accept(); poke it awake so it can
+        // observe the stop flag
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads the request head (start line + headers) with a bounded size and
+/// timeout; returns the raw head text.
+fn read_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 8192 {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ObsState) -> std::io::Result<()> {
+    let head = read_head(&mut stream)?;
+    let mut parts = head.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return respond(&mut stream, 400, "text/plain", "bad request\n"),
+    };
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" => match &state.registry {
+            Some(r) => {
+                let text = r.render_prometheus();
+                match validate_prometheus_text(&text) {
+                    Ok(_) => respond(
+                        &mut stream,
+                        200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        &text,
+                    ),
+                    Err(e) => respond(
+                        &mut stream,
+                        500,
+                        "text/plain",
+                        &format!("registry rendered an invalid exposition: {e}\n"),
+                    ),
+                }
+            }
+            None => respond(&mut stream, 404, "text/plain", "no metrics registry\n"),
+        },
+        "/status" => match &state.status {
+            Some(provider) => respond(&mut stream, 200, "application/json", &provider()),
+            None => respond(&mut stream, 404, "text/plain", "no status source\n"),
+        },
+        "/journal" => match &state.journal {
+            Some(j) => {
+                let n = query
+                    .and_then(|q| {
+                        q.split('&')
+                            .find_map(|kv| kv.strip_prefix("n="))
+                            .and_then(|v| v.parse::<usize>().ok())
+                    })
+                    .unwrap_or(DEFAULT_JOURNAL_TAIL);
+                respond(&mut stream, 200, "application/x-ndjson", &j.export_jsonl(n))
+            }
+            None => respond(&mut stream, 404, "text/plain", "no event journal\n"),
+        },
+        "/traces" => match &state.sampler {
+            Some(s) => respond(&mut stream, 200, "application/json", &s.export_json()),
+            None => respond(&mut stream, 404, "text/plain", "no tail sampler\n"),
+        },
+        "/" => respond(
+            &mut stream,
+            200,
+            "text/plain",
+            "uots observability endpoints:\n\
+             /metrics  Prometheus text exposition\n\
+             /status   durable ingest health (JSON)\n\
+             /journal?n=K  recent operational events (JSON lines)\n\
+             /traces   slow-query exemplars (JSON)\n",
+        ),
+        _ => respond(&mut stream, 404, "text/plain", "unknown path\n"),
+    }
+}
+
+/// Default `/journal` tail length when `?n=` is absent.
+const DEFAULT_JOURNAL_TAIL: usize = 128;
+
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Severity;
+
+    /// Minimal blocking HTTP GET against the test server; returns
+    /// (status code, body).
+    fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let code: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .expect("status line");
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (code, body)
+    }
+
+    fn full_state() -> (ObsState, MetricsRegistry, EventJournal, TailSampler) {
+        let registry = MetricsRegistry::new();
+        registry.counter("uots_test_total", "Test counter").add(7);
+        registry
+            .histogram("uots_test_us", "Test histogram")
+            .record(42);
+        let journal = EventJournal::new(64);
+        journal.record(
+            Severity::Warn,
+            "wal",
+            "segment_sealed",
+            &[("segment", "wal-3".to_string())],
+        );
+        let sampler = TailSampler::new(8);
+        sampler.observe("probe", 10, true, false, None);
+        let state = ObsState::new()
+            .with_registry(registry.clone())
+            .with_journal(journal.clone())
+            .with_sampler(sampler.clone())
+            .with_status(|| r#"{"state":"healthy","next_lsn":4}"#.to_string());
+        (state, registry, journal, sampler)
+    }
+
+    #[test]
+    fn serves_all_endpoints_with_valid_payloads() {
+        let (state, _r, journal, _s) = full_state();
+        let server = ObsServer::start("127.0.0.1:0", state).expect("bind");
+        let addr = server.local_addr();
+
+        let (code, body) = http_get(addr, "/metrics");
+        assert_eq!(code, 200);
+        validate_prometheus_text(&body).expect("served exposition validates");
+        assert!(body.contains("uots_test_total"));
+
+        let (code, body) = http_get(addr, "/status");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"healthy\""));
+
+        let (code, body) = http_get(addr, "/journal?n=10");
+        assert_eq!(code, 200);
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("\"segment_sealed\""));
+
+        // n= bounds the tail
+        journal.record(Severity::Info, "epoch", "published", &[]);
+        let (_, body) = http_get(addr, "/journal?n=1");
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("\"published\""));
+
+        let (code, body) = http_get(addr, "/traces");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"kept_best_effort\""));
+        assert!(body.contains("\"exemplars\""));
+
+        let (code, body) = http_get(addr, "/");
+        assert_eq!(code, 200);
+        assert!(body.contains("/metrics"));
+    }
+
+    #[test]
+    fn missing_components_and_bad_requests_are_4xx() {
+        let server = ObsServer::start("127.0.0.1:0", ObsState::new()).expect("bind");
+        let addr = server.local_addr();
+        for path in ["/metrics", "/status", "/journal", "/traces", "/nope"] {
+            let (code, _) = http_get(addr, path);
+            assert_eq!(code, 404, "{path}");
+        }
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+    }
+
+    #[test]
+    fn shutdown_releases_the_port_and_is_idempotent() {
+        let (state, ..) = full_state();
+        let mut server = ObsServer::start("127.0.0.1:0", state).expect("bind");
+        let addr = server.local_addr();
+        assert_eq!(http_get(addr, "/metrics").0, 200);
+        server.shutdown();
+        server.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // the OS may accept briefly during teardown; a rebind
+                // proves the listener is gone
+                TcpListener::bind(addr).is_ok()
+            },
+            "port must be released after shutdown"
+        );
+    }
+
+    #[test]
+    fn metrics_reflect_live_mutation_between_scrapes() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("uots_live_total", "Live counter");
+        let server = ObsServer::start(
+            "127.0.0.1:0",
+            ObsState::new().with_registry(registry.clone()),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        c.add(1);
+        let (_, first) = http_get(addr, "/metrics");
+        assert!(first.contains("uots_live_total 1"));
+        c.add(41);
+        let (_, second) = http_get(addr, "/metrics");
+        assert!(second.contains("uots_live_total 42"));
+    }
+}

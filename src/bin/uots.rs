@@ -4,16 +4,17 @@
 //! uots generate      --preset small|brn|nrn --trips N --seed S --out data.uotsds
 //! uots stats         --data data.uotsds
 //! uots query         --data data.uotsds --at x,y --at x,y [--tags a,b] [--lambda L] [--k K]
-//!                    [--metrics-out FILE] [--trace FILE]
+//!                    [--metrics-out FILE] [--trace FILE] [--obs-listen ADDR]
 //! uots join          --data data.uotsds --theta T [--lambda L] [--threads N]
 //!                    [--metrics-out FILE]
 //! uots ingest        --data data.uotsds --script mut.txt [--batch N] [--verify]
 //!                    [--wal-dir DIR] [--fsync batch|off|interval:MS]
 //!                    [--checkpoint-every N] [--metrics-out FILE]
+//!                    [--obs-listen ADDR] [--obs-linger-ms MS]
 //! uots recover       --wal-dir DIR [--data data.uotsds] [--verify]
-//!                    [--metrics-out FILE]
-//! uots status        --wal-dir DIR
-//! uots fsck          --wal-dir DIR [--data data.uotsds]
+//!                    [--metrics-out FILE] [--obs-listen ADDR] [--obs-linger-ms MS]
+//! uots status        --wal-dir DIR [--json]
+//! uots fsck          --wal-dir DIR [--data data.uotsds] [--json]
 //! uots check-metrics --file export.prom
 //! ```
 //!
@@ -22,6 +23,15 @@
 //! a preset + seed, the other commands load it. `--metrics-out` writes a
 //! Prometheus text exposition of the run, `--trace` a per-query JSON span
 //! timeline, and `check-metrics` validates an exposition file (used in CI).
+//!
+//! `--obs-listen ADDR` (e.g. `127.0.0.1:0`) starts the live observability
+//! endpoint for the duration of the command: `GET /metrics` serves the
+//! Prometheus exposition, `/status` a JSON health summary, `/journal?n=K`
+//! the structured event journal as JSON lines, and `/traces` the retained
+//! slow-query exemplars. `--obs-linger-ms MS` keeps the endpoint up that
+//! much longer after the command's work finishes, so scripts (and CI) can
+//! scrape a completed run. `--json` on `status`/`fsck` switches the report
+//! to machine-readable JSON with the same exit codes.
 //!
 //! ## Exit codes
 //!
@@ -38,13 +48,16 @@
 //! | 4 | corruption found (`status` reports it; `fsck` also quarantined it) but the directory still recovers |
 //! | 5 | unrecoverable: no usable checkpoint and no base dataset |
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use uots::datagen::persist;
-use uots::durable::{recover, DurableError, DurableIngest, RecoverySource};
+use uots::durable::{recover_with_journal, DurableError, DurableIngest, RecoverySource};
 use uots::join::{
     record_join_metrics, ts_join_cached, ts_join_instrumented, ts_join_with, JoinConfig,
 };
-use uots::obs::validate_prometheus_text;
+use uots::obs::{
+    validate_prometheus_text, EventJournal, ObsServer, ObsState, TailSampler,
+    DEFAULT_EXEMPLAR_CAPACITY, DEFAULT_SLOW_QUANTILE,
+};
 use uots::prelude::*;
 use uots::scrub::{self, ScrubReport};
 use uots::storage::StdFs;
@@ -88,17 +101,18 @@ fn print_usage() {
          \x20          [--lambda L=0.5] [--k K=3]\n\
          \x20          [--deadline-ms MS] [--max-visited N]\n\
          \x20          [--cache-capacity N] [--no-cache]\n\
-         \x20          [--metrics-out FILE] [--trace FILE]\n\
+         \x20          [--metrics-out FILE] [--trace FILE] [--obs-listen ADDR]\n\
          \x20 join     --data FILE --theta T=0.8 [--lambda L=0.5] [--threads N=2]\n\
          \x20          [--deadline-ms MS] [--max-visited N] [--metrics-out FILE]\n\
          \x20          [--cache-capacity N] [--no-cache]\n\
          \x20 ingest   --data FILE --script FILE [--batch N] [--verify]\n\
          \x20          [--wal-dir DIR] [--fsync batch|off|interval:MS]\n\
          \x20          [--checkpoint-every N] [--metrics-out FILE]\n\
+         \x20          [--obs-listen ADDR] [--obs-linger-ms MS]\n\
          \x20 recover  --wal-dir DIR [--data FILE] [--verify]\n\
-         \x20          [--metrics-out FILE]\n\
-         \x20 status   --wal-dir DIR\n\
-         \x20 fsck     --wal-dir DIR [--data FILE]\n\
+         \x20          [--metrics-out FILE] [--obs-listen ADDR] [--obs-linger-ms MS]\n\
+         \x20 status   --wal-dir DIR [--json]\n\
+         \x20 fsck     --wal-dir DIR [--data FILE] [--json]\n\
          \x20 check-metrics --file FILE\n\n\
          ingest replays a mutation script (`ingest v1 v2 ... [| tag,tag]`,\n\
          `retire ID`, `publish`; `#` comments) against an epoch-swapped\n\
@@ -119,6 +133,12 @@ fn print_usage() {
          UOTS_NO_CACHE env var turns it off. results are identical either way.\n\
          --metrics-out writes a Prometheus text exposition, --trace a JSON\n\
          span timeline; check-metrics validates an exposition file.\n\
+         --obs-listen ADDR serves live observability over HTTP while the\n\
+         command runs: /metrics (Prometheus), /status (JSON health),\n\
+         /journal?n=K (structured event log, JSON lines), /traces (slow-\n\
+         query exemplars); --obs-linger-ms keeps it up after the work ends\n\
+         so scripts can scrape a finished run. --json on status/fsck emits\n\
+         the report as JSON (same exit codes).\n\
          status is a read-only integrity walk of a durable ingest directory\n\
          (checkpoint CRCs + WAL durable prefix); fsck additionally moves\n\
          wholly-unusable files into DIR/quarantine/ with a manifest — it\n\
@@ -268,6 +288,81 @@ fn write_metrics(registry: &MetricsRegistry, path: &str) -> Result<(), String> {
     std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
     println!("wrote metrics exposition to {path}");
     Ok(())
+}
+
+/// The live observability plane behind `--obs-listen`: an HTTP endpoint
+/// serving the run's metrics registry, a structured [`EventJournal`] the
+/// storage/ingest layers write into, a tail-sampling [`TailSampler`] for
+/// slow-query exemplars, and a mutable status document for `/status`.
+struct ObsPlane {
+    journal: EventJournal,
+    sampler: TailSampler,
+    status: Arc<Mutex<String>>,
+    server: ObsServer,
+    linger_ms: u64,
+}
+
+impl ObsPlane {
+    /// Replaces the `/status` document (a JSON object).
+    fn set_status(&self, json: String) {
+        *self.status.lock().unwrap_or_else(|e| e.into_inner()) = json;
+    }
+
+    /// Holds the endpoint open for `--obs-linger-ms`, then shuts it down.
+    fn finish(mut self) {
+        if self.linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.linger_ms));
+        }
+        self.server.shutdown();
+    }
+}
+
+/// Starts the observability endpoint when `--obs-listen ADDR` is present.
+/// Returns `None` when the flag is absent; the caller wires the returned
+/// journal/sampler into whatever it runs.
+fn start_obs_plane(flags: &Flags, registry: &MetricsRegistry) -> Result<Option<ObsPlane>, String> {
+    let Some(addr) = flags.get("obs-listen") else {
+        return Ok(None);
+    };
+    let linger_ms: u64 = match flags.get("obs-linger-ms") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--obs-linger-ms must be an integer".to_string())?,
+        None => 0,
+    };
+    let journal = EventJournal::default();
+    // zero warmup: a CLI run may issue a single query, and an operator who
+    // asked for the endpoint expects /traces to hold it
+    let sampler = TailSampler::with_policy(
+        DEFAULT_EXEMPLAR_CAPACITY,
+        DEFAULT_SLOW_QUANTILE,
+        0,
+        Some(4096),
+    );
+    let status = Arc::new(Mutex::new("{}".to_string()));
+    let status_read = Arc::clone(&status);
+    let state = ObsState::new()
+        .with_registry(registry.clone())
+        .with_journal(journal.clone())
+        .with_sampler(sampler.clone())
+        .with_status(move || {
+            status_read
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone()
+        });
+    let server = ObsServer::start(addr, state).map_err(|e| format!("--obs-listen {addr}: {e}"))?;
+    println!(
+        "obs endpoint listening on http://{} (/metrics /status /journal /traces)",
+        server.local_addr()
+    );
+    Ok(Some(ObsPlane {
+        journal,
+        sampler,
+        status,
+        server,
+        linger_ms,
+    }))
 }
 
 /// One-line completeness report for interrupted runs.
@@ -424,6 +519,10 @@ fn cmd_query(args: &[String]) -> i32 {
     let metrics_out = flags.get("metrics-out").map(str::to_string);
     let trace_out = flags.get("trace").map(str::to_string);
     let registry = MetricsRegistry::default();
+    let plane = match start_obs_plane(&flags, &registry) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
     let cache = match parse_cache(&flags, &registry) {
         Ok(c) => c,
         Err(e) => return fail(e),
@@ -433,8 +532,9 @@ fn cmd_query(args: &[String]) -> i32 {
         None => SearchContext::default(),
     };
     // tracing subsumes phases-only; both are skipped entirely (one branch
-    // per recorder call) when neither output was requested
-    let mut rec = if trace_out.is_some() {
+    // per recorder call) when neither output was requested. The obs plane
+    // forces tracing so its sampler can retain a full exemplar.
+    let mut rec = if trace_out.is_some() || plane.is_some() {
         Recorder::tracing("expansion", 4096)
     } else if metrics_out.is_some() {
         Recorder::phases_only("expansion")
@@ -481,12 +581,30 @@ fn cmd_query(args: &[String]) -> i32 {
     if let Some(c) = &cache {
         report_cache(c);
     }
+    let latency_us = u64::try_from(result.metrics.runtime.as_micros()).unwrap_or(u64::MAX);
     if let Some(report) = rec.finish() {
         report_phases(&report.phases);
-        if let Some(path) = metrics_out {
+        if let Some(p) = &plane {
+            p.sampler.observe(
+                &query.summary(),
+                latency_us,
+                !result.completeness.is_exact(),
+                false,
+                report.trace.clone(),
+            );
+            p.set_status(format!(
+                "{{\"command\":\"query\",\"matches\":{},\"visited\":{},\
+                 \"latency_us\":{},\"exact\":{}}}",
+                result.matches.len(),
+                result.metrics.visited_trajectories,
+                latency_us,
+                result.completeness.is_exact()
+            ));
+        }
+        if metrics_out.is_some() || plane.is_some() {
             registry
                 .histogram("uots_query_latency_us", "Query wall time, microseconds")
-                .record(u64::try_from(result.metrics.runtime.as_micros()).unwrap_or(u64::MAX));
+                .record(latency_us);
             registry.observe_phases(
                 "uots_query_phase_duration_ns",
                 "Per-phase query durations, nanoseconds",
@@ -504,6 +622,8 @@ fn cmd_query(args: &[String]) -> i32 {
                     "Candidate-heap pushes by queries",
                 )
                 .add(result.metrics.heap_pushes as u64);
+        }
+        if let Some(path) = metrics_out {
             if let Err(e) = write_metrics(&registry, &path) {
                 return fail(e);
             }
@@ -524,6 +644,9 @@ fn cmd_query(args: &[String]) -> i32 {
             }
             println!("wrote query trace to {path}");
         }
+    }
+    if let Some(p) = plane {
+        p.finish();
     }
     0
 }
@@ -724,6 +847,26 @@ impl Ingestor {
             Ingestor::Durable(d) => d.snapshot(),
         }
     }
+
+    /// The `/status` document for this sink: the full [`DurableIngest`]
+    /// health summary when durable, a minimal epoch summary otherwise.
+    fn status_json(&self) -> String {
+        match self {
+            Ingestor::Plain(m) => {
+                let st = m.snapshot().stats();
+                format!(
+                    "{{\"state\":\"healthy\",\"mode\":\"plain\",\"epoch\":{},\
+                     \"live\":{},\"pending\":{}}}",
+                    st.epoch,
+                    st.live,
+                    m.pending()
+                )
+            }
+            Ingestor::Durable(d) => {
+                serde_json::to_string(&d.status()).unwrap_or_else(|_| "{}".to_string())
+            }
+        }
+    }
 }
 
 fn cmd_ingest(args: &[String]) -> i32 {
@@ -750,6 +893,10 @@ fn cmd_ingest(args: &[String]) -> i32 {
     let verify = flags.get("verify").is_some();
     let metrics_out = flags.get("metrics-out").map(str::to_string);
     let registry = MetricsRegistry::default();
+    let plane = match start_obs_plane(&flags, &registry) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
 
     let num_nodes = ds.network.num_nodes();
     let vocab_len = ds.vocab.len();
@@ -770,7 +917,7 @@ fn cmd_ingest(args: &[String]) -> i32 {
                 fsync,
                 ..WalConfig::default()
             };
-            let durable = match DurableIngest::create(
+            let mut durable = match DurableIngest::create(
                 Arc::new(ds.network.clone()),
                 ds.store.clone(),
                 ds.vocab.clone(),
@@ -782,19 +929,31 @@ fn cmd_ingest(args: &[String]) -> i32 {
                 Ok(d) => d,
                 Err(e) => return fail(format!("opening wal in {dir}: {e}")),
             };
+            if let Some(p) = &plane {
+                durable.set_journal(p.journal.clone());
+            }
             println!(
                 "durable ingest: wal in {dir} (fsync {fsync}, checkpoint every {})",
                 checkpoint_every.map_or("never".to_string(), |n| format!("{n} batches")),
             );
             Ingestor::Durable(Box::new(durable))
         }
-        None => Ingestor::Plain(Box::new(EpochManager::with_metrics(
-            Arc::new(ds.network.clone()),
-            ds.store.clone(),
-            vocab_len,
-            &registry,
-        ))),
+        None => {
+            let mut manager = EpochManager::with_metrics(
+                Arc::new(ds.network.clone()),
+                ds.store.clone(),
+                vocab_len,
+                &registry,
+            );
+            if let Some(p) = &plane {
+                manager.set_journal(p.journal.clone());
+            }
+            Ingestor::Plain(Box::new(manager))
+        }
     };
+    if let Some(p) = &plane {
+        p.set_status(sink.status_json());
+    }
     let probes: Vec<UotsQuery> = workload::generate(&ds, &workload::WorkloadConfig::default())
         .into_iter()
         .take(3)
@@ -832,6 +991,9 @@ fn cmd_ingest(args: &[String]) -> i32 {
                 "  verified against from-scratch rebuild ({} probes)",
                 probes.len()
             );
+        }
+        if let Some(p) = &plane {
+            p.set_status(sink.status_json());
         }
         Ok(())
     };
@@ -937,6 +1099,12 @@ fn cmd_ingest(args: &[String]) -> i32 {
             return fail(e);
         }
     }
+    if let Some(p) = &plane {
+        p.set_status(sink.status_json());
+    }
+    if let Some(p) = plane {
+        p.finish();
+    }
     0
 }
 
@@ -959,8 +1127,18 @@ fn cmd_recover(args: &[String]) -> i32 {
     let verify = flags.get("verify").is_some();
     let metrics_out = flags.get("metrics-out").map(str::to_string);
     let registry = MetricsRegistry::default();
+    let plane = match start_obs_plane(&flags, &registry) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
 
-    let recovered = match recover(dir, base.as_ref(), Some(&registry)) {
+    let recovered = match recover_with_journal(
+        &StdFs,
+        std::path::Path::new(dir),
+        base.as_ref(),
+        Some(&registry),
+        plane.as_ref().map(|p| &p.journal),
+    ) {
         Ok(r) => r,
         // Inconsistent means the durable state itself cannot produce a
         // valid serving state (no base to fall back to, or a log that
@@ -1042,10 +1220,42 @@ fn cmd_recover(args: &[String]) -> i32 {
             return fail(e);
         }
     }
-    if !report.rejected_checkpoints.is_empty() || report.wal_corruption.is_some() {
+    let code = if !report.rejected_checkpoints.is_empty() || report.wal_corruption.is_some() {
         EXIT_RECOVERED_WITH_FALLBACK
     } else {
         EXIT_CLEAN
+    };
+    if let Some(p) = plane {
+        let source = match &report.source {
+            RecoverySource::Checkpoint(path) => format!("checkpoint:{}", path.display()),
+            RecoverySource::BaseDataset => "base_dataset".to_string(),
+        };
+        p.set_status(format!(
+            "{{\"command\":\"recover\",\"source\":{},\"replayed_batches\":{},\
+             \"replayed_mutations\":{},\"next_lsn\":{},\"rejected_checkpoints\":{},\
+             \"wal_tail_cut\":{},\"exit_code\":{}}}",
+            serde_json::to_string(&source).unwrap_or_else(|_| "\"?\"".to_string()),
+            report.replayed_batches,
+            report.replayed_mutations,
+            report.next_lsn,
+            report.rejected_checkpoints.len(),
+            report.wal_corruption.is_some(),
+            code
+        ));
+        p.finish();
+    }
+    code
+}
+
+/// Exit code a `status`/`fsck` report implies — shared by the human and
+/// `--json` renderings so scripts can rely on it either way.
+fn scrub_exit_code(r: &ScrubReport, has_base: bool) -> i32 {
+    if r.is_clean() {
+        EXIT_CLEAN
+    } else if r.recoverable(has_base) {
+        EXIT_CORRUPTION_FOUND
+    } else {
+        EXIT_UNRECOVERABLE
     }
 }
 
@@ -1093,15 +1303,23 @@ fn report_scrub(r: &ScrubReport, has_base: bool) -> i32 {
             r.plan.replayable_batches, r.plan.replayable_mutations, r.plan.next_lsn
         ),
     }
-    if r.is_clean() {
+    let code = scrub_exit_code(r, has_base);
+    if code == EXIT_CLEAN {
         println!("clean");
-        EXIT_CLEAN
-    } else if r.recoverable(has_base) {
-        EXIT_CORRUPTION_FOUND
-    } else {
+    } else if code == EXIT_UNRECOVERABLE {
         println!("unrecoverable: no usable checkpoint (supply --data for a base dataset)");
-        EXIT_UNRECOVERABLE
     }
+    code
+}
+
+/// Prints a `status`/`fsck` report as one pretty-printed JSON object and
+/// returns the same exit code the human rendering would.
+fn report_scrub_json(r: &ScrubReport, has_base: bool) -> i32 {
+    match serde_json::to_string_pretty(r) {
+        Ok(json) => println!("{json}"),
+        Err(e) => return fail(format!("serializing report: {e}")),
+    }
+    scrub_exit_code(r, has_base)
 }
 
 fn cmd_status(args: &[String]) -> i32 {
@@ -1117,10 +1335,13 @@ fn cmd_status(args: &[String]) -> i32 {
         Ok(r) => r,
         Err(e) => return fail(format!("inspecting {dir}: {e}")),
     };
-    println!("status of {dir} (read-only):");
     // status cannot know whether the operator holds the base dataset;
     // assume they might, so a checkpoint-less-but-intact dir reports 4
     // rather than 5
+    if flags.get("json").is_some() {
+        return report_scrub_json(&report, true);
+    }
+    println!("status of {dir} (read-only):");
     report_scrub(&report, true)
 }
 
@@ -1146,6 +1367,10 @@ fn cmd_fsck(args: &[String]) -> i32 {
         Ok(r) => r,
         Err(e) => return fail(format!("scrubbing {dir}: {e}")),
     };
+    if flags.get("json").is_some() {
+        // the JSON report already carries the quarantine list
+        return report_scrub_json(&report, has_base);
+    }
     println!("fsck of {dir}:");
     let code = report_scrub(&report, has_base);
     if !report.quarantined.is_empty() {

@@ -58,7 +58,7 @@ use uots_core::{EpochManager, EpochSnapshot, Mutation};
 use uots_datagen::persist::{self, Checkpoint, PersistError};
 use uots_datagen::Dataset;
 use uots_network::RoadNetwork;
-use uots_obs::MetricsRegistry;
+use uots_obs::{EventJournal, MetricsRegistry};
 use uots_text::Vocabulary;
 use uots_trajectory::{LiveSet, Trajectory, TrajectoryId, TrajectoryStore};
 
@@ -201,6 +201,55 @@ pub struct DurableStatus {
     pub last_prune_error: Option<String>,
 }
 
+impl serde::Serialize for DurableStatus {
+    fn serialize(&self) -> serde::Content {
+        use serde::Content;
+        fn opt(s: &Option<String>) -> Content {
+            match s {
+                Some(v) => Content::Str(v.clone()),
+                None => Content::Null,
+            }
+        }
+        let (state, reason) = match &self.state {
+            IngestState::Healthy => ("healthy", None),
+            IngestState::Degraded { reason } => ("degraded", Some(reason.clone())),
+        };
+        Content::Map(vec![
+            ("state".to_string(), Content::Str(state.to_string())),
+            (
+                "degraded_reason".to_string(),
+                match reason {
+                    Some(r) => Content::Str(r),
+                    None => Content::Null,
+                },
+            ),
+            ("next_lsn".to_string(), Content::U64(self.next_lsn)),
+            ("durable_lsn".to_string(), Content::U64(self.durable_lsn)),
+            (
+                "last_checkpoint_lsn".to_string(),
+                Content::U64(self.last_checkpoint_lsn),
+            ),
+            (
+                "batches_since_checkpoint".to_string(),
+                Content::U64(self.batches_since_checkpoint),
+            ),
+            (
+                "checkpoint_failures".to_string(),
+                Content::U64(self.checkpoint_failures),
+            ),
+            (
+                "last_checkpoint_error".to_string(),
+                opt(&self.last_checkpoint_error),
+            ),
+            (
+                "prune_failures".to_string(),
+                Content::U64(self.prune_failures),
+            ),
+            ("last_prune_error".to_string(), opt(&self.last_prune_error)),
+        ])
+    }
+}
+
 /// Write-side handle combining an [`EpochManager`] with its WAL and
 /// checkpoint policy. Methods take `&mut self`: the durable path is
 /// single-writer by construction (the manager itself additionally
@@ -223,6 +272,7 @@ pub struct DurableIngest {
     prune_failures: u64,
     last_prune_error: Option<String>,
     metrics: Option<DurableMetrics>,
+    journal: Option<EventJournal>,
 }
 
 impl DurableIngest {
@@ -295,6 +345,7 @@ impl DurableIngest {
             prune_failures: 0,
             last_prune_error: None,
             metrics: registry.map(DurableMetrics::register),
+            journal: None,
         })
     }
 
@@ -363,7 +414,17 @@ impl DurableIngest {
             prune_failures: 0,
             last_prune_error: None,
             metrics: registry.map(DurableMetrics::register),
+            journal: None,
         })
+    }
+
+    /// Attaches an operational [`EventJournal`] to this ingest and to its
+    /// WAL writer and epoch manager, so retries, degradations, checkpoint
+    /// outcomes, seals, and snapshot swaps all land in one timeline.
+    pub fn set_journal(&mut self, journal: EventJournal) {
+        self.wal.set_journal(journal.clone());
+        self.manager.set_journal(journal.clone());
+        self.journal = Some(journal);
     }
 
     /// The underlying manager (snapshots, stats).
@@ -414,6 +475,13 @@ impl DurableIngest {
 
     fn degrade(&mut self, reason: String) {
         if self.degraded.is_none() {
+            if let Some(j) = &self.journal {
+                j.error(
+                    "durable",
+                    "degraded_read_only",
+                    &[("reason", reason.clone())],
+                );
+            }
             self.degraded = Some(reason);
             if let Some(m) = &self.metrics {
                 m.degraded.set(1);
@@ -450,6 +518,17 @@ impl DurableIngest {
                 if let Some(m) = &self.metrics {
                     m.retries.inc();
                 }
+                if let Some(j) = &self.journal {
+                    j.warn(
+                        "durable",
+                        "append_retry",
+                        &[
+                            ("attempt", attempts.to_string()),
+                            ("class", format!("{class:?}")),
+                            ("error", err.to_string()),
+                        ],
+                    );
+                }
                 let backoff = self.retry.backoff(attempts);
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
@@ -458,6 +537,17 @@ impl DurableIngest {
             }
             if let Some(m) = &self.metrics {
                 m.append_failures.inc();
+            }
+            if let Some(j) = &self.journal {
+                j.error(
+                    "durable",
+                    "retries_exhausted",
+                    &[
+                        ("attempts", attempts.to_string()),
+                        ("class", format!("{class:?}")),
+                        ("error", err.to_string()),
+                    ],
+                );
             }
             self.degrade(format!(
                 "wal append failed after {attempts} attempt(s) ({class:?}): {err}"
@@ -547,6 +637,9 @@ impl DurableIngest {
         if let Some(m) = &self.metrics {
             m.checkpoint_failures.inc();
         }
+        if let Some(j) = &self.journal {
+            j.error("durable", "checkpoint_failed", &[("error", e.to_string())]);
+        }
     }
 
     fn checkpoint_snapshot(
@@ -593,6 +686,9 @@ impl DurableIngest {
                 if let Some(m) = &self.metrics {
                     m.prune_failures.inc();
                 }
+                if let Some(j) = &self.journal {
+                    j.warn("durable", "prune_failed", &[("error", e.to_string())]);
+                }
                 0
             }
         };
@@ -601,6 +697,17 @@ impl DurableIngest {
             m.checkpoint_micros
                 .record(started.elapsed().as_micros() as u64);
             m.pruned_segments.add(pruned);
+        }
+        if let Some(j) = &self.journal {
+            j.info(
+                "durable",
+                "checkpoint_written",
+                &[
+                    ("lsn", high_water.to_string()),
+                    ("pruned_segments", pruned.to_string()),
+                    ("micros", started.elapsed().as_micros().to_string()),
+                ],
+            );
         }
         Ok(())
     }
@@ -695,6 +802,19 @@ pub fn recover_with(
     base: Option<&Dataset>,
     registry: Option<&MetricsRegistry>,
 ) -> Result<Recovered, DurableError> {
+    recover_with_journal(backend, dir, base, registry, None)
+}
+
+/// [`recover_with`] plus an operational [`EventJournal`]: the chosen
+/// recovery plan (source, replayed tail, truncation) and every rejected
+/// checkpoint are recorded as events.
+pub fn recover_with_journal(
+    backend: &dyn StorageBackend,
+    dir: &Path,
+    base: Option<&Dataset>,
+    registry: Option<&MetricsRegistry>,
+    journal: Option<&EventJournal>,
+) -> Result<Recovered, DurableError> {
     let started = Instant::now();
 
     // One scan of the whole durable log up front: the replay guarantees
@@ -772,6 +892,40 @@ pub fn recover_with(
             )
         }
     };
+
+    if let Some(j) = journal {
+        for path in &rejected {
+            j.warn(
+                "recovery",
+                "checkpoint_rejected",
+                &[("checkpoint", path.display().to_string())],
+            );
+        }
+        if let Some(c) = &replayed.corruption {
+            j.warn(
+                "recovery",
+                "wal_tail_truncated",
+                &[
+                    ("segment", c.segment.display().to_string()),
+                    ("offset", c.offset.to_string()),
+                ],
+            );
+        }
+        j.info(
+            "recovery",
+            "plan_chosen",
+            &[
+                (
+                    "source",
+                    match &source {
+                        RecoverySource::Checkpoint(p) => format!("checkpoint:{}", p.display()),
+                        RecoverySource::BaseDataset => "base_dataset".to_string(),
+                    },
+                ),
+                ("checkpoint_lsn", after_lsn.to_string()),
+            ],
+        );
+    }
 
     let mut mutations = 0u64;
     let mut batches = 0u64;
@@ -852,6 +1006,19 @@ pub fn recover_with(
             "Crash recovery wall time (checkpoint load + WAL replay + index build), microseconds",
         )
         .record(micros);
+    }
+
+    if let Some(j) = journal {
+        j.info(
+            "recovery",
+            "recovery_completed",
+            &[
+                ("replayed_batches", batches.to_string()),
+                ("replayed_mutations", mutations.to_string()),
+                ("next_lsn", replayed.next_lsn.max(after_lsn + 1).to_string()),
+                ("micros", micros.to_string()),
+            ],
+        );
     }
 
     Ok(Recovered {
@@ -1082,7 +1249,10 @@ mod tests {
         drop(ingest);
         let recovered = recover(&dir, Some(&ds), None).expect("recovery");
         assert_eq!(recovered.report.checkpoint_lsn, 3);
-        assert_eq!(recovered.manager.snapshot().store().len(), ds.store.len() + 3);
+        assert_eq!(
+            recovered.manager.snapshot().store().len(),
+            ds.store.len() + 3
+        );
     }
 
     #[test]

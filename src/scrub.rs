@@ -32,6 +32,7 @@ use crate::durable::list_checkpoints_with;
 use uots_core::storage::{write_atomic, StorageBackend};
 use uots_core::wal::{self, Corruption};
 use uots_datagen::persist;
+use uots_obs::EventJournal;
 
 /// Name of the quarantine subdirectory.
 pub const QUARANTINE_DIR: &str = "quarantine";
@@ -103,10 +104,102 @@ impl ScrubReport {
     }
 }
 
+impl serde::Serialize for ScrubReport {
+    fn serialize(&self) -> serde::Content {
+        use serde::Content;
+        fn path(p: &Path) -> Content {
+            Content::Str(p.display().to_string())
+        }
+        fn verdicts(list: &[(PathBuf, String)]) -> Content {
+            Content::Seq(
+                list.iter()
+                    .map(|(p, reason)| {
+                        Content::Map(vec![
+                            ("file".to_string(), path(p)),
+                            ("reason".to_string(), Content::Str(reason.clone())),
+                        ])
+                    })
+                    .collect(),
+            )
+        }
+        let torn_tail = match &self.torn_tail {
+            Some(c) => Content::Map(vec![
+                ("file".to_string(), path(&c.segment)),
+                ("offset".to_string(), Content::U64(c.offset)),
+                ("reason".to_string(), Content::Str(c.reason.clone())),
+            ]),
+            None => Content::Null,
+        };
+        let quarantined = Content::Seq(
+            self.quarantined
+                .iter()
+                .map(|q| {
+                    Content::Map(vec![
+                        ("original".to_string(), path(&q.original)),
+                        ("quarantined".to_string(), path(&q.quarantined)),
+                        ("reason".to_string(), Content::Str(q.reason.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        let plan = Content::Map(vec![
+            (
+                "checkpoint".to_string(),
+                match &self.plan.checkpoint {
+                    Some((p, lsn)) => Content::Map(vec![
+                        ("file".to_string(), path(p)),
+                        ("lsn".to_string(), Content::U64(*lsn)),
+                    ]),
+                    None => Content::Null,
+                },
+            ),
+            (
+                "replayable_batches".to_string(),
+                Content::U64(self.plan.replayable_batches),
+            ),
+            (
+                "replayable_mutations".to_string(),
+                Content::U64(self.plan.replayable_mutations),
+            ),
+            ("next_lsn".to_string(), Content::U64(self.plan.next_lsn)),
+        ]);
+        Content::Map(vec![
+            ("segments".to_string(), Content::U64(self.segments as u64)),
+            (
+                "checkpoints".to_string(),
+                Content::U64(self.checkpoints as u64),
+            ),
+            ("clean".to_string(), Content::Bool(self.is_clean())),
+            (
+                "invalid_checkpoints".to_string(),
+                verdicts(&self.invalid_checkpoints),
+            ),
+            (
+                "unusable_segments".to_string(),
+                verdicts(&self.unusable_segments),
+            ),
+            ("torn_tail".to_string(), torn_tail),
+            ("quarantined".to_string(), quarantined),
+            ("plan".to_string(), plan),
+        ])
+    }
+}
+
 /// Read-only integrity walk: validates checkpoints and the WAL, reports
 /// what recovery would do. Moves nothing.
 pub fn inspect(backend: &dyn StorageBackend, dir: &Path) -> Result<ScrubReport, std::io::Error> {
-    walk(backend, dir, false)
+    walk(backend, dir, false, None)
+}
+
+/// [`inspect`] plus an operational [`EventJournal`]: every per-file
+/// verdict (invalid checkpoint, unusable segment, torn tail) is recorded
+/// as an event.
+pub fn inspect_with_journal(
+    backend: &dyn StorageBackend,
+    dir: &Path,
+    journal: &EventJournal,
+) -> Result<ScrubReport, std::io::Error> {
+    walk(backend, dir, false, Some(journal))
 }
 
 /// The `uots fsck` pass: like [`inspect`], but moves wholly-unusable files
@@ -114,13 +207,24 @@ pub fn inspect(backend: &dyn StorageBackend, dir: &Path) -> Result<ScrubReport, 
 /// manifest. Returns the report *after* the moves, so its plan reflects
 /// the directory recovery would now see.
 pub fn scrub(backend: &dyn StorageBackend, dir: &Path) -> Result<ScrubReport, std::io::Error> {
-    walk(backend, dir, true)
+    walk(backend, dir, true, None)
+}
+
+/// [`scrub`] plus an operational [`EventJournal`]: per-file verdicts and
+/// every quarantine move are recorded as events.
+pub fn scrub_with_journal(
+    backend: &dyn StorageBackend,
+    dir: &Path,
+    journal: &EventJournal,
+) -> Result<ScrubReport, std::io::Error> {
+    walk(backend, dir, true, Some(journal))
 }
 
 fn walk(
     backend: &dyn StorageBackend,
     dir: &Path,
     quarantine: bool,
+    journal: Option<&EventJournal>,
 ) -> Result<ScrubReport, std::io::Error> {
     // -- checkpoints: every one is CRC-validated independently. Only
     //    *validation* failures mark a checkpoint corrupt — an I/O error
@@ -170,6 +274,40 @@ fn walk(
         }
     }
 
+    if let Some(j) = journal {
+        for (path, reason) in &invalid_checkpoints {
+            j.warn(
+                "scrub",
+                "invalid_checkpoint",
+                &[
+                    ("file", path.display().to_string()),
+                    ("reason", reason.clone()),
+                ],
+            );
+        }
+        for (path, reason) in &unusable_segments {
+            j.warn(
+                "scrub",
+                "unusable_segment",
+                &[
+                    ("file", path.display().to_string()),
+                    ("reason", reason.clone()),
+                ],
+            );
+        }
+        if let Some(c) = &torn_tail {
+            j.warn(
+                "scrub",
+                "torn_tail",
+                &[
+                    ("file", c.segment.display().to_string()),
+                    ("offset", c.offset.to_string()),
+                    ("reason", c.reason.clone()),
+                ],
+            );
+        }
+    }
+
     // -- quarantine pass
     let mut quarantined = Vec::new();
     if quarantine {
@@ -178,6 +316,19 @@ fn walk(
         moves.extend(unusable_segments.iter().cloned());
         if !moves.is_empty() {
             quarantined = quarantine_files(backend, dir, &moves)?;
+            if let Some(j) = journal {
+                for q in &quarantined {
+                    j.warn(
+                        "scrub",
+                        "file_quarantined",
+                        &[
+                            ("original", q.original.display().to_string()),
+                            ("quarantined", q.quarantined.display().to_string()),
+                            ("reason", q.reason.clone()),
+                        ],
+                    );
+                }
+            }
         }
     }
 
@@ -211,7 +362,7 @@ fn walk(
         next_lsn: plan_scan.next_lsn,
     };
 
-    Ok(ScrubReport {
+    let report = ScrubReport {
         segments,
         checkpoints,
         invalid_checkpoints,
@@ -219,7 +370,24 @@ fn walk(
         torn_tail,
         quarantined,
         plan,
-    })
+    };
+    if let Some(j) = journal {
+        j.info(
+            "scrub",
+            "walk_completed",
+            &[
+                (
+                    "mode",
+                    if quarantine { "scrub" } else { "inspect" }.to_string(),
+                ),
+                ("segments", report.segments.to_string()),
+                ("checkpoints", report.checkpoints.to_string()),
+                ("clean", report.is_clean().to_string()),
+                ("quarantined", report.quarantined.len().to_string()),
+            ],
+        );
+    }
+    Ok(report)
 }
 
 fn wal_io(e: wal::WalError) -> std::io::Error {

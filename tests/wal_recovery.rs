@@ -555,7 +555,6 @@ fn pruned_log_rejects_gapped_checkpoint_fallback() {
         WalConfig {
             fsync: FsyncPolicy::Never,
             segment_bytes: 1, // rotate after every batch: one LSN per segment
-            ..WalConfig::default()
         },
     )
     .expect("wal opens");

@@ -122,6 +122,15 @@ pub trait Deserialize: Sized {
 
 // ---------- primitive impls ----------
 
+// The interchange model serializes as itself, so callers can hand-build a
+// `Content` tree (e.g. to splice extra keys into a derived map) and feed
+// it straight to a format backend.
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
 impl Serialize for bool {
     fn serialize(&self) -> Content {
         Content::Bool(*self)
