@@ -11,6 +11,7 @@
 //!
 //! * `t1` dataset statistics            * `f4` effect of k
 //! * `t2` pruning effectiveness         * `f5` effect of #keywords
+//! * `t2p` hot-path data layouts: legacy vs CSR/bitset, bit-identical top-k
 //! * `f1` effect of #query locations    * `f6` effect of trajectory length
 //! * `f2` effect of λ                   * `f7` effect of thread count
 //! * `f3` effect of |P|                 * `f8` scheduler ablation
@@ -169,6 +170,93 @@ fn main() {
         print!(
             "{}",
             render_table("T2 — pruning effectiveness (defaults)", &rows)
+        );
+        all_rows.extend(rows);
+    }
+
+    // ------- T2′: hot-path data layouts — legacy vs CSR/bitset (extension) -------
+    if wants(&args, "t2p") {
+        use uots_core::LayoutTables;
+        let queries = make_queries(&ds, args.queries, 4, 3, 0.5, 1, 0x12);
+        let (layout, build_wall) =
+            time(|| LayoutTables::build(&ds.network, &ds.store, ds.vocab.len()));
+        let db_layout = db.with_layout(&layout);
+        let algo = Expansion::default();
+
+        // One uncached pass over the T2 defaults workload; returns the
+        // exact (id, similarity-bits) answers for the in-run identity
+        // assert plus the numbers the rows need.
+        let run_pass = |db: &Database| {
+            let mut latencies = LatencyStats::new();
+            let mut results: Vec<Vec<(u64, u64)>> = Vec::new();
+            let mut visited = 0usize;
+            let mut candidates = 0usize;
+            let start = std::time::Instant::now();
+            for q in &queries {
+                let q_start = std::time::Instant::now();
+                let r = algo.run(db, q).expect("t2p run");
+                latencies.record(q_start.elapsed());
+                results.push(
+                    r.matches
+                        .iter()
+                        .map(|m| (m.id.0 as u64, m.similarity.to_bits()))
+                        .collect(),
+                );
+                visited += r.metrics.visited_trajectories;
+                candidates += r.metrics.candidates;
+            }
+            (results, latencies, visited, candidates, start.elapsed())
+        };
+
+        let legacy = run_pass(&db);
+        let layout_pass = run_pass(&db_layout);
+        // The layouts must be invisible in the answers: same trajectories,
+        // bit-identical similarities, top to bottom of the top-k.
+        assert_eq!(
+            legacy.0, layout_pass.0,
+            "CSR/bitset pass diverged from the legacy layout"
+        );
+
+        let nq = queries.len().max(1) as f64;
+        let mut rows = Vec::new();
+        for (mode, pass) in [("legacy", &legacy), ("csr/bitset", &layout_pass)] {
+            let (_, latencies, visited, candidates, wall) = pass;
+            let mut row = Row {
+                experiment: "t2p".into(),
+                dataset: ds.name.clone(),
+                algorithm: format!("expansion ({mode})"),
+                parameter: "layout".into(),
+                value: 0.0,
+                queries: queries.len(),
+                runtime_ms: wall.as_secs_f64() * 1_000.0 / nq,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                max_ms: 0.0,
+                visited: *visited as f64 / nq,
+                candidates: *candidates as f64 / nq,
+                candidate_ratio: *candidates as f64 / (ds.store.len() as f64 * nq),
+                pruning_ratio: 1.0 - *candidates as f64 / (ds.store.len() as f64 * nq),
+                bound_gap: 0.0,
+                recall: 1.0, // asserted bit-identical to the legacy pass
+            };
+            latencies.fill(&mut row);
+            rows.push(row);
+        }
+        print!(
+            "{}",
+            render_table(
+                "T2′ — hot-path data layouts: identical top-k, less time (extension)",
+                &rows
+            )
+        );
+        println!(
+            "t2p summary: csr/bitset {:.2}× vs legacy (legacy {:.3} ms/query → \
+             csr/bitset {:.3} ms/query); layout tables built in {:.1} ms",
+            legacy.4.as_secs_f64() / layout_pass.4.as_secs_f64().max(1e-12),
+            legacy.4.as_secs_f64() * 1_000.0 / nq,
+            layout_pass.4.as_secs_f64() * 1_000.0 / nq,
+            build_wall.as_secs_f64() * 1_000.0,
         );
         all_rows.extend(rows);
     }

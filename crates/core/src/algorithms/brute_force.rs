@@ -2,7 +2,9 @@
 
 use crate::algorithms::Algorithm;
 use crate::budget::{Completeness, Gate, RunControl};
+use crate::csr::MultiSourceExpansion;
 use crate::distcache::{CachedSource, SearchContext};
+use crate::keywords::TextualEval;
 use crate::similarity;
 use crate::topk::TopK;
 use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
@@ -40,33 +42,63 @@ impl Algorithm for BruteForce {
         let mut metrics = SearchMetrics::for_one_query();
         let cached = ctx.cache().is_some();
 
+        let textual = TextualEval::new(
+            query.options().text_measure,
+            query.keywords(),
+            db.layout.map(|l| &l.keywords),
+        );
+
         rec.enter(Phase::NetworkExpansion);
         let mut trees = Vec::new();
         let mut sources: Vec<CachedSource<'_>> = Vec::new();
+        let mut multi: Option<MultiSourceExpansion<'_>> = None;
         let mut interrupted = false;
-        for &v in query.locations() {
-            // a tree settles its whole component at once, so count it
-            // against the budget before paying for the next one
+        if let Some(layout) = db.layout.filter(|_| !cached) {
+            // CSR layout: one multi-source drain over a shared frontier.
+            // The gate is consulted per settle instead of per source; any
+            // settle budget below the full drain interrupts either way
+            // with the identical (empty, gap-1) best-effort result, and a
+            // completed drain leaves the same total settle count the
+            // per-tree path accumulates.
+            let srcs: Vec<u32> = query.locations().iter().map(|v| v.0).collect();
+            let mut ms = MultiSourceExpansion::new(&layout.csr, &srcs);
             if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
                 interrupted = true;
-                break;
-            }
-            if cached {
-                let mut src = CachedSource::start(db.network, v, ctx.cache());
-                rec.enter(Phase::CacheReplay);
-                while src.in_replay() {
-                    src.next_settled();
-                    metrics.settled_vertices += 1;
-                }
-                rec.enter(Phase::NetworkExpansion);
-                while src.next_settled().is_some() {
-                    metrics.settled_vertices += 1;
-                }
-                sources.push(src);
             } else {
-                let t = shortest_path_tree(db.network, v);
-                metrics.settled_vertices += t.reached_count();
-                trees.push(t);
+                while ms.next_settled().is_some() {
+                    metrics.settled_vertices += 1;
+                    if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
+                        interrupted = true;
+                        break;
+                    }
+                }
+            }
+            multi = Some(ms);
+        } else {
+            for &v in query.locations() {
+                // a tree settles its whole component at once, so count it
+                // against the budget before paying for the next one
+                if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
+                    interrupted = true;
+                    break;
+                }
+                if cached {
+                    let mut src = CachedSource::start(db.network, v, ctx.cache());
+                    rec.enter(Phase::CacheReplay);
+                    while src.in_replay() {
+                        src.next_settled();
+                        metrics.settled_vertices += 1;
+                    }
+                    rec.enter(Phase::NetworkExpansion);
+                    while src.next_settled().is_some() {
+                        metrics.settled_vertices += 1;
+                    }
+                    sources.push(src);
+                } else {
+                    let t = shortest_path_tree(db.network, v);
+                    metrics.settled_vertices += t.reached_count();
+                    trees.push(t);
+                }
             }
         }
 
@@ -81,10 +113,13 @@ impl Algorithm for BruteForce {
                 metrics.visited_trajectories += 1;
                 metrics.candidates += 1;
                 metrics.heap_pushes += 1;
+                let tx = textual.eval(id, traj);
                 topk.offer(if cached {
-                    similarity::evaluate_with_sources(&sources, query, id, traj)
+                    similarity::evaluate_with_sources_textual(&sources, query, id, traj, tx)
+                } else if let Some(ms) = &multi {
+                    similarity::evaluate_with_multi(ms, query, id, traj, tx)
                 } else {
-                    similarity::evaluate_with_trees(&trees, query, id, traj)
+                    similarity::evaluate_with_trees_textual(&trees, query, id, traj, tx)
                 });
             }
         }

@@ -18,6 +18,7 @@
 use crate::algorithms::Algorithm;
 use crate::budget::{Completeness, Gate, RunControl};
 use crate::distcache::{CachedSource, SearchContext};
+use crate::keywords::TextualEval;
 use crate::similarity;
 use crate::topk::TopK;
 use crate::{CoreError, Database, QueryOptions, QueryResult, SearchMetrics, UotsQuery};
@@ -148,6 +149,12 @@ impl Algorithm for IknnBaseline {
         let mut topk = TopK::new(opts.k);
         let per_round = self.settles_per_round.max(1);
 
+        let textual_eval = TextualEval::new(
+            opts.text_measure,
+            query.keywords(),
+            db.layout.map(|l| &l.keywords),
+        );
+
         // finalize helper as a closure would fight the borrow checker;
         // structured as an inner function instead
         fn finalize(
@@ -155,6 +162,7 @@ impl Algorithm for IknnBaseline {
             st: &mut State,
             tid: TrajectoryId,
             db: &Database<'_>,
+            textual_eval: &TextualEval<'_>,
             topk: &mut TopK,
             metrics: &mut SearchMetrics,
         ) {
@@ -163,7 +171,7 @@ impl Algorithm for IknnBaseline {
             metrics.candidates += 1;
             metrics.heap_pushes += 1; // top-k offer below
             let spatial_sim = similarity::spatial_component(&st.sdists, opts.decay_km);
-            let textual = similarity::textual_component(query, db.store.get(tid));
+            let textual = textual_eval.eval(tid, db.store.get(tid));
             let temporal_sim = if st.tdists.is_empty() {
                 0.0
             } else {
@@ -286,7 +294,7 @@ impl Algorithm for IknnBaseline {
                 .collect();
             for tid in ready {
                 let st = states.get_mut(&tid).expect("present");
-                finalize(query, st, tid, db, &mut topk, &mut metrics);
+                finalize(query, st, tid, db, &textual_eval, &mut topk, &mut metrics);
             }
 
             // Coarse bounds. Unscanned trajectories are bounded by the
@@ -334,7 +342,15 @@ impl Algorithm for IknnBaseline {
                         t_remaining: 0,
                         done: false,
                     };
-                    finalize(query, &mut st, tid, db, &mut topk, &mut metrics);
+                    finalize(
+                        query,
+                        &mut st,
+                        tid,
+                        db,
+                        &textual_eval,
+                        &mut topk,
+                        &mut metrics,
+                    );
                 }
                 break;
             }

@@ -19,7 +19,9 @@
 
 use crate::algorithms::Algorithm;
 use crate::budget::{Completeness, Gate, RunControl};
+use crate::csr::MultiSourceExpansion;
 use crate::distcache::{CachedSource, SearchContext};
+use crate::keywords::TextualEval;
 use crate::similarity;
 use crate::topk::TopK;
 use crate::{CoreError, Database, QueryResult, SearchMetrics, UotsQuery};
@@ -63,14 +65,17 @@ impl Algorithm for TextFirst {
         // untagged — the index can't enumerate those, so fall back to a full
         // textual pass in that edge case).
         rec.enter(Phase::TextFilter);
+        let textual = TextualEval::new(
+            opts.text_measure,
+            query.keywords(),
+            db.layout.map(|l| &l.keywords),
+        );
         let mut scored: Vec<(f64, TrajectoryId)> = if query.keywords().is_empty() {
             db.store
                 .iter()
                 .filter(|(id, _)| db.is_live(*id))
                 .map(|(id, t)| {
-                    let ub = w.spatial
-                        + w.textual * similarity::textual_component(query, t)
-                        + w.temporal;
+                    let ub = w.spatial + w.textual * textual.eval(id, t) + w.temporal;
                     (ub, id)
                 })
                 .collect()
@@ -80,9 +85,7 @@ impl Algorithm for TextFirst {
                 .iter()
                 .map(|&id| {
                     let t = db.store.get(id);
-                    let ub = w.spatial
-                        + w.textual * similarity::textual_component(query, t)
-                        + w.temporal;
+                    let ub = w.spatial + w.textual * textual.eval(id, t) + w.temporal;
                     (ub, id)
                 })
                 .collect();
@@ -109,28 +112,48 @@ impl Algorithm for TextFirst {
         let cached = ctx.cache().is_some();
         let mut trees = Vec::new();
         let mut sources: Vec<CachedSource<'_>> = Vec::new();
+        let mut multi: Option<MultiSourceExpansion<'_>> = None;
         let mut interrupted = false;
-        for &v in query.locations() {
+        if let Some(layout) = db.layout.filter(|_| !cached) {
+            // CSR layout: one shared-frontier drain (see brute_force for
+            // why per-settle gating yields identical outputs)
+            let srcs: Vec<u32> = query.locations().iter().map(|v| v.0).collect();
+            let mut ms = MultiSourceExpansion::new(&layout.csr, &srcs);
             if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
                 interrupted = true;
-                break;
-            }
-            if cached {
-                let mut src = CachedSource::start(db.network, v, ctx.cache());
-                rec.enter(Phase::CacheReplay);
-                while src.in_replay() {
-                    src.next_settled();
-                    metrics.settled_vertices += 1;
-                }
-                rec.enter(Phase::NetworkExpansion);
-                while src.next_settled().is_some() {
-                    metrics.settled_vertices += 1;
-                }
-                sources.push(src);
             } else {
-                let t = shortest_path_tree(db.network, v);
-                metrics.settled_vertices += t.reached_count();
-                trees.push(t);
+                while ms.next_settled().is_some() {
+                    metrics.settled_vertices += 1;
+                    if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
+                        interrupted = true;
+                        break;
+                    }
+                }
+            }
+            multi = Some(ms);
+        } else {
+            for &v in query.locations() {
+                if gate.should_stop(metrics.visited_trajectories, metrics.settled_vertices) {
+                    interrupted = true;
+                    break;
+                }
+                if cached {
+                    let mut src = CachedSource::start(db.network, v, ctx.cache());
+                    rec.enter(Phase::CacheReplay);
+                    while src.in_replay() {
+                        src.next_settled();
+                        metrics.settled_vertices += 1;
+                    }
+                    rec.enter(Phase::NetworkExpansion);
+                    while src.next_settled().is_some() {
+                        metrics.settled_vertices += 1;
+                    }
+                    sources.push(src);
+                } else {
+                    let t = shortest_path_tree(db.network, v);
+                    metrics.settled_vertices += t.reached_count();
+                    trees.push(t);
+                }
             }
         }
 
@@ -156,10 +179,14 @@ impl Algorithm for TextFirst {
                 }
                 metrics.visited_trajectories += 1;
                 metrics.candidates += 1;
+                let traj = db.store.get(id);
+                let tx = textual.eval(id, traj);
                 let m = if cached {
-                    similarity::evaluate_with_sources(&sources, query, id, db.store.get(id))
+                    similarity::evaluate_with_sources_textual(&sources, query, id, traj, tx)
+                } else if let Some(ms) = &multi {
+                    similarity::evaluate_with_multi(ms, query, id, traj, tx)
                 } else {
-                    similarity::evaluate_with_trees(&trees, query, id, db.store.get(id))
+                    similarity::evaluate_with_trees_textual(&trees, query, id, traj, tx)
                 };
                 debug_assert!(m.similarity <= ub + 1e-9, "bound must dominate exact");
                 metrics.heap_pushes += 1;

@@ -1,0 +1,391 @@
+//! Flat CSR adjacency and batched multi-source Dijkstra expansion.
+//!
+//! [`CsrGraph`] is a struct-of-arrays compressed-sparse-row adjacency:
+//! `u32` vertex ids, one `offsets` array (length `n + 1`) delimiting each
+//! vertex's slice of the parallel `targets`/`weights` arrays. Compared to
+//! traversing [`RoadNetwork`](uots_network::RoadNetwork) through its
+//! `NodeId` API, the flat layout keeps the Dijkstra inner loop on two
+//! contiguous arrays with no bounds-indirection, and — unlike
+//! `NetworkBuilder` — the raw-edge constructor accepts self-loops and
+//! parallel (multi-)edges, which the round-trip property tests exercise.
+//!
+//! [`MultiSourceExpansion`] batches the `m` query sources of a UOTS query
+//! into **one** Dijkstra drain sharing a single binary heap and a single
+//! pass over the adjacency, with per-source distance/settled rows. Each
+//! source's relaxation sequence is exactly the one its independent
+//! single-source run would perform (per-source state is disjoint; only
+//! the frontier is shared), so the resulting distances are bit-identical
+//! to `m` separate runs — the regression tests in
+//! `tests/layout_proptests.rs` assert this, including on disconnected
+//! graphs where some sources exhaust early.
+
+use std::collections::BinaryHeap;
+use uots_network::{NodeId, RoadNetwork, TotalF64};
+
+/// Struct-of-arrays CSR adjacency over `u32` vertex ids (see module docs).
+///
+/// Undirected: every edge `{a, b}` with `a != b` contributes one entry to
+/// both endpoint rows; a self-loop contributes a single entry to its
+/// vertex's row.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// Row delimiters, length `num_nodes + 1`.
+    offsets: Vec<u32>,
+    /// Neighbor vertex ids, length `offsets[n]`.
+    targets: Vec<u32>,
+    /// Edge weights parallel to `targets`.
+    weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Builds the CSR layout from a [`RoadNetwork`], preserving its
+    /// adjacency order row by row.
+    pub fn from_network(net: &RoadNetwork) -> Self {
+        let n = net.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        offsets.push(0u32);
+        for v in 0..n {
+            for (u, w) in net.neighbors(NodeId(v as u32)) {
+                targets.push(u.0);
+                weights.push(w);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Builds the CSR layout from a raw undirected edge list.
+    ///
+    /// Unlike `NetworkBuilder`, this accepts self-loops (one row entry)
+    /// and parallel edges (one row entry per endpoint per copy), and
+    /// keeps isolated vertices (any `v < num_nodes` with no edges gets an
+    /// empty row). Entries within a row appear in input-edge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(u32, u32, f64)]) -> Self {
+        let mut degree = vec![0u32; num_nodes];
+        for &(a, b, _) in edges {
+            assert!((a as usize) < num_nodes && (b as usize) < num_nodes);
+            degree[a as usize] += 1;
+            if a != b {
+                degree[b as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut acc = 0u32;
+        offsets.push(0u32);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..num_nodes].to_vec();
+        let mut targets = vec![0u32; acc as usize];
+        let mut weights = vec![0.0f64; acc as usize];
+        for &(a, b, w) in edges {
+            let ca = cursor[a as usize] as usize;
+            targets[ca] = b;
+            weights[ca] = w;
+            cursor[a as usize] += 1;
+            if a != b {
+                let cb = cursor[b as usize] as usize;
+                targets[cb] = a;
+                weights[cb] = w;
+                cursor[b as usize] += 1;
+            }
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of adjacency entries (2·|E| minus one per self-loop).
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of vertex `v` (self-loops count once).
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// The neighbors of `v` with edge weights, in row order.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Recovers the undirected edge multiset: one `(min, max, w)` tuple
+    /// per input edge (self-loops as `(v, v, w)`), in unspecified order.
+    /// Used by the round-trip property tests.
+    pub fn edge_list(&self) -> Vec<(u32, u32, f64)> {
+        let mut edges = Vec::with_capacity(self.targets.len() / 2);
+        for v in 0..self.num_nodes() as u32 {
+            for (u, w) in self.neighbors(v) {
+                if u >= v {
+                    edges.push((v, u, w));
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// A vertex settled by a [`MultiSourceExpansion`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsSettled {
+    /// Index of the source (position in the `sources` slice) that
+    /// settled the vertex.
+    pub source: usize,
+    /// The settled vertex.
+    pub node: u32,
+    /// Exact network distance from `sources[source]`.
+    pub dist: f64,
+}
+
+/// Min-heap entry keyed `(dist, source, node)` — deterministic across
+/// runs; `BinaryHeap` is a max-heap so the ordering is reversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MsEntry {
+    dist: TotalF64,
+    source: u32,
+    node: u32,
+}
+
+impl PartialOrd for MsEntry {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MsEntry {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .dist
+            .cmp(&self.dist)
+            .then_with(|| other.source.cmp(&self.source))
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Batched Dijkstra from `m` sources over a shared frontier.
+///
+/// Distance and settled state are flat `m × n` rows (source-major), so
+/// the whole batch makes one pass over the heap instead of `m`
+/// independent passes; per-source results are bit-identical to `m`
+/// single-source runs (see module docs).
+pub struct MultiSourceExpansion<'a> {
+    graph: &'a CsrGraph,
+    sources: Vec<u32>,
+    /// `m × n` tentative distances, source-major.
+    dist: Vec<f64>,
+    /// `m × n` settled flags, source-major.
+    settled: Vec<bool>,
+    heap: BinaryHeap<MsEntry>,
+    reached: Vec<usize>,
+}
+
+impl<'a> MultiSourceExpansion<'a> {
+    /// Starts a batched expansion from `sources` (indices into `graph`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source is not a vertex of the graph.
+    pub fn new(graph: &'a CsrGraph, sources: &[u32]) -> Self {
+        let n = graph.num_nodes();
+        let m = sources.len();
+        let mut dist = vec![f64::INFINITY; m * n];
+        let mut heap = BinaryHeap::with_capacity(m);
+        for (si, &s) in sources.iter().enumerate() {
+            assert!((s as usize) < n, "source {s} not in graph");
+            dist[si * n + s as usize] = 0.0;
+            heap.push(MsEntry {
+                dist: TotalF64(0.0),
+                source: si as u32,
+                node: s,
+            });
+        }
+        MultiSourceExpansion {
+            graph,
+            sources: sources.to_vec(),
+            dist,
+            settled: vec![false; m * n],
+            heap,
+            reached: vec![0; m],
+        }
+    }
+
+    /// Convenience: start and drain to exhaustion in one call.
+    pub fn run(graph: &'a CsrGraph, sources: &[u32]) -> Self {
+        let mut ms = Self::new(graph, sources);
+        ms.run_to_exhaustion();
+        ms
+    }
+
+    /// Settles and returns the globally next-nearest `(source, vertex)`
+    /// pair, or `None` once every source is exhausted.
+    pub fn next_settled(&mut self) -> Option<MsSettled> {
+        let n = self.graph.num_nodes();
+        while let Some(MsEntry { dist, source, node }) = self.heap.pop() {
+            let si = source as usize;
+            let row = si * n;
+            if self.settled[row + node as usize] {
+                continue; // stale heap entry
+            }
+            self.settled[row + node as usize] = true;
+            self.reached[si] += 1;
+            let d = dist.0;
+            for (u, w) in self.graph.neighbors(node) {
+                let nd = d + w;
+                let slot = row + u as usize;
+                if nd < self.dist[slot] && !self.settled[slot] {
+                    self.dist[slot] = nd;
+                    self.heap.push(MsEntry {
+                        dist: TotalF64(nd),
+                        source,
+                        node: u,
+                    });
+                }
+            }
+            return Some(MsSettled {
+                source: si,
+                node,
+                dist: d,
+            });
+        }
+        None
+    }
+
+    /// Drains the expansion until every source has settled its entire
+    /// reachable component.
+    pub fn run_to_exhaustion(&mut self) {
+        while self.next_settled().is_some() {}
+    }
+
+    /// Number of sources in the batch.
+    #[inline]
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The source vertex at batch index `si`.
+    #[inline]
+    pub fn source(&self, si: usize) -> u32 {
+        self.sources[si]
+    }
+
+    /// Exact distance from source `si` to `node`, or `None` if the
+    /// vertex has not been settled (unreachable, once drained).
+    #[inline]
+    pub fn distance(&self, si: usize, node: u32) -> Option<f64> {
+        let slot = si * self.graph.num_nodes() + node as usize;
+        self.settled[slot].then(|| self.dist[slot])
+    }
+
+    /// Number of vertices source `si` has settled so far.
+    #[inline]
+    pub fn reached_count(&self, si: usize) -> usize {
+        self.reached[si]
+    }
+
+    /// Total settled events across all sources so far.
+    #[inline]
+    pub fn total_settled(&self) -> usize {
+        self.reached.iter().sum()
+    }
+
+    /// Whether the whole batch is exhausted (shared frontier empty).
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uots_network::generators::{self, GridCityConfig};
+
+    #[test]
+    fn from_network_mirrors_adjacency() {
+        let net = generators::grid_city(&GridCityConfig::tiny(5)).unwrap();
+        let g = CsrGraph::from_network(&net);
+        assert_eq!(g.num_nodes(), net.num_nodes());
+        for v in 0..net.num_nodes() as u32 {
+            let ours: Vec<(u32, f64)> = g.neighbors(v).collect();
+            let theirs: Vec<(u32, f64)> = net.neighbors(NodeId(v)).map(|(u, w)| (u.0, w)).collect();
+            assert_eq!(ours, theirs, "row {v}");
+        }
+    }
+
+    #[test]
+    fn from_edges_handles_self_loops_and_multi_edges() {
+        // 0-1 (twice, different weights), 1-1 self-loop, vertex 3 isolated
+        let edges = [(0, 1, 1.0), (1, 0, 2.0), (1, 1, 5.0)];
+        let g = CsrGraph::from_edges(4, &edges);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3); // two parallel edges + one self-loop entry
+        assert_eq!(g.degree(3), 0);
+        let mut recovered = g.edge_list();
+        recovered.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(recovered, vec![(0, 1, 1.0), (0, 1, 2.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn multi_source_matches_single_source_bitwise() {
+        let net = generators::grid_city(&GridCityConfig::tiny(6)).unwrap();
+        let g = CsrGraph::from_network(&net);
+        let sources = [0u32, 17, 35];
+        let batch = MultiSourceExpansion::run(&g, &sources);
+        for (si, &s) in sources.iter().enumerate() {
+            let solo = MultiSourceExpansion::run(&g, &[s]);
+            for v in 0..g.num_nodes() as u32 {
+                let a = batch.distance(si, v);
+                let b = solo.distance(0, v);
+                match (a, b) {
+                    (Some(x), Some(y)) => assert_eq!(x.to_bits(), y.to_bits(), "v{v} s{s}"),
+                    (None, None) => {}
+                    other => panic!("settled mismatch at v{v} s{s}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_sources_exhaust_cleanly() {
+        // two components: {0,1} and {2}
+        let g = CsrGraph::from_edges(3, &[(0, 1, 1.0)]);
+        let ms = MultiSourceExpansion::run(&g, &[0, 2]);
+        assert!(ms.is_exhausted());
+        assert_eq!(ms.reached_count(0), 2);
+        assert_eq!(ms.reached_count(1), 1);
+        assert_eq!(ms.distance(0, 2), None);
+        assert_eq!(ms.distance(1, 0), None);
+        assert_eq!(ms.distance(1, 2), Some(0.0));
+    }
+}

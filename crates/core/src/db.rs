@@ -1,9 +1,49 @@
 //! The read-only database handle the algorithms run against.
 
+use crate::csr::CsrGraph;
+use crate::keywords::KeywordBlocks;
 use crate::{CoreError, UotsQuery};
+use std::sync::Arc;
 use uots_index::{KeywordInvertedIndex, TimestampIndex, VertexInvertedIndex};
 use uots_network::RoadNetwork;
 use uots_trajectory::{LiveSet, TrajectoryId, TrajectoryStore};
+
+/// Cache-friendly data layouts for the two hot paths, built once per
+/// dataset (or per epoch snapshot) and attached to a [`Database`] via
+/// [`Database::with_layout`].
+///
+/// With a layout attached the algorithms route textual similarity through
+/// the dense [`KeywordBlocks`] table (bitset popcounts / galloping) and
+/// full-drain spatial evaluation through [`CsrGraph`] multi-source
+/// expansion; results are bit-identical to the legacy per-candidate
+/// paths — the widened differential harness proves it per release.
+#[derive(Debug, Clone)]
+pub struct LayoutTables {
+    /// Dense per-trajectory keyword table.
+    pub keywords: KeywordBlocks,
+    /// Flat CSR adjacency mirroring the road network. `Arc`'d so epoch
+    /// snapshots over the same immutable network can share one copy.
+    pub csr: Arc<CsrGraph>,
+}
+
+impl LayoutTables {
+    /// Builds both tables from scratch.
+    pub fn build(network: &RoadNetwork, store: &TrajectoryStore, vocab_len: usize) -> Self {
+        LayoutTables {
+            keywords: KeywordBlocks::build(store, vocab_len),
+            csr: Arc::new(CsrGraph::from_network(network)),
+        }
+    }
+
+    /// Builds the keyword table for a new store revision while sharing an
+    /// existing CSR adjacency (the network is immutable across epochs).
+    pub fn build_shared(csr: Arc<CsrGraph>, store: &TrajectoryStore, vocab_len: usize) -> Self {
+        LayoutTables {
+            keywords: KeywordBlocks::build(store, vocab_len),
+            csr,
+        }
+    }
+}
 
 /// Borrowed view of everything a UOTS algorithm needs: the network, the
 /// trajectories and the indexes. Construction is cheap (all references), so
@@ -26,6 +66,11 @@ pub struct Database<'a> {
     /// are invisible to every algorithm. `None` means all ids are live —
     /// the frozen-dataset behavior.
     pub live: Option<&'a LiveSet>,
+    /// Optional cache-friendly layouts ([`LayoutTables`]): when present,
+    /// textual similarity runs on the dense keyword table and full-drain
+    /// spatial evaluation on the CSR adjacency, bit-identically to the
+    /// legacy paths. `None` selects the legacy layout.
+    pub layout: Option<&'a LayoutTables>,
 }
 
 impl<'a> Database<'a> {
@@ -51,7 +96,30 @@ impl<'a> Database<'a> {
             keyword_index: None,
             timestamp_index: None,
             live: None,
+            layout: None,
         }
+    }
+
+    /// Attaches the cache-friendly layout tables (selects the CSR/bitset
+    /// hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tables do not cover the store/network (they were
+    /// built for a different revision).
+    pub fn with_layout(mut self, layout: &'a LayoutTables) -> Self {
+        assert_eq!(
+            layout.keywords.rows(),
+            self.store.len(),
+            "keyword table does not cover the store"
+        );
+        assert_eq!(
+            layout.csr.num_nodes(),
+            self.network.num_nodes(),
+            "CSR adjacency does not match the network"
+        );
+        self.layout = Some(layout);
+        self
     }
 
     /// Attaches the keyword inverted index (enables the textual-first

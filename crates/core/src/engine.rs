@@ -39,38 +39,103 @@
 
 use crate::budget::{Completeness, Gate, RunControl};
 use crate::distcache::{CachedSource, SearchContext};
+use crate::keywords::TextualEval;
 use crate::query::UotsQuery;
 use crate::result::{Match, QueryResult};
 use crate::scheduling::Scheduler;
 use crate::similarity;
 use crate::topk::TopK;
 use crate::{CoreError, Database, SearchMetrics};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use uots_index::TimeExpansion;
 use uots_network::landmarks::Landmarks;
 use uots_network::TotalF64;
 use uots_obs::{Phase, Recorder, TailSampler};
 use uots_trajectory::TrajectoryId;
 
-/// Per-trajectory scan state.
-struct TrajState {
-    /// Exact `d(o_i, τ)` once scanned from spatial source `i`, `NAN` before.
+/// Dense struct-of-arrays scan-state table.
+///
+/// The legacy representation was a `HashMap<TrajectoryId, TrajState>`
+/// with two `Vec` allocations per touched trajectory; on the hot path
+/// (one posting-list walk per settled vertex, each posting a map probe
+/// plus a bound recomputation) the hashing and pointer chasing dominate.
+/// Here trajectory ids index a direct `slot` array (one `u32` per store
+/// row, `0` = never seen) and all per-trajectory state lives in flat
+/// arrays chunked by slot — distances for slot `s` occupy
+/// `sdists[s·m .. s·m+m]`. Slots are assigned in first-sighting order,
+/// which also gives the exhaustion sweeps a deterministic iteration
+/// order (the `HashMap` iterated arbitrarily; exact results never
+/// depended on it, and best-effort outputs are now reproducible).
+struct ScanTable {
+    /// `tid.index()` → slot + 1; `0` means never seen.
+    slot: Vec<u32>,
+    /// slot → trajectory id, in first-sighting order.
+    tids: Vec<TrajectoryId>,
+    /// Exact `d(o_i, τ)` once scanned (`NAN` before), chunked by `m`.
     sdists: Vec<f64>,
-    /// Spatial sources that have not yet determined their distance.
-    s_remaining: u32,
-    /// Exact `min |t_j − t|` once scanned from temporal source `j`.
+    /// Exact `min |t_j − t|` once scanned, chunked by `qt`.
     tdists: Vec<f64>,
+    /// Spatial sources that have not yet determined their distance.
+    s_remaining: Vec<u32>,
     /// Temporal sources that have not yet determined their gap.
-    t_remaining: u32,
+    t_remaining: Vec<u32>,
     /// Exact textual similarity (computed on first sight).
-    textual: f64,
+    textual: Vec<f64>,
     /// Finalized: exact similarity computed and offered to the top-k.
-    done: bool,
+    done: Vec<bool>,
+    /// Spatial sources per trajectory.
+    m: usize,
+    /// Temporal sources per trajectory.
+    qt: usize,
 }
 
-impl TrajState {
-    fn fully_scanned(&self) -> bool {
-        self.s_remaining == 0 && self.t_remaining == 0
+impl ScanTable {
+    fn new(store_len: usize, m: usize, qt: usize) -> Self {
+        ScanTable {
+            slot: vec![0; store_len],
+            tids: Vec::new(),
+            sdists: Vec::new(),
+            tdists: Vec::new(),
+            s_remaining: Vec::new(),
+            t_remaining: Vec::new(),
+            textual: Vec::new(),
+            done: Vec::new(),
+            m,
+            qt,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    #[inline]
+    fn slot_of(&self, tid: TrajectoryId) -> Option<usize> {
+        match self.slot[tid.index()] {
+            0 => None,
+            s => Some(s as usize - 1),
+        }
+    }
+
+    #[inline]
+    fn contains(&self, tid: TrajectoryId) -> bool {
+        self.slot[tid.index()] != 0
+    }
+
+    #[inline]
+    fn sdists(&self, slot: usize) -> &[f64] {
+        &self.sdists[slot * self.m..slot * self.m + self.m]
+    }
+
+    #[inline]
+    fn tdists(&self, slot: usize) -> &[f64] {
+        &self.tdists[slot * self.qt..slot * self.qt + self.qt]
+    }
+
+    #[inline]
+    fn fully_scanned(&self, slot: usize) -> bool {
+        self.s_remaining[slot] == 0 && self.t_remaining[slot] == 0
     }
 }
 
@@ -410,7 +475,22 @@ struct Engine<'a, 'q, 'r> {
     /// Cross-query context: shared distance cache + landmark admission.
     ctx: &'q SearchContext,
     temporal: Vec<TimeExpansion<'a, TrajectoryId>>,
-    states: HashMap<TrajectoryId, TrajState>,
+    states: ScanTable,
+    /// Cached per-source unsettled lower bounds (`s_lb`/`t_lb`) and their
+    /// decay exponentials. A radius moves only inside [`Engine::step`], so
+    /// refreshing the touched source there (and all of them once at
+    /// construction) keeps every bound computation exact while `ub_of` —
+    /// run once per posting on the hot path — avoids recomputing `exp`
+    /// for its unscanned entries. The cached exponential is bit-identical
+    /// to recomputing it at use: same input bits, same deterministic
+    /// `exp`.
+    s_lb: Vec<f64>,
+    s_lb_exp: Vec<f64>,
+    t_lb: Vec<f64>,
+    t_lb_exp: Vec<f64>,
+    /// Textual scorer: dense bitset/galloping path when the database has
+    /// a layout attached, legacy merge walk otherwise (bit-identical).
+    textual_eval: TextualEval<'a>,
     collector: Collector,
     bound_heap: BinaryHeap<BoundEntry>,
     metrics: SearchMetrics,
@@ -468,19 +548,18 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
                 Vec::new()
             };
         let num_sources = spatial.len() + temporal.len();
+        let textual_eval = TextualEval::new(
+            query.options().text_measure,
+            query.keywords(),
+            db.layout.map(|l| &l.keywords),
+        );
         rec.enter(Phase::TextFilter);
         let (text_rank, text_rank_usable) = match (query.keywords().is_empty(), db.keyword_index) {
             (false, Some(kidx)) => {
                 let mut rank: Vec<(f64, TrajectoryId)> = kidx
                     .union_of(query.keywords().iter())
                     .into_iter()
-                    .map(|tid| {
-                        let sim = query
-                            .options()
-                            .text_measure
-                            .similarity(query.keywords(), db.store.get(tid).keywords());
-                        (sim, tid)
-                    })
+                    .map(|tid| (textual_eval.eval(tid, db.store.get(tid)), tid))
                     .collect();
                 rank.sort_by(|a, b| b.0.total_cmp(&a.0));
                 (rank, true)
@@ -488,7 +567,8 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             _ => (Vec::new(), false),
         };
         rec.leave();
-        Engine {
+        let (m, qt) = (spatial.len(), temporal.len());
+        let mut engine = Engine {
             db,
             query,
             // enforce scheduler invariants (e.g. sweep period ≥ 1) once on
@@ -498,7 +578,14 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             spatial,
             ctx,
             temporal,
-            states: HashMap::new(),
+            states: ScanTable::new(db.store.len(), m, qt),
+            // NaN sentinels: the first refresh always writes (a real lower
+            // bound is never NaN), filling the exponentials
+            s_lb: vec![f64::NAN; m],
+            s_lb_exp: vec![f64::NAN; m],
+            t_lb: vec![f64::NAN; qt],
+            t_lb_exp: vec![f64::NAN; qt],
+            textual_eval,
             collector,
             bound_heap: BinaryHeap::new(),
             metrics: SearchMetrics::for_one_query(),
@@ -512,7 +599,14 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             text_ptr: 0,
             text_rank_usable,
             rec,
+        };
+        for i in 0..engine.spatial.len() {
+            engine.refresh_spatial_lb(i);
         }
+        for j in 0..engine.temporal.len() {
+            engine.refresh_temporal_lb(j);
+        }
+        engine
     }
 
     /// Current upper bound on the textual similarity of any never-touched
@@ -522,7 +616,7 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             return 1.0;
         }
         while let Some(&(sim, tid)) = self.text_rank.get(self.text_ptr) {
-            if self.states.contains_key(&tid) {
+            if self.states.contains(tid) {
                 self.text_ptr += 1;
             } else {
                 return sim;
@@ -566,64 +660,74 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         }
     }
 
-    /// Per-source distance lower bound for trajectories this source has not
-    /// scanned: the current radius, or `∞` once exhausted.
-    fn spatial_lb(&self, i: usize) -> f64 {
-        self.spatial[i].unsettled_lower_bound()
+    /// Refreshes the cached lower bound (and its decay exponential) of
+    /// spatial source `i`: the current radius, or `∞` once exhausted.
+    /// Must run after every event that can move the radius — see the
+    /// field docs on [`Engine::s_lb`].
+    #[inline]
+    fn refresh_spatial_lb(&mut self, i: usize) {
+        let lb = self.spatial[i].unsettled_lower_bound();
+        if lb != self.s_lb[i] {
+            self.s_lb[i] = lb;
+            self.s_lb_exp[i] = (-lb / self.query.options().decay_km).exp();
+        }
     }
 
-    fn temporal_lb(&self, j: usize) -> f64 {
+    #[inline]
+    fn refresh_temporal_lb(&mut self, j: usize) {
         let t = &self.temporal[j];
-        if t.is_exhausted() {
+        let lb = if t.is_exhausted() {
             f64::INFINITY
         } else {
             t.radius()
+        };
+        if lb != self.t_lb[j] {
+            self.t_lb[j] = lb;
+            self.t_lb_exp[j] = (-lb / self.query.options().decay_s).exp();
         }
     }
 
     /// Upper bound on the similarity of a partly-scanned trajectory.
-    fn ub_of(&self, st: &TrajState) -> f64 {
+    /// Scanned entries compute their exponential fresh; unscanned entries
+    /// use the cached per-source value — same accumulation order and same
+    /// bits as evaluating every term in place.
+    fn ub_of(&self, slot: usize) -> f64 {
         let o = self.query.options();
-        let m = self.num_spatial();
+        let sd = self.states.sdists(slot);
         let mut acc = 0.0;
-        for i in 0..m {
-            let d = if st.sdists[i].is_nan() {
-                self.spatial_lb(i)
+        for (i, &d) in sd.iter().enumerate() {
+            acc += if d.is_nan() {
+                self.s_lb_exp[i]
             } else {
-                st.sdists[i]
+                (-d / o.decay_km).exp()
             };
-            acc += (-d / o.decay_km).exp();
         }
-        let spatial_ub = acc / m as f64;
+        let spatial_ub = acc / sd.len() as f64;
         let temporal_ub = if self.temporal.is_empty() {
             0.0
         } else {
             let mut acc = 0.0;
-            for (j, &dt) in st.tdists.iter().enumerate() {
-                let d = if dt.is_nan() { self.temporal_lb(j) } else { dt };
-                acc += (-d / o.decay_s).exp();
+            for (j, &dt) in self.states.tdists(slot).iter().enumerate() {
+                acc += if dt.is_nan() {
+                    self.t_lb_exp[j]
+                } else {
+                    (-dt / o.decay_s).exp()
+                };
             }
             acc / self.temporal.len() as f64
         };
         let w = o.weights;
-        w.spatial * spatial_ub + w.textual * st.textual + w.temporal * temporal_ub
+        w.spatial * spatial_ub + w.textual * self.states.textual[slot] + w.temporal * temporal_ub
     }
 
     /// Upper bound on the similarity of any never-touched trajectory.
     fn ub_unscanned(&mut self) -> f64 {
         let o = self.query.options();
-        let m = self.num_spatial();
-        let spatial_ub = (0..m)
-            .map(|i| (-self.spatial_lb(i) / o.decay_km).exp())
-            .sum::<f64>()
-            / m as f64;
+        let spatial_ub = self.s_lb_exp.iter().sum::<f64>() / self.s_lb_exp.len() as f64;
         let temporal_ub = if self.temporal.is_empty() {
             0.0
         } else {
-            (0..self.temporal.len())
-                .map(|j| (-self.temporal_lb(j) / o.decay_s).exp())
-                .sum::<f64>()
-                / self.temporal.len() as f64
+            self.t_lb_exp.iter().sum::<f64>() / self.t_lb_exp.len() as f64
         };
         let w = o.weights;
         let text_ub = self.unscanned_text_bound();
@@ -689,8 +793,8 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         let mut ub = self.ub_unscanned();
         while let Some(entry) = self.bound_heap.peek() {
             let (tid, stale_ub) = (entry.tid, entry.ub.0);
-            match self.states.get(&tid) {
-                Some(st) if !st.done => {
+            match self.states.slot_of(tid) {
+                Some(slot) if !self.states.done[slot] => {
                     ub = ub.max(stale_ub);
                     break;
                 }
@@ -707,7 +811,11 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         if src < self.num_spatial() {
             // a `None` here means exhaustion: sweep_exhausted finalizes
             // the pending states, nothing to do at the settle site
-            if let Some(settled) = self.spatial[src].next_settled() {
+            let settled = self.spatial[src].next_settled();
+            // the settle (or the final `None`) moved this source's radius:
+            // refresh its cached bound before any `ub_of` below reads it
+            self.refresh_spatial_lb(src);
+            if let Some(settled) = settled {
                 self.metrics.settled_vertices += 1;
                 // the posting slice borrows the 'a-lived index, not
                 // `self`, so no copy is needed on this hot path
@@ -718,7 +826,9 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             }
         } else {
             let j = src - self.num_spatial();
-            if let Some(scanned) = self.temporal[j].next_scanned() {
+            let scanned = self.temporal[j].next_scanned();
+            self.refresh_temporal_lb(j);
+            if let Some(scanned) = scanned {
                 self.metrics.scanned_timestamps += 1;
                 self.record_temporal(scanned.value, j, scanned.dt);
             }
@@ -727,91 +837,95 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         self.metrics.peak_frontier = self.metrics.peak_frontier.max(frontier);
     }
 
-    fn make_state(&mut self, tid: TrajectoryId) -> TrajState {
+    /// Appends a fresh scan-state row for `tid` and returns its slot.
+    fn insert_state(&mut self, tid: TrajectoryId) -> usize {
         self.metrics.visited_trajectories += 1;
-        let m = self.num_spatial();
-        let qt = self.temporal.len();
-        let mut sdists = vec![f64::NAN; m];
+        let slot = self.states.tids.len();
+        self.states.slot[tid.index()] = slot as u32 + 1;
+        self.states.tids.push(tid);
         let mut s_remaining = 0u32;
-        for (i, d) in sdists.iter_mut().enumerate() {
+        for i in 0..self.states.m {
             if self.spatial[i].is_exhausted() {
-                *d = f64::INFINITY; // exact: unreachable from this source
+                // exact: unreachable from this source
+                self.states.sdists.push(f64::INFINITY);
             } else {
                 s_remaining += 1;
+                self.states.sdists.push(f64::NAN);
             }
         }
-        let mut tdists = vec![f64::NAN; qt];
         let mut t_remaining = 0u32;
-        for (j, d) in tdists.iter_mut().enumerate() {
+        for j in 0..self.states.qt {
             if self.temporal[j].is_exhausted() {
-                *d = f64::INFINITY;
+                self.states.tdists.push(f64::INFINITY);
             } else {
                 t_remaining += 1;
+                self.states.tdists.push(f64::NAN);
             }
         }
-        let textual = similarity::textual_component(self.query, self.db.store.get(tid));
-        TrajState {
-            sdists,
-            s_remaining,
-            tdists,
-            t_remaining,
-            textual,
-            done: false,
-        }
+        self.states.s_remaining.push(s_remaining);
+        self.states.t_remaining.push(t_remaining);
+        let textual = self.textual_eval.eval(tid, self.db.store.get(tid));
+        self.states.textual.push(textual);
+        self.states.done.push(false);
+        slot
     }
 
     fn record_spatial(&mut self, tid: TrajectoryId, i: usize, dist: f64) {
-        let created = !self.states.contains_key(&tid);
-        if created {
-            let st = self.make_state(tid);
-            self.states.insert(tid, st);
-            if self.try_landmark_prune(tid) {
-                return;
+        let (slot, created) = match self.states.slot_of(tid) {
+            Some(slot) => (slot, false),
+            None => {
+                let slot = self.insert_state(tid);
+                if self.try_landmark_prune(slot, tid) {
+                    return;
+                }
+                (slot, true)
             }
-        }
-        let st = self.states.get_mut(&tid).expect("just ensured");
-        if st.done {
+        };
+        if self.states.done[slot] {
             return;
         }
-        if st.sdists[i].is_nan() {
-            st.sdists[i] = dist;
-            st.s_remaining -= 1;
-        } else if created && st.sdists[i] == f64::INFINITY {
+        let idx = slot * self.states.m + i;
+        if self.states.sdists[idx].is_nan() {
+            self.states.sdists[idx] = dist;
+            self.states.s_remaining[slot] -= 1;
+        } else if created && self.states.sdists[idx] == f64::INFINITY {
             // The settle that delivered this sighting is the one that
-            // exhausted source `i`, so make_state already marked the source
-            // "unreachable" — overwrite with the exact distance we are
-            // holding. (Without this, the distance is lost and, worse, a
-            // state born fully-scanned is never finalized.)
-            st.sdists[i] = dist;
+            // exhausted source `i`, so insert_state already marked the
+            // source "unreachable" — overwrite with the exact distance we
+            // are holding. (Without this, the distance is lost and, worse,
+            // a state born fully-scanned is never finalized.)
+            self.states.sdists[idx] = dist;
         } else {
             return; // a farther revisit of the same source
         }
-        self.after_update(tid);
+        self.after_update(slot, tid);
     }
 
     fn record_temporal(&mut self, tid: TrajectoryId, j: usize, dt: f64) {
-        let created = !self.states.contains_key(&tid);
-        if created {
-            let st = self.make_state(tid);
-            self.states.insert(tid, st);
-            if self.try_landmark_prune(tid) {
-                return;
+        let (slot, created) = match self.states.slot_of(tid) {
+            Some(slot) => (slot, false),
+            None => {
+                let slot = self.insert_state(tid);
+                if self.try_landmark_prune(slot, tid) {
+                    return;
+                }
+                (slot, true)
             }
-        }
-        let st = self.states.get_mut(&tid).expect("just ensured");
-        if st.done {
+        };
+        if self.states.done[slot] {
             return;
         }
-        if st.tdists[j].is_nan() {
-            st.tdists[j] = dt;
-            st.t_remaining -= 1;
-        } else if created && st.tdists[j] == f64::INFINITY {
+        let idx = slot * self.states.qt + j;
+        if self.states.tdists[idx].is_nan() {
+            self.states.tdists[idx] = dt;
+            self.states.t_remaining[slot] -= 1;
+        } else if created && self.states.tdists[idx] == f64::INFINITY {
             // see record_spatial: same exhaustion-moment correction
-            st.tdists[j] = dt;
+            self.states.tdists[idx] = dt;
         } else {
             return;
         }
-        self.after_update(tid);
+        self.after_update(slot, tid);
     }
 
     /// Landmark admission, applied once at a trajectory's first sighting:
@@ -822,7 +936,7 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
     /// `ub < kth` *strictly*, so a retired trajectory satisfies
     /// `sim ≤ ub < kth`, and `kth` only increases — it can never enter the
     /// answer, not even via the id tie-break.
-    fn try_landmark_prune(&mut self, tid: TrajectoryId) -> bool {
+    fn try_landmark_prune(&mut self, slot: usize, tid: TrajectoryId) -> bool {
         let Some(lm) = self.ctx.landmarks() else {
             return false;
         };
@@ -830,10 +944,9 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         if kth <= 0.0 {
             return false; // no threshold to prune against yet
         }
-        let st = self.states.get(&tid).expect("just created");
-        let ub = self.alt_ub_of(st, tid, lm);
+        let ub = self.alt_ub_of(slot, tid, lm);
         if ub < kth {
-            self.states.get_mut(&tid).expect("present").done = true;
+            self.states.done[slot] = true;
             if let Some(cache) = self.ctx.cache() {
                 cache.note_bound_prune();
             }
@@ -848,13 +961,14 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
     /// the minimum of the per-vertex bounds over the trajectory's samples,
     /// since the realized distance is exactly that minimum of exact
     /// distances.
-    fn alt_ub_of(&self, st: &TrajState, tid: TrajectoryId, lm: &Landmarks) -> f64 {
+    fn alt_ub_of(&self, slot: usize, tid: TrajectoryId, lm: &Landmarks) -> f64 {
         let o = self.query.options();
         let m = self.num_spatial();
         let traj = self.db.store.get(tid);
+        let sd = self.states.sdists(slot);
         let mut acc = 0.0;
-        for i in 0..m {
-            let d = if st.sdists[i].is_nan() {
+        for (i, &sdi) in sd.iter().enumerate() {
+            let d = if sdi.is_nan() {
                 let mut alt = f64::INFINITY;
                 for v in traj.nodes() {
                     alt = alt.min(lm.lower_bound(self.spatial[i].source(), v));
@@ -862,9 +976,9 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
                 if !alt.is_finite() {
                     alt = 0.0; // unreachable here: trajectories are non-empty
                 }
-                self.spatial_lb(i).max(alt)
+                self.s_lb[i].max(alt)
             } else {
-                st.sdists[i]
+                sdi
             };
             acc += (-d / o.decay_km).exp();
         }
@@ -873,14 +987,17 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             0.0
         } else {
             let mut acc = 0.0;
-            for (j, &dt) in st.tdists.iter().enumerate() {
-                let d = if dt.is_nan() { self.temporal_lb(j) } else { dt };
-                acc += (-d / o.decay_s).exp();
+            for (j, &dt) in self.states.tdists(slot).iter().enumerate() {
+                acc += if dt.is_nan() {
+                    self.t_lb_exp[j]
+                } else {
+                    (-dt / o.decay_s).exp()
+                };
             }
             acc / self.temporal.len() as f64
         };
         let w = o.weights;
-        w.spatial * spatial_ub + w.textual * st.textual + w.temporal * temporal_ub
+        w.spatial * spatial_ub + w.textual * self.states.textual[slot] + w.temporal * temporal_ub
     }
 
     /// Publishes every spatial source's (possibly extended) prefix to the
@@ -898,16 +1015,15 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
     }
 
     /// Finalizes or re-bounds a trajectory after a scan-state update.
-    fn after_update(&mut self, tid: TrajectoryId) {
-        let st = self.states.get(&tid).expect("present");
-        if st.fully_scanned() {
+    fn after_update(&mut self, slot: usize, tid: TrajectoryId) {
+        if self.states.fully_scanned(slot) {
             // every call site is inside a network/temporal settle step, so
             // restore that attribution after the refine detour
             self.rec.enter(Phase::CandidateRefine);
-            self.finalize(tid);
+            self.finalize(slot, tid);
             self.rec.enter(Phase::NetworkExpansion);
         } else {
-            let ub = self.ub_of(st);
+            let ub = self.ub_of(slot);
             self.metrics.heap_pushes += 1;
             self.bound_heap.push(BoundEntry {
                 ub: TotalF64(ub),
@@ -918,18 +1034,19 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
 
     /// Computes the exact similarity of a fully-scanned trajectory and
     /// offers it to the top-k.
-    fn finalize(&mut self, tid: TrajectoryId) {
+    fn finalize(&mut self, slot: usize, tid: TrajectoryId) {
         let o = self.query.options();
-        let st = self.states.get_mut(&tid).expect("present");
-        debug_assert!(st.sdists.iter().all(|d| !d.is_nan()));
-        let spatial = similarity::spatial_component(&st.sdists, o.decay_km);
-        let temporal = if st.tdists.is_empty() {
+        let sdists = self.states.sdists(slot);
+        let tdists = self.states.tdists(slot);
+        debug_assert!(sdists.iter().all(|d| !d.is_nan()));
+        let spatial = similarity::spatial_component(sdists, o.decay_km);
+        let temporal = if tdists.is_empty() {
             0.0
         } else {
-            similarity::temporal_component(&st.tdists, o.decay_s)
+            similarity::temporal_component(tdists, o.decay_s)
         };
-        let textual = st.textual;
-        st.done = true;
+        let textual = self.states.textual[slot];
+        self.states.done[slot] = true;
         self.metrics.candidates += 1;
         self.metrics.heap_pushes += 1; // top-k (or threshold) offer
         self.collector.offer(Match {
@@ -966,32 +1083,31 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
     /// A spatial source exhausted its component: every trajectory it never
     /// scanned is exactly unreachable from it.
     fn on_spatial_exhausted(&mut self, i: usize) {
-        let pending: Vec<TrajectoryId> = self
-            .states
-            .iter()
-            .filter(|(_, st)| !st.done && st.sdists[i].is_nan())
-            .map(|(&tid, _)| tid)
-            .collect();
-        for tid in pending {
-            let st = self.states.get_mut(&tid).expect("present");
-            st.sdists[i] = f64::INFINITY;
-            st.s_remaining -= 1;
-            self.after_update(tid);
+        // slot order = first-sighting order: a deterministic walk (the
+        // legacy HashMap iterated arbitrarily; exact answers never
+        // depended on the order, best-effort ones are now reproducible).
+        // Nothing below creates states or touches another slot's
+        // distances, so iterating in place is safe.
+        let m = self.states.m;
+        for slot in 0..self.states.len() {
+            if self.states.done[slot] || !self.states.sdists[slot * m + i].is_nan() {
+                continue;
+            }
+            self.states.sdists[slot * m + i] = f64::INFINITY;
+            self.states.s_remaining[slot] -= 1;
+            self.after_update(slot, self.states.tids[slot]);
         }
     }
 
     fn on_temporal_exhausted(&mut self, j: usize) {
-        let pending: Vec<TrajectoryId> = self
-            .states
-            .iter()
-            .filter(|(_, st)| !st.done && st.tdists[j].is_nan())
-            .map(|(&tid, _)| tid)
-            .collect();
-        for tid in pending {
-            let st = self.states.get_mut(&tid).expect("present");
-            st.tdists[j] = f64::INFINITY;
-            st.t_remaining -= 1;
-            self.after_update(tid);
+        let qt = self.states.qt;
+        for slot in 0..self.states.len() {
+            if self.states.done[slot] || !self.states.tdists[slot * qt + j].is_nan() {
+                continue;
+            }
+            self.states.tdists[slot * qt + j] = f64::INFINITY;
+            self.states.t_remaining[slot] -= 1;
+            self.after_update(slot, self.states.tids[slot]);
         }
     }
 
@@ -1006,7 +1122,7 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             .db
             .store
             .ids()
-            .filter(|tid| self.db.is_live(*tid) && !self.states.contains_key(tid))
+            .filter(|tid| self.db.is_live(*tid) && !self.states.contains(*tid))
             .collect();
         for tid in ids {
             if gate.should_stop(
@@ -1026,7 +1142,7 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
             let traj = self.db.store.get(tid);
             self.metrics.visited_trajectories += 1;
             self.metrics.candidates += 1;
-            let textual = similarity::textual_component(self.query, traj);
+            let textual = self.textual_eval.eval(tid, traj);
             let temporal = if self.query.times().is_empty() {
                 0.0
             } else {
@@ -1066,9 +1182,9 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         }
         while let Some(entry) = self.bound_heap.peek() {
             let tid = entry.tid;
-            match self.states.get(&tid) {
-                Some(st) if !st.done => {
-                    let cur = self.ub_of(st);
+            match self.states.slot_of(tid) {
+                Some(slot) if !self.states.done[slot] => {
+                    let cur = self.ub_of(slot);
                     if cur >= kth {
                         return false;
                     }
@@ -1134,20 +1250,20 @@ impl<'a, 'q, 'r> Engine<'a, 'q, 'r> {
         let m = self.num_spatial();
         let kth = self.collector.pruning_threshold();
         let mut labels = vec![0.0f64; n];
-        for st in self.states.values() {
-            if st.done {
+        for slot in 0..self.states.len() {
+            if self.states.done[slot] {
                 continue;
             }
-            let ub = self.ub_of(st);
+            let ub = self.ub_of(slot);
             if ub <= kth {
                 continue; // already prunable: converting it has no value
             }
-            for (i, d) in st.sdists.iter().enumerate() {
+            for (i, d) in self.states.sdists(slot).iter().enumerate() {
                 if d.is_nan() {
                     labels[i] += ub;
                 }
             }
-            for (j, d) in st.tdists.iter().enumerate() {
+            for (j, d) in self.states.tdists(slot).iter().enumerate() {
                 if d.is_nan() {
                     labels[m + j] += ub;
                 }

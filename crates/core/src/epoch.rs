@@ -40,6 +40,8 @@
 //! publish and query, for all four algorithms, with and without a warm
 //! cache, including queries cancelled mid-stream.
 
+use crate::csr::CsrGraph;
+use crate::db::LayoutTables;
 use crate::distcache::SearchContext;
 use crate::Database;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -75,13 +77,19 @@ pub struct EpochSnapshot {
     vertex_index: VertexInvertedIndex<TrajectoryId>,
     keyword_index: KeywordInvertedIndex<TrajectoryId>,
     timestamp_index: TimestampIndex<TrajectoryId>,
+    /// Cache-friendly hot-path tables: the shared CSR adjacency (one per
+    /// manager — the network never changes across epochs) plus the dense
+    /// keyword table rebuilt over this epoch's store revision.
+    layout: LayoutTables,
     stats: EpochStats,
 }
 
 impl EpochSnapshot {
+    #[allow(clippy::too_many_arguments)]
     fn build(
         epoch: u64,
         network: Arc<RoadNetwork>,
+        csr: Arc<CsrGraph>,
         vocab_len: usize,
         store: TrajectoryStore,
         live: LiveSet,
@@ -90,6 +98,7 @@ impl EpochSnapshot {
     ) -> Self {
         let keyword_index = store.build_keyword_index_live(vocab_len, &live);
         let timestamp_index = store.build_timestamp_index_live(&live);
+        let layout = LayoutTables::build_shared(csr, &store, vocab_len);
         let stats = EpochStats {
             epoch,
             live: live.num_live(),
@@ -105,6 +114,7 @@ impl EpochSnapshot {
             vertex_index,
             keyword_index,
             timestamp_index,
+            layout,
             stats,
         }
     }
@@ -145,6 +155,13 @@ impl EpochSnapshot {
             .with_keyword_index(&self.keyword_index)
             .with_timestamp_index(&self.timestamp_index)
             .with_live_set(&self.live)
+            .with_layout(&self.layout)
+    }
+
+    /// The snapshot's hot-path layout tables (shared CSR + dense keyword
+    /// table); exposed for benchmarks and layout-differential tests.
+    pub fn layout(&self) -> &LayoutTables {
+        &self.layout
     }
 
     /// Rebuilds a compacted dataset of the surviving trajectories from
@@ -224,6 +241,9 @@ pub struct EpochManager {
     current: RwLock<Arc<EpochSnapshot>>,
     writer: Mutex<WriterState>,
     network: Arc<RoadNetwork>,
+    /// CSR adjacency of `network`, built once and shared (`Arc`) by every
+    /// snapshot this manager publishes.
+    csr: Arc<CsrGraph>,
     vocab_len: usize,
     metrics: Option<EpochMetrics>,
     journal: Option<EventJournal>,
@@ -329,9 +349,11 @@ impl EpochManager {
                 }
             }
         }
+        let csr = Arc::new(CsrGraph::from_network(&network));
         let seed = EpochSnapshot::build(
             epoch,
             Arc::clone(&network),
+            Arc::clone(&csr),
             vocab_len,
             store.clone(),
             live.clone(),
@@ -353,6 +375,7 @@ impl EpochManager {
                 last_publish: Instant::now(),
             }),
             network,
+            csr,
             vocab_len,
             metrics,
             journal: None,
@@ -462,6 +485,7 @@ impl EpochManager {
         let snapshot = Arc::new(EpochSnapshot::build(
             epoch,
             Arc::clone(&self.network),
+            Arc::clone(&self.csr),
             self.vocab_len,
             w.store.clone(),
             w.live.clone(),

@@ -54,11 +54,13 @@
 
 pub mod algorithms;
 pub mod budget;
+pub mod csr;
 mod db;
 pub mod distcache;
 mod engine;
 pub mod epoch;
 mod error;
+pub mod keywords;
 mod metrics;
 pub mod order;
 pub mod parallel;
@@ -75,7 +77,8 @@ pub mod wal;
 pub use uots_storage as storage;
 
 pub use budget::{CancellationToken, Completeness, ExecutionBudget, RunControl};
-pub use db::Database;
+pub use csr::{CsrGraph, MsSettled, MultiSourceExpansion};
+pub use db::{Database, LayoutTables};
 pub use distcache::{
     no_cache_env, CacheStats, CachedSource, DistanceCache, SearchContext, SourcePrefix,
     DEFAULT_CACHE_CAPACITY,
@@ -87,6 +90,7 @@ pub use engine::{
 };
 pub use epoch::{EpochManager, EpochSnapshot, EpochStats, Mutation};
 pub use error::CoreError;
+pub use keywords::{KeywordBlocks, PreparedQuery, TextualEval, MAX_BITSET_BITS};
 pub use metrics::SearchMetrics;
 pub use parallel::{BatchOptions, BatchPolicy};
 pub use query::{QueryOptions, UotsQuery, Weights, MAX_LOCATIONS};

@@ -7,18 +7,27 @@
 //! reused across bench runs. Indexes are *not* stored: they are rebuilt on
 //! load (cheaper than their serialized size).
 //!
-//! Format `UOTSDS1`:
+//! Format `UOTSDS2` (current):
 //!
 //! ```text
-//! magic   8 B  "UOTSDS1\0"
+//! magic   8 B  "UOTSDS2\0"
 //! name    u32 len + utf8
 //! tags    u64 seed + TagModelConfig (6 fields)
 //! network u32 |V|; |V| × (f64 x, f64 y); u32 |E|; |E| × (u32 a, u32 b, f64 w)
 //! vocab   u32 len; len × (u16 len + utf8)
+//! vtab    u16 version; u32 byte_len; payload (versioned vocab table)
+//!           v1 payload: u32 count; count × u32 interned keyword id
 //! store   u32 count; per trajectory:
 //!           u32 samples; samples × (u32 node, f64 time);
 //!           u32 keywords; keywords × u32
 //! ```
+//!
+//! The `vtab` section pins the word → dense-[`KeywordId`] interning the
+//! layout tables (`uots_core::KeywordBlocks`) are built over. It is
+//! length-framed, so readers skip payload versions they do not know.
+//! Legacy `UOTSDS1` payloads (identical but with no `vtab` section) still
+//! load: the interning is derived on load from vocabulary order, which is
+//! exactly what the v1 table records.
 
 use crate::{Dataset, DatasetConfig};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -27,8 +36,12 @@ use uots_network::{NetworkBuilder, NodeId, Point, RoadNetwork};
 use uots_text::{KeywordId, KeywordSet, Vocabulary};
 use uots_trajectory::{LiveSet, Sample, TagModelConfig, TagSampler, Trajectory, TrajectoryStore};
 
-const MAGIC: &[u8; 8] = b"UOTSDS1\0";
+const MAGIC: &[u8; 8] = b"UOTSDS2\0";
+const MAGIC_V1: &[u8; 8] = b"UOTSDS1\0";
 const CKPT_MAGIC: &[u8; 8] = b"UOTSCKP1";
+
+/// Version of the vocab-table (`vtab`) section written by [`save`].
+const VOCAB_TABLE_VERSION: u16 = 1;
 
 /// Errors from [`load`] / [`load_file`].
 #[derive(Debug)]
@@ -47,7 +60,7 @@ pub enum PersistError {
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PersistError::BadMagic => write!(f, "not a UOTSDS1 payload"),
+            PersistError::BadMagic => write!(f, "not a UOTSDS1/UOTSDS2 payload"),
             PersistError::Truncated(what) => write!(f, "payload truncated in {what}"),
             PersistError::Invalid(m) => write!(f, "invalid payload: {m}"),
             PersistError::Io(e) => write!(f, "io error: {e}"),
@@ -71,12 +84,23 @@ fn need(buf: &impl Buf, n: usize, what: &'static str) -> Result<(), PersistError
     }
 }
 
-/// Serializes a dataset to the binary format.
+/// Serializes a dataset to the current (`UOTSDS2`) binary format.
 pub fn save(ds: &Dataset, tag_cfg: &TagModelConfig, tag_seed: u64) -> Bytes {
+    save_impl(ds, tag_cfg, tag_seed, true)
+}
+
+/// Serializes a dataset to the legacy `UOTSDS1` format (no vocab-table
+/// section). Kept for backward-compatibility tests: [`load`] must keep
+/// accepting pre-vocab-table datasets indefinitely.
+pub fn save_legacy_v1(ds: &Dataset, tag_cfg: &TagModelConfig, tag_seed: u64) -> Bytes {
+    save_impl(ds, tag_cfg, tag_seed, false)
+}
+
+fn save_impl(ds: &Dataset, tag_cfg: &TagModelConfig, tag_seed: u64, v2: bool) -> Bytes {
     let mut out = BytesMut::with_capacity(
         64 + ds.network.num_nodes() * 16 + ds.network.num_edges() * 16 + ds.store.len() * 64,
     );
-    out.put_slice(MAGIC);
+    out.put_slice(if v2 { MAGIC } else { MAGIC_V1 });
     out.put_u32_le(ds.name.len() as u32);
     out.put_slice(ds.name.as_bytes());
 
@@ -90,6 +114,9 @@ pub fn save(ds: &Dataset, tag_cfg: &TagModelConfig, tag_seed: u64) -> Bytes {
 
     write_network(&mut out, &ds.network);
     write_vocab(&mut out, &ds.vocab);
+    if v2 {
+        write_vocab_table(&mut out, &ds.vocab);
+    }
     write_store(&mut out, &ds.store);
     out.freeze()
 }
@@ -116,6 +143,16 @@ fn write_vocab(out: &mut BytesMut, vocab: &Vocabulary) {
     }
 }
 
+fn write_vocab_table(out: &mut BytesMut, vocab: &Vocabulary) {
+    out.put_u16_le(VOCAB_TABLE_VERSION);
+    let byte_len = 4 + 4 * vocab.len();
+    out.put_u32_le(byte_len as u32);
+    out.put_u32_le(vocab.len() as u32);
+    for (id, _) in vocab.iter() {
+        out.put_u32_le(id.0);
+    }
+}
+
 fn write_store(out: &mut BytesMut, store: &TrajectoryStore) {
     out.put_u32_le(store.len() as u32);
     for (_, t) in store.iter() {
@@ -131,14 +168,18 @@ fn write_store(out: &mut BytesMut, store: &TrajectoryStore) {
     }
 }
 
-/// Deserializes a dataset and rebuilds every index.
+/// Deserializes a dataset and rebuilds every index. Accepts the current
+/// `UOTSDS2` format and the legacy `UOTSDS1` (no vocab-table section;
+/// the interning is derived on load from vocabulary order).
 pub fn load(mut buf: &[u8]) -> Result<Dataset, PersistError> {
     need(&buf, MAGIC.len(), "magic")?;
     let mut magic = [0u8; 8];
     buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(PersistError::BadMagic);
-    }
+    let has_vocab_table = match &magic {
+        m if m == MAGIC => true,
+        m if m == MAGIC_V1 => false,
+        _ => return Err(PersistError::BadMagic),
+    };
 
     let name = read_string(&mut buf, "name")?;
 
@@ -155,6 +196,9 @@ pub fn load(mut buf: &[u8]) -> Result<Dataset, PersistError> {
 
     let network = read_network(&mut buf)?;
     let vocab = read_vocab(&mut buf)?;
+    if has_vocab_table {
+        read_vocab_table(&mut buf, &vocab)?;
+    }
     let store = read_store(&mut buf, &network, &vocab)?;
 
     // rebuild the deterministic tag sampler; its internally derived
@@ -256,6 +300,48 @@ fn read_vocab(buf: &mut &[u8]) -> Result<Vocabulary, PersistError> {
         ));
     }
     Ok(vocab)
+}
+
+/// Reads and validates the length-framed vocab-table section. Known
+/// versions must record exactly the interning [`read_vocab`] derives;
+/// unknown (newer) versions are skipped over their declared byte length,
+/// keeping old readers forward-compatible with extended tables.
+fn read_vocab_table(buf: &mut &[u8], vocab: &Vocabulary) -> Result<(), PersistError> {
+    need(buf, 6, "vocab table header")?;
+    let version = buf.get_u16_le();
+    let byte_len = buf.get_u32_le() as usize;
+    need(buf, byte_len, "vocab table payload")?;
+    if version != VOCAB_TABLE_VERSION {
+        buf.advance(byte_len); // length-framed: skip an unknown version
+        return Ok(());
+    }
+    if byte_len < 4 {
+        return Err(PersistError::Invalid(format!(
+            "vocab table v1 payload of {byte_len} bytes cannot hold its count"
+        )));
+    }
+    let count = buf.get_u32_le() as usize;
+    if byte_len != 4 + 4 * count {
+        return Err(PersistError::Invalid(format!(
+            "vocab table v1 declares {byte_len} bytes but holds {count} entries"
+        )));
+    }
+    if count != vocab.len() {
+        return Err(PersistError::Invalid(format!(
+            "vocab table covers {count} words but the vocabulary holds {}",
+            vocab.len()
+        )));
+    }
+    for expect in 0..count {
+        let id = buf.get_u32_le();
+        if id as usize != expect {
+            return Err(PersistError::Invalid(format!(
+                "vocab table entry {expect} maps to interned id {id}; \
+                 the table must match vocabulary interning order"
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn read_store(
@@ -649,6 +735,69 @@ mod tests {
         let dup = bytes.clone();
         bytes.extend_from_slice(&dup);
         assert!(matches!(load(&bytes), Err(PersistError::Invalid(_))));
+    }
+
+    #[test]
+    fn legacy_v1_payload_still_loads_with_interning_on_load() {
+        let (ds, cfg) = dataset();
+        let v1 = save_legacy_v1(&ds, &cfg.tags, cfg.tag_seed);
+        assert_eq!(&v1[..8], MAGIC_V1);
+        let back = load(&v1).unwrap();
+        assert_eq!(ds.vocab.len(), back.vocab.len());
+        for (id, w) in ds.vocab.iter() {
+            assert_eq!(back.vocab.word(id), Some(w), "interned ids must agree");
+        }
+        for (a, b) in ds.store.iter().zip(back.store.iter()) {
+            assert_eq!(a.1, b.1);
+        }
+        // and the two formats decode to identical datasets
+        let v2_back = load(&save(&ds, &cfg.tags, cfg.tag_seed)).unwrap();
+        assert_eq!(v2_back.store.len(), back.store.len());
+        for (a, b) in v2_back.store.iter().zip(back.store.iter()) {
+            assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn vocab_table_section_is_versioned_and_validated() {
+        let (ds, cfg) = dataset();
+        let bytes = save(&ds, &cfg.tags, cfg.tag_seed).to_vec();
+        assert_eq!(&bytes[..8], MAGIC);
+        // locate the vtab header: it follows the vocab section, whose end
+        // we can find by re-serializing the prefix up to it
+        let mut prefix = BytesMut::new();
+        prefix.put_slice(MAGIC);
+        prefix.put_u32_le(ds.name.len() as u32);
+        prefix.put_slice(ds.name.as_bytes());
+        prefix.put_u64_le(cfg.tag_seed);
+        prefix.put_u32_le(cfg.tags.vocab_size as u32);
+        prefix.put_u32_le(cfg.tags.num_categories as u32);
+        prefix.put_u32_le(cfg.tags.keywords_per_category as u32);
+        prefix.put_f64_le(cfg.tags.category_skew);
+        prefix.put_f64_le(cfg.tags.keyword_skew);
+        prefix.put_f64_le(cfg.tags.background_prob);
+        write_network(&mut prefix, &ds.network);
+        write_vocab(&mut prefix, &ds.vocab);
+        let vtab_at = prefix.len();
+        assert_eq!(
+            u16::from_le_bytes([bytes[vtab_at], bytes[vtab_at + 1]]),
+            VOCAB_TABLE_VERSION
+        );
+        // a permuted table entry is rejected (the interning it pins no
+        // longer matches the loaded vocabulary)
+        let mut permuted = bytes.clone();
+        permuted[vtab_at + 10] ^= 0x01; // first entry's id
+        assert!(matches!(load(&permuted), Err(PersistError::Invalid(_))));
+        // an unknown (future) version is skipped over its byte length
+        let mut future = bytes.clone();
+        future[vtab_at] = 0xfe;
+        future[vtab_at + 1] = 0xff;
+        assert!(load(&future).is_ok(), "length framing must allow skipping");
+        // truncation inside the table is detected
+        assert!(matches!(
+            load(&bytes[..vtab_at + 3]),
+            Err(PersistError::Truncated(_))
+        ));
     }
 
     #[test]

@@ -83,12 +83,32 @@ impl TextSimilarity {
         if a.is_empty() || b.is_empty() {
             return 0.0;
         }
-        let inter = a.intersection_len(b) as f64;
+        self.from_counts(a.intersection_len(b), a.len(), b.len())
+    }
+
+    /// Similarity from precomputed counts `(|A ∩ B|, |A|, |B|)`.
+    ///
+    /// This is the arithmetic core of [`similarity`](Self::similarity):
+    /// alternative set representations (bitset blocks, galloping sorted-id
+    /// intersections) only need to produce the three counts and route them
+    /// here to obtain bit-identical floats — the union is reconstructed in
+    /// integer arithmetic as `|A| + |B| - |A ∩ B|`, exactly as
+    /// `KeywordSet::union_len` computes it. Empty-set conventions match
+    /// `similarity`.
+    #[inline]
+    pub fn from_counts(&self, inter: usize, a_len: usize, b_len: usize) -> f64 {
+        if a_len == 0 && b_len == 0 {
+            return 1.0;
+        }
+        if a_len == 0 || b_len == 0 {
+            return 0.0;
+        }
+        let inter_f = inter as f64;
         match self {
-            TextSimilarity::Jaccard => inter / a.union_len(b) as f64,
-            TextSimilarity::Dice => 2.0 * inter / (a.len() + b.len()) as f64,
-            TextSimilarity::Cosine => inter / ((a.len() * b.len()) as f64).sqrt(),
-            TextSimilarity::Overlap => inter / a.len().min(b.len()) as f64,
+            TextSimilarity::Jaccard => inter_f / (a_len + b_len - inter) as f64,
+            TextSimilarity::Dice => 2.0 * inter_f / (a_len + b_len) as f64,
+            TextSimilarity::Cosine => inter_f / ((a_len * b_len) as f64).sqrt(),
+            TextSimilarity::Overlap => inter_f / a_len.min(b_len) as f64,
         }
     }
 }
@@ -189,6 +209,28 @@ mod tests {
         let b = set(&[1, 2, 3, 4]);
         assert_eq!(TextSimilarity::Overlap.similarity(&a, &b), 1.0);
         assert!(TextSimilarity::Jaccard.similarity(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn from_counts_matches_similarity_bit_for_bit() {
+        let cases = [
+            (set(&[]), set(&[])),
+            (set(&[]), set(&[1, 2])),
+            (set(&[1, 2, 3]), set(&[2, 3, 4, 5])),
+            (set(&[1]), set(&[7, 8, 9])),
+            (set(&[1, 2]), set(&[1, 2])),
+            (set(&[0, 5, 9, 13]), set(&[5, 13])),
+        ];
+        for (a, b) in &cases {
+            for m in ALL {
+                let via_counts = m.from_counts(a.intersection_len(b), a.len(), b.len());
+                assert_eq!(
+                    m.similarity(a, b).to_bits(),
+                    via_counts.to_bits(),
+                    "{m:?} on {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

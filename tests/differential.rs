@@ -1,11 +1,17 @@
-//! Differential harness for the shared distance cache: over hundreds of
-//! randomized cases, every algorithm must return **bit-identical** results
-//! with and without the cache, and both must equal the brute-force oracle.
+//! Differential harness for the shared distance cache **and** the
+//! cache-friendly data layouts: over hundreds of randomized cases, every
+//! algorithm must return **bit-identical** results with and without the
+//! cache, on both the legacy (HashMap adjacency / `KeywordSet`
+//! intersection) and the CSR/bitset layouts — and all of them must equal
+//! the brute-force oracle.
 //!
 //! The cache is a pure memo: replaying a cached expansion prefix yields
 //! exactly the settle sequence a fresh Dijkstra would produce (the heap
 //! order is total — distance, then node id — so ties cannot reorder).
-//! These tests are the executable form of that claim, across:
+//! The layouts are pure re-encodings: CSR Dijkstra settles the same
+//! (distance, node) sequence and the bitset/galloping Jaccard routes the
+//! same integer counts through the same float arithmetic. These tests are
+//! the executable form of both claims, across:
 //!
 //! * uniform random connected networks and trajectory stores;
 //! * `datagen::adversarial::hub_spike` — one vertex fans out to the whole
@@ -26,8 +32,8 @@ use uots::datagen::adversarial::{hub_spike, split_city};
 use uots::network::landmarks::Landmarks;
 use uots::prelude::*;
 use uots::{
-    DistanceCache, EpochManager, EpochSnapshot, KeywordSet, NetworkBuilder, QueryResult,
-    SearchContext, TrajectoryStore, UotsQuery,
+    DistanceCache, EpochManager, EpochSnapshot, KeywordSet, LayoutTables, NetworkBuilder,
+    QueryResult, SearchContext, TrajectoryStore, UotsQuery,
 };
 use uots_core::algorithms::{BruteForce, Expansion, IknnBaseline, TextFirst};
 use uots_text::KeywordId;
@@ -70,35 +76,57 @@ fn lineup() -> Vec<(&'static str, Box<dyn Algorithm>)> {
     ]
 }
 
-/// Runs one (database, query) case: oracle uncached, then every algorithm
-/// uncached and under `ctx`, asserting all fingerprints identical.
+/// Runs one (database, query) case on **both data layouts**: the legacy
+/// oracle uncached sets the expected fingerprint, then the CSR/bitset
+/// oracle and every algorithm — uncached and under `ctx`, legacy and
+/// layout — must reproduce it bit-exactly. Both representations share
+/// `ctx`'s cache on purpose: prefixes recorded by one layout must replay
+/// bit-identically under the other (the cache stores (distance, node)
+/// settle sequences, which the layouts agree on by construction).
 /// Returns the number of differential comparisons performed.
-fn check_case(db: &Database<'_>, q: &UotsQuery, ctx: &SearchContext, label: &str) -> usize {
-    let oracle = BruteForce.run(db, q).expect("oracle runs");
-    let want = fingerprint(&oracle);
-    let oracle_cached = BruteForce
-        .run_with_cache(db, q, ctx)
-        .expect("oracle cached");
-    assert_eq!(
-        want,
-        fingerprint(&oracle_cached),
-        "{label}: cached brute force diverged"
-    );
-    let mut comparisons = 1;
-    for (name, algo) in lineup() {
-        let uncached = algo.run(db, q).expect("uncached run");
+fn check_case<'a>(
+    db: &Database<'a>,
+    layout: &'a LayoutTables,
+    q: &UotsQuery,
+    ctx: &SearchContext,
+    label: &str,
+) -> usize {
+    let want = fingerprint(&BruteForce.run(db, q).expect("oracle runs"));
+    let mut comparisons = 0;
+    for (rep, rdb) in [("legacy", *db), ("layout", db.with_layout(layout))] {
+        if rep == "layout" {
+            let oracle = BruteForce.run(&rdb, q).expect("layout oracle runs");
+            assert_eq!(
+                want,
+                fingerprint(&oracle),
+                "{label}: layout brute force diverged"
+            );
+            comparisons += 1;
+        }
+        let oracle_cached = BruteForce
+            .run_with_cache(&rdb, q, ctx)
+            .expect("oracle cached");
         assert_eq!(
             want,
-            fingerprint(&uncached),
-            "{label}: uncached {name} diverged from oracle"
+            fingerprint(&oracle_cached),
+            "{label}: cached {rep} brute force diverged"
         );
-        let cached = algo.run_with_cache(db, q, ctx).expect("cached run");
-        assert_eq!(
-            want,
-            fingerprint(&cached),
-            "{label}: cached {name} diverged from oracle"
-        );
-        comparisons += 2;
+        comparisons += 1;
+        for (name, algo) in lineup() {
+            let uncached = algo.run(&rdb, q).expect("uncached run");
+            assert_eq!(
+                want,
+                fingerprint(&uncached),
+                "{label}: uncached {rep} {name} diverged from oracle"
+            );
+            let cached = algo.run_with_cache(&rdb, q, ctx).expect("cached run");
+            assert_eq!(
+                want,
+                fingerprint(&cached),
+                "{label}: cached {rep} {name} diverged from oracle"
+            );
+            comparisons += 2;
+        }
     }
     comparisons
 }
@@ -198,13 +226,14 @@ fn differential_uniform_random() {
         let vidx = store.build_vertex_index(n);
         let kidx = store.build_keyword_index(12);
         let db = Database::new(&net, &store, &vidx).with_keyword_index(&kidx);
+        let layout = LayoutTables::build(&net, &store, 12);
         let ctx = context_for(ds_i, &net);
         for q_i in 0..10 {
             let q = random_query(&mut rng, n);
-            cases += check_case(&db, &q, &ctx, &format!("uniform ds{ds_i} q{q_i}"));
+            cases += check_case(&db, &layout, &q, &ctx, &format!("uniform ds{ds_i} q{q_i}"));
         }
     }
-    assert!(cases >= 9 * 120, "expected ≥9 comparisons × 120 cases");
+    assert!(cases >= 19 * 120, "expected ≥19 comparisons × 120 cases");
 }
 
 /// Hub-spike datasets: one vertex's posting list covers the whole store.
@@ -215,6 +244,7 @@ fn differential_hub_spike() {
         let ds = hub_spike(24, seed).expect("hub-spike builds");
         let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
             .with_keyword_index(&ds.keyword_index);
+        let layout = LayoutTables::build(&ds.network, &ds.store, 12);
         let n = ds.network.num_nodes();
         let ctx = context_for(ds_i, &ds.network);
         for q_i in 0..20 {
@@ -230,7 +260,13 @@ fn differential_hub_spike() {
                 )
                 .expect("hub query");
             }
-            check_case(&db, &q, &ctx, &format!("hub-spike ds{ds_i} q{q_i}"));
+            check_case(
+                &db,
+                &layout,
+                &q,
+                &ctx,
+                &format!("hub-spike ds{ds_i} q{q_i}"),
+            );
         }
     }
 }
@@ -244,11 +280,18 @@ fn differential_split_city() {
         let ds = split_city(3, 9, seed).expect("split-city builds");
         let db = Database::new(&ds.network, &ds.store, &ds.vertex_index)
             .with_keyword_index(&ds.keyword_index);
+        let layout = LayoutTables::build(&ds.network, &ds.store, 12);
         let n = ds.network.num_nodes();
         let ctx = context_for(ds_i, &ds.network);
         for q_i in 0..20 {
             let q = random_query(&mut rng, n);
-            check_case(&db, &q, &ctx, &format!("split-city ds{ds_i} q{q_i}"));
+            check_case(
+                &db,
+                &layout,
+                &q,
+                &ctx,
+                &format!("split-city ds{ds_i} q{q_i}"),
+            );
         }
     }
 }
@@ -264,12 +307,13 @@ fn differential_warm_replay_is_stable() {
     let vidx = store.build_vertex_index(n);
     let kidx = store.build_keyword_index(12);
     let db = Database::new(&net, &store, &vidx).with_keyword_index(&kidx);
+    let layout = LayoutTables::build(&net, &store, 12);
     let cache = Arc::new(DistanceCache::new(1 << 14));
     let ctx = SearchContext::with_cache(Arc::clone(&cache));
     let queries: Vec<UotsQuery> = (0..5).map(|_| random_query(&mut rng, n)).collect();
     for round in 0..4 {
         for (q_i, q) in queries.iter().enumerate() {
-            check_case(&db, q, &ctx, &format!("warm round{round} q{q_i}"));
+            check_case(&db, &layout, q, &ctx, &format!("warm round{round} q{q_i}"));
         }
     }
     let stats = cache.stats();
@@ -316,27 +360,31 @@ fn check_epoch_case(snapshot: &EpochSnapshot, q: &UotsQuery, ctx: &SearchContext
             })
             .collect()
     };
-    let oracle_live = BruteForce.run(&live_db, q).expect("live oracle runs");
-    assert_eq!(
-        want,
-        map_fp(&oracle_live),
-        "{label}: live brute force diverged"
-    );
-    for (name, algo) in lineup() {
-        let uncached = algo.run(&live_db, q).expect("live uncached run");
+    // The snapshot attaches its CSR/bitset tables; stripping `layout` gives
+    // the legacy view of the *same* epoch — both must match the rebuild.
+    let mut live_legacy = live_db;
+    live_legacy.layout = None;
+    for (rep, rdb) in [("layout", live_db), ("legacy", live_legacy)] {
+        let oracle_live = BruteForce.run(&rdb, q).expect("live oracle runs");
         assert_eq!(
             want,
-            map_fp(&uncached),
-            "{label}: live {name} diverged from rebuild"
+            map_fp(&oracle_live),
+            "{label}: live {rep} brute force diverged"
         );
-        let cached = algo
-            .run_with_cache(&live_db, q, ctx)
-            .expect("live cached run");
-        assert_eq!(
-            want,
-            map_fp(&cached),
-            "{label}: cached live {name} diverged from rebuild"
-        );
+        for (name, algo) in lineup() {
+            let uncached = algo.run(&rdb, q).expect("live uncached run");
+            assert_eq!(
+                want,
+                map_fp(&uncached),
+                "{label}: live {rep} {name} diverged from rebuild"
+            );
+            let cached = algo.run_with_cache(&rdb, q, ctx).expect("live cached run");
+            assert_eq!(
+                want,
+                map_fp(&cached),
+                "{label}: cached live {rep} {name} diverged from rebuild"
+            );
+        }
     }
 }
 
@@ -428,6 +476,17 @@ fn differential_ingest_interrupted_queries_match_rebuild() {
         q = UotsQuery::with_options(q.locations().to_vec(), q.keywords().clone(), vec![], opts)
             .expect("budgeted query");
         let live = Expansion::default().run(&live_db, &q).expect("live run");
+        // the legacy view of the same snapshot must interrupt identically
+        let mut legacy_db = live_db;
+        legacy_db.layout = None;
+        let legacy = Expansion::default()
+            .run(&legacy_db, &q)
+            .expect("legacy run");
+        assert_eq!(
+            fingerprint(&live),
+            fingerprint(&legacy),
+            "q{q_i}: interrupted layouts diverged"
+        );
         let oracle = Expansion::default()
             .run(&oracle_db, &q)
             .expect("oracle run");

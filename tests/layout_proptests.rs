@@ -1,0 +1,240 @@
+//! Property tests for the cache-friendly data layouts (`core::csr`,
+//! `core::keywords`) and the versioned dataset codec:
+//!
+//! * bitset / galloping keyword intersections produce the **exact** counts
+//!   and bit-identical similarities of the legacy `KeywordSet` merge walk,
+//!   for vocabulary widths on both sides of the bitset threshold;
+//! * CSR construction round-trips arbitrary raw graphs — every edge
+//!   exactly once, weights preserved, isolated vertices kept — including
+//!   multi-edges and self-loops `NetworkBuilder` would reject;
+//! * one batched multi-source expansion settles bit-identical distances
+//!   to `m` independent single-source runs, including on disconnected
+//!   graphs where sources exhaust at different times;
+//! * the UOTSDS2 vocab-table section survives the same corruption model
+//!   `persist_proptests.rs` applies to the base format (truncation,
+//!   appended garbage), and legacy UOTSDS1 payloads still load via
+//!   interning-on-load.
+
+use proptest::prelude::*;
+use uots::datagen::persist;
+use uots::prelude::*;
+use uots::{KeywordId, TextSimilarity};
+use uots_core::csr::{CsrGraph, MultiSourceExpansion};
+use uots_core::keywords::{galloping_intersection_len, KeywordBlocks, MAX_BITSET_BITS};
+use uots_text::KeywordSet;
+
+const MEASURES: [TextSimilarity; 4] = [
+    TextSimilarity::Jaccard,
+    TextSimilarity::Dice,
+    TextSimilarity::Cosine,
+    TextSimilarity::Overlap,
+];
+
+fn kw_set(ids: &[u32]) -> KeywordSet {
+    KeywordSet::from_ids(ids.iter().map(|&i| KeywordId(i)))
+}
+
+/// Picks a vocabulary width straddling [`MAX_BITSET_BITS`]: band 0 is
+/// firmly bitset, band 1 brackets the threshold from both sides, band 2
+/// is firmly galloping.
+fn pick_vocab(band: usize, offset: usize) -> usize {
+    match band % 3 {
+        0 => 1 + offset % 64,
+        1 => MAX_BITSET_BITS - 80 + offset % 160,
+        _ => 2000 + offset % 2000,
+    }
+}
+
+/// Normalizes an undirected edge to `(min, max, weight bits)` for exact
+/// multiset comparison.
+fn norm(edges: &[(u32, u32, f64)]) -> Vec<(u32, u32, u64)> {
+    let mut out: Vec<(u32, u32, u64)> = edges
+        .iter()
+        .map(|&(a, b, w)| (a.min(b), a.max(b), w.to_bits()))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite (b), textual half: for every measure, both dense modes
+    /// reproduce the legacy merge walk bit-for-bit — exact counts in,
+    /// identical floats out. Query ids beyond the table width must be
+    /// counted in |A| without ever matching.
+    #[test]
+    fn dense_textual_matches_keywordset_oracle(
+        band in 0usize..3,
+        offset in any::<usize>(),
+        raw_sets in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 0..24), 1..20),
+        raw_query in proptest::collection::vec(any::<u32>(), 0..24),
+    ) {
+        let vocab = pick_vocab(band, offset);
+        // trajectory ids live inside the vocabulary; the query may carry a
+        // few foreign ids beyond it (the `+ 64` headroom)
+        let sets: Vec<KeywordSet> = raw_sets
+            .iter()
+            .map(|ids| kw_set(&ids.iter().map(|&i| i % vocab as u32).collect::<Vec<_>>()))
+            .collect();
+        let query = kw_set(
+            &raw_query
+                .iter()
+                .map(|&i| i % (vocab as u32 + 64))
+                .collect::<Vec<_>>(),
+        );
+        let blocks = KeywordBlocks::from_sets(sets.iter(), vocab);
+        prop_assert_eq!(blocks.is_bitset(), blocks.width() <= MAX_BITSET_BITS);
+        prop_assert!(blocks.width() >= vocab);
+        let q = blocks.prepare(&query);
+        for (i, s) in sets.iter().enumerate() {
+            let tid = TrajectoryId(i as u32);
+            let (inter, a_len, b_len) = blocks.counts(&q, tid, s);
+            prop_assert_eq!(inter, query.intersection_len(s), "row {}", i);
+            prop_assert_eq!((a_len, b_len), (query.len(), s.len()), "row {}", i);
+            for m in MEASURES {
+                prop_assert_eq!(
+                    blocks.textual(m, &q, tid, s).to_bits(),
+                    m.similarity(&query, s).to_bits(),
+                    "{:?} row {}", m, i
+                );
+            }
+        }
+    }
+
+    /// The galloping kernel alone agrees with the sorted-merge oracle on
+    /// arbitrary id slices (the fallback mode's only nontrivial part).
+    #[test]
+    fn galloping_intersection_matches_merge(
+        a in proptest::collection::vec(0u32..5000, 0..40),
+        b in proptest::collection::vec(0u32..5000, 0..40),
+    ) {
+        let (a, b) = (kw_set(&a), kw_set(&b));
+        prop_assert_eq!(
+            galloping_intersection_len(a.ids(), b.ids()),
+            a.intersection_len(&b)
+        );
+    }
+
+    /// Satellite (b), spatial half: CSR round-trips arbitrary raw graphs.
+    /// Every input edge appears in `edge_list()` exactly once with its
+    /// weight bits intact; vertex count (hence isolated vertices) is
+    /// preserved; self-loops count once per row, other edges once per
+    /// endpoint row.
+    #[test]
+    fn csr_round_trips_arbitrary_graphs(
+        n in 1usize..30,
+        raw_edges in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), 0.01f64..50.0), 0..60),
+    ) {
+        let edges: Vec<(u32, u32, f64)> = raw_edges
+            .iter()
+            .map(|&(a, b, w)| (a % n as u32, b % n as u32, w))
+            .collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert_eq!(norm(&g.edge_list()), norm(&edges));
+        let self_loops = edges.iter().filter(|&&(a, b, _)| a == b).count();
+        prop_assert_eq!(g.num_entries(), edges.len() * 2 - self_loops);
+        let degree_sum: usize = (0..n as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, g.num_entries());
+    }
+
+    /// Satellite (c): one shared-frontier batch over `m` sources settles
+    /// exactly the vertices, with exactly the distance bits, that `m`
+    /// independent single-source drains produce — on arbitrary (typically
+    /// disconnected) graphs, with duplicate sources allowed.
+    #[test]
+    fn multi_source_expansion_matches_independent_runs(
+        n in 1usize..30,
+        raw_edges in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), 0.01f64..50.0), 0..40),
+        picks in proptest::collection::vec(any::<u32>(), 1..5),
+    ) {
+        let edges: Vec<(u32, u32, f64)> = raw_edges
+            .iter()
+            .map(|&(a, b, w)| (a % n as u32, b % n as u32, w))
+            .collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        let sources: Vec<u32> = picks.iter().map(|&p| p % n as u32).collect();
+        let batch = MultiSourceExpansion::run(&g, &sources);
+        prop_assert!(batch.is_exhausted());
+        for (si, &s) in sources.iter().enumerate() {
+            let solo = MultiSourceExpansion::run(&g, &[s]);
+            prop_assert_eq!(
+                batch.reached_count(si), solo.reached_count(0), "source {}", s
+            );
+            for v in 0..n as u32 {
+                match (batch.distance(si, v), solo.distance(0, v)) {
+                    (Some(x), Some(y)) => prop_assert_eq!(
+                        x.to_bits(), y.to_bits(), "distance drift at v{} from s{}", v, s
+                    ),
+                    (None, None) => {}
+                    other => panic!("settled mismatch at v{v} from s{s}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Satellite (d): the v2 payload (with its vocab-table section) obeys
+    /// the same corruption contract as the base format — any truncation
+    /// is rejected without panicking.
+    #[test]
+    fn v2_truncation_is_rejected_not_a_panic(
+        trips in 1usize..12,
+        seed in any::<u64>(),
+        cut in any::<usize>(),
+    ) {
+        let cfg = DatasetConfig::small(trips, seed % 1000);
+        let ds = Dataset::build(&cfg).expect("dataset builds");
+        let bytes = persist::save(&ds, &cfg.tags, cfg.tag_seed);
+        prop_assert!(persist::load(&bytes).is_ok(), "sanity: untouched payload loads");
+        let cut = cut % bytes.len();
+        prop_assert!(
+            persist::load(&bytes[..cut]).is_err(),
+            "truncation to {} of {} bytes must not load", cut, bytes.len()
+        );
+    }
+
+    /// ... and any appended suffix is rejected too (the vocab table is
+    /// length-framed, so it cannot absorb trailing garbage).
+    #[test]
+    fn v2_appended_garbage_is_rejected(
+        seed in any::<u64>(),
+        suffix in proptest::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let cfg = DatasetConfig::small(5, seed % 100);
+        let ds = Dataset::build(&cfg).expect("dataset builds");
+        let mut bytes = persist::save(&ds, &cfg.tags, cfg.tag_seed).to_vec();
+        bytes.extend_from_slice(&suffix);
+        prop_assert!(persist::load(&bytes).is_err());
+    }
+
+    /// Satellite (d): pre-vocab-table (UOTSDS1) payloads still load, and
+    /// interning-on-load reconstructs a dataset that answers queries
+    /// identically to the v2 round trip.
+    #[test]
+    fn legacy_v1_payloads_load_identically(
+        trips in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let cfg = DatasetConfig::small(trips, seed % 1000);
+        let ds = Dataset::build(&cfg).expect("dataset builds");
+        let v1 = persist::load(&persist::save_legacy_v1(&ds, &cfg.tags, cfg.tag_seed))
+            .expect("legacy payload loads");
+        let v2 = persist::load(&persist::save(&ds, &cfg.tags, cfg.tag_seed))
+            .expect("v2 payload loads");
+        prop_assert_eq!(&v1.network, &v2.network);
+        prop_assert_eq!(v1.vocab.len(), v2.vocab.len());
+        prop_assert_eq!(v1.store.len(), v2.store.len());
+        let spec = &workload::generate(&ds, &workload::WorkloadConfig::default())[0];
+        let q = UotsQuery::new(spec.locations.clone(), spec.keywords.clone()).unwrap();
+        let ra = Expansion::default().run(&uots::db(&v1), &q).unwrap();
+        let rb = Expansion::default().run(&uots::db(&v2), &q).unwrap();
+        prop_assert_eq!(ra.ids(), rb.ids());
+        for (a, b) in ra.matches.iter().zip(rb.matches.iter()) {
+            prop_assert_eq!(a.similarity.to_bits(), b.similarity.to_bits());
+        }
+    }
+}
