@@ -22,6 +22,72 @@
 use std::collections::BinaryHeap;
 use uots_network::{NodeId, RoadNetwork, TotalF64};
 
+/// Why a graph cannot be laid out as a `u32`-indexed CSR.
+///
+/// The CSR layout stores vertex ids and row offsets as `u32`, so a graph
+/// with more than `u32::MAX` vertices or adjacency entries does not fit.
+/// Before this check existed, construction silently truncated the counts
+/// through `as u32` casts (a wrapped `offsets` array corrupts *every* row
+/// after the wrap point); now the checked constructors refuse instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsrError {
+    /// More vertices than `u32` ids can address.
+    TooManyNodes {
+        /// Requested vertex count.
+        nodes: usize,
+    },
+    /// More adjacency entries (2·|E| − self-loops) than a `u32` row
+    /// offset can delimit.
+    TooManyEntries {
+        /// Required adjacency entry count.
+        entries: u64,
+    },
+    /// An edge endpoint is not a vertex (`endpoint >= num_nodes`).
+    EndpointOutOfRange {
+        /// The offending endpoint id.
+        endpoint: u32,
+        /// The declared vertex count.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::TooManyNodes { nodes } => {
+                write!(f, "{nodes} vertices exceed the u32 CSR id space")
+            }
+            CsrError::TooManyEntries { entries } => write!(
+                f,
+                "{entries} adjacency entries exceed the u32 CSR offset space"
+            ),
+            CsrError::EndpointOutOfRange { endpoint, nodes } => {
+                write!(f, "edge endpoint {endpoint} >= num_nodes {nodes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+/// Largest vertex/entry count a `u32`-indexed CSR can represent.
+const MAX_U32_EXTENT: u64 = u32::MAX as u64;
+
+/// Validates that `nodes` vertices and `entries` adjacency entries fit the
+/// `u32` CSR layout. Factored out of the constructors so the boundary
+/// arithmetic is unit-testable without allocating a 4-billion-entry graph.
+fn check_extents(nodes: usize, entries: u64) -> Result<(), CsrError> {
+    // Vertex ids are u32 and `offsets` has `nodes + 1` rows, so both the
+    // ids and the row count must stay within u32.
+    if nodes as u64 > MAX_U32_EXTENT {
+        return Err(CsrError::TooManyNodes { nodes });
+    }
+    if entries > MAX_U32_EXTENT {
+        return Err(CsrError::TooManyEntries { entries });
+    }
+    Ok(())
+}
+
 /// Struct-of-arrays CSR adjacency over `u32` vertex ids (see module docs).
 ///
 /// Undirected: every edge `{a, b}` with `a != b` contributes one entry to
@@ -40,11 +106,34 @@ pub struct CsrGraph {
 impl CsrGraph {
     /// Builds the CSR layout from a [`RoadNetwork`], preserving its
     /// adjacency order row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network exceeds the `u32` CSR extents (see
+    /// [`CsrGraph::try_from_network`] for the checked variant).
     pub fn from_network(net: &RoadNetwork) -> Self {
+        Self::try_from_network(net).expect("network fits the u32 CSR layout")
+    }
+
+    /// Checked [`CsrGraph::from_network`]: validates that the vertex and
+    /// adjacency-entry counts fit the `u32` layout before building,
+    /// instead of silently truncating them through `as u32` casts.
+    ///
+    /// # Errors
+    ///
+    /// [`CsrError::TooManyNodes`] / [`CsrError::TooManyEntries`] when the
+    /// network does not fit.
+    pub fn try_from_network(net: &RoadNetwork) -> Result<Self, CsrError> {
         let n = net.num_nodes();
+        // Entry count before any allocation: every undirected edge
+        // contributes one entry per endpoint row.
+        let entries = (0..n)
+            .map(|v| net.neighbors(NodeId(v as u32)).count() as u64)
+            .sum();
+        check_extents(n, entries)?;
         let mut offsets = Vec::with_capacity(n + 1);
-        let mut targets = Vec::new();
-        let mut weights = Vec::new();
+        let mut targets = Vec::with_capacity(entries as usize);
+        let mut weights = Vec::with_capacity(entries as usize);
         offsets.push(0u32);
         for v in 0..n {
             for (u, w) in net.neighbors(NodeId(v as u32)) {
@@ -53,11 +142,11 @@ impl CsrGraph {
             }
             offsets.push(targets.len() as u32);
         }
-        CsrGraph {
+        Ok(CsrGraph {
             offsets,
             targets,
             weights,
-        }
+        })
     }
 
     /// Builds the CSR layout from a raw undirected edge list.
@@ -69,11 +158,44 @@ impl CsrGraph {
     ///
     /// # Panics
     ///
-    /// Panics if an endpoint is `>= num_nodes`.
+    /// Panics if an endpoint is `>= num_nodes` or the graph exceeds the
+    /// `u32` CSR extents (see [`CsrGraph::try_from_edges`] for the
+    /// checked variant).
     pub fn from_edges(num_nodes: usize, edges: &[(u32, u32, f64)]) -> Self {
+        Self::try_from_edges(num_nodes, edges).expect("edge list fits the u32 CSR layout")
+    }
+
+    /// Checked [`CsrGraph::from_edges`]: validates endpoints and that the
+    /// vertex/entry counts fit the `u32` layout. The entry count is
+    /// accumulated in `u64` — the old unchecked path summed row degrees in
+    /// `u32`, which wraps silently in release builds on a graph with more
+    /// than `u32::MAX` adjacency entries and corrupts every row offset
+    /// after the wrap point.
+    ///
+    /// # Errors
+    ///
+    /// [`CsrError::EndpointOutOfRange`] for a bad endpoint,
+    /// [`CsrError::TooManyNodes`] / [`CsrError::TooManyEntries`] when the
+    /// graph does not fit.
+    pub fn try_from_edges(num_nodes: usize, edges: &[(u32, u32, f64)]) -> Result<Self, CsrError> {
+        if num_nodes as u64 > MAX_U32_EXTENT {
+            return Err(CsrError::TooManyNodes { nodes: num_nodes });
+        }
+        let mut entries = 0u64;
+        for &(a, b, _) in edges {
+            for e in [a, b] {
+                if (e as usize) >= num_nodes {
+                    return Err(CsrError::EndpointOutOfRange {
+                        endpoint: e,
+                        nodes: num_nodes,
+                    });
+                }
+            }
+            entries += if a == b { 1 } else { 2 };
+        }
+        check_extents(num_nodes, entries)?;
         let mut degree = vec![0u32; num_nodes];
         for &(a, b, _) in edges {
-            assert!((a as usize) < num_nodes && (b as usize) < num_nodes);
             degree[a as usize] += 1;
             if a != b {
                 degree[b as usize] += 1;
@@ -83,6 +205,7 @@ impl CsrGraph {
         let mut acc = 0u32;
         offsets.push(0u32);
         for &d in &degree {
+            // cannot wrap: Σ degree == entries, validated ≤ u32::MAX above
             acc += d;
             offsets.push(acc);
         }
@@ -101,11 +224,11 @@ impl CsrGraph {
                 cursor[b as usize] += 1;
             }
         }
-        CsrGraph {
+        Ok(CsrGraph {
             offsets,
             targets,
             weights,
-        }
+        })
     }
 
     /// Number of vertices.
@@ -374,6 +497,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Regression for the silent-truncation bug: the extent check must
+    /// reject exactly the counts the `u32` layout cannot hold, at the
+    /// boundary, without allocating boundary-sized graphs.
+    #[test]
+    fn extent_check_rejects_overflow_at_the_u32_boundary() {
+        let max = u32::MAX as u64;
+        // at the boundary: fits
+        assert_eq!(check_extents(max as usize, 0), Ok(()));
+        assert_eq!(check_extents(0, max), Ok(()));
+        assert_eq!(check_extents(max as usize, max), Ok(()));
+        // one past: typed errors, never a wrapped offset
+        assert_eq!(
+            check_extents(max as usize + 1, 0),
+            Err(CsrError::TooManyNodes {
+                nodes: max as usize + 1
+            })
+        );
+        assert_eq!(
+            check_extents(0, max + 1),
+            Err(CsrError::TooManyEntries { entries: max + 1 })
+        );
+    }
+
+    #[test]
+    fn try_from_edges_reports_bad_endpoints_as_errors() {
+        let err = CsrGraph::try_from_edges(3, &[(0, 7, 1.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            CsrError::EndpointOutOfRange {
+                endpoint: 7,
+                nodes: 3
+            }
+        );
+        assert!(err.to_string().contains("7"));
+        // the panicking wrapper still panics (documented behavior)
+        assert!(std::panic::catch_unwind(|| CsrGraph::from_edges(3, &[(0, 7, 1.0)])).is_err());
+    }
+
+    #[test]
+    fn checked_constructors_agree_with_the_legacy_ones() {
+        let net = generators::grid_city(&GridCityConfig::tiny(4)).unwrap();
+        let a = CsrGraph::from_network(&net);
+        let b = CsrGraph::try_from_network(&net).unwrap();
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.edge_list(), b.edge_list());
+
+        let edges = [(0, 1, 1.0), (1, 0, 2.0), (1, 1, 5.0)];
+        let c = CsrGraph::try_from_edges(4, &edges).unwrap();
+        assert_eq!(c.edge_list(), CsrGraph::from_edges(4, &edges).edge_list());
     }
 
     #[test]

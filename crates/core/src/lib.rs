@@ -64,6 +64,7 @@ pub mod keywords;
 mod metrics;
 pub mod order;
 pub mod parallel;
+pub mod planner;
 mod query;
 mod result;
 mod scheduling;
@@ -77,7 +78,7 @@ pub mod wal;
 pub use uots_storage as storage;
 
 pub use budget::{CancellationToken, Completeness, ExecutionBudget, RunControl};
-pub use csr::{CsrGraph, MsSettled, MultiSourceExpansion};
+pub use csr::{CsrError, CsrGraph, MsSettled, MultiSourceExpansion};
 pub use db::{Database, LayoutTables};
 pub use distcache::{
     no_cache_env, CacheStats, CachedSource, DistanceCache, SearchContext, SourcePrefix,
@@ -93,6 +94,7 @@ pub use error::CoreError;
 pub use keywords::{KeywordBlocks, PreparedQuery, TextualEval, MAX_BITSET_BITS};
 pub use metrics::SearchMetrics;
 pub use parallel::{BatchOptions, BatchPolicy};
+pub use planner::{AlgorithmKind, PlanDecision, Planner, QueryStats};
 pub use query::{QueryOptions, UotsQuery, Weights, MAX_LOCATIONS};
 pub use result::{Match, QueryResult};
 pub use scheduling::Scheduler;

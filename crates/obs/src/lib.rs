@@ -77,5 +77,8 @@ pub use sampler::{
     KeepReason, SamplerStats, TailSampler, TraceExemplar, DEFAULT_EXEMPLAR_CAPACITY,
     DEFAULT_SLOW_QUANTILE,
 };
-pub use serve::{ObsServer, ObsState, StatusProvider};
+pub use serve::{
+    dispatch_obs, read_request, respond, HttpRequest, ObsServer, ObsState, StatusProvider,
+    MAX_BODY_BYTES,
+};
 pub use trace::{EventRecord, QueryTrace, Recorder, RecorderReport, SpanRecord};

@@ -169,64 +169,154 @@ impl Drop for ObsServer {
     }
 }
 
-/// Reads the request head (start line + headers) with a bounded size and
-/// timeout; returns the raw head text.
-fn read_head(stream: &mut TcpStream) -> std::io::Result<String> {
+/// Maximum accepted request body (requests are JSON documents of at most
+/// a few hundred KiB even for large ingest batches).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP/1.1 request: start line plus (for `POST`/`PUT`) the
+/// `Content-Length`-framed body. Produced by [`read_request`]; shared by
+/// the obs endpoint and the query service built on top of it.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, …), verbatim.
+    pub method: String,
+    /// Path component of the target (before any `?`).
+    pub path: String,
+    /// Raw query string (after `?`), if any.
+    pub query: Option<String>,
+    /// Request body (empty unless `Content-Length` announced one).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of query parameter `key` (`?key=value`), if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.as_deref().and_then(|q| {
+            q.split('&')
+                .find_map(|kv| kv.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+        })
+    }
+}
+
+/// Reads one request from `stream` with bounded sizes and timeouts: the
+/// head is capped at 8 KiB, the body at [`MAX_BODY_BYTES`], and both
+/// reads carry a 2-second timeout so an idle peer cannot wedge the
+/// serving thread.
+///
+/// # Errors
+///
+/// I/O errors (including timeouts) from the underlying stream, or
+/// `InvalidData` for a malformed start line / oversized body.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<HttpRequest> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    loop {
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() >= 8192 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "request head exceeds 8 KiB",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break buf.len();
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let mut start = lines.next().unwrap_or("").split_whitespace();
+    let (method, target) = match (start.next(), start.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "malformed start line",
+            ))
+        }
+    };
+    let content_length = lines
+        .filter_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        })
+        .next()
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "request body too large",
+        ));
+    }
+    // any bytes past the head terminator are the body prefix
+    let mut body = buf[head_end.min(buf.len())..].to_vec();
+    while body.len() < content_length {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             break;
         }
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 8192 {
-            break;
-        }
+        body.extend_from_slice(&chunk[..n]);
     }
-    Ok(String::from_utf8_lossy(&buf).into_owned())
-}
-
-fn handle_connection(mut stream: TcpStream, state: &ObsState) -> std::io::Result<()> {
-    let head = read_head(&mut stream)?;
-    let mut parts = head.split_whitespace();
-    let (method, target) = match (parts.next(), parts.next()) {
-        (Some(m), Some(t)) => (m, t),
-        _ => return respond(&mut stream, 400, "text/plain", "bad request\n"),
-    };
-    if method != "GET" {
-        return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
-    }
+    body.truncate(content_length);
     let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p, Some(q)),
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
         None => (target, None),
     };
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Serves the observability endpoints (`/metrics`, `/status`,
+/// `/journal`, `/traces`) for an already-parsed `GET` request. Returns
+/// `Ok(true)` when the path was one of them (a response has been
+/// written), `Ok(false)` when the path is not an obs endpoint — the
+/// embedder then routes it itself. Lets a larger server (the query
+/// service) reuse the exposition surface verbatim.
+///
+/// # Errors
+///
+/// I/O errors writing the response.
+pub fn dispatch_obs(
+    stream: &mut TcpStream,
+    req: &HttpRequest,
+    state: &ObsState,
+) -> std::io::Result<bool> {
+    let path = req.path.as_str();
+    let query = req.query.as_deref();
     match path {
         "/metrics" => match &state.registry {
             Some(r) => {
                 let text = r.render_prometheus();
                 match validate_prometheus_text(&text) {
                     Ok(_) => respond(
-                        &mut stream,
+                        stream,
                         200,
                         "text/plain; version=0.0.4; charset=utf-8",
                         &text,
-                    ),
+                    )?,
                     Err(e) => respond(
-                        &mut stream,
+                        stream,
                         500,
                         "text/plain",
                         &format!("registry rendered an invalid exposition: {e}\n"),
-                    ),
+                    )?,
                 }
             }
-            None => respond(&mut stream, 404, "text/plain", "no metrics registry\n"),
+            None => respond(stream, 404, "text/plain", "no metrics registry\n")?,
         },
         "/status" => match &state.status {
-            Some(provider) => respond(&mut stream, 200, "application/json", &provider()),
-            None => respond(&mut stream, 404, "text/plain", "no status source\n"),
+            Some(provider) => respond(stream, 200, "application/json", &provider())?,
+            None => respond(stream, 404, "text/plain", "no status source\n")?,
         },
         "/journal" => match &state.journal {
             Some(j) => {
@@ -237,14 +327,34 @@ fn handle_connection(mut stream: TcpStream, state: &ObsState) -> std::io::Result
                             .and_then(|v| v.parse::<usize>().ok())
                     })
                     .unwrap_or(DEFAULT_JOURNAL_TAIL);
-                respond(&mut stream, 200, "application/x-ndjson", &j.export_jsonl(n))
+                respond(stream, 200, "application/x-ndjson", &j.export_jsonl(n))?;
             }
-            None => respond(&mut stream, 404, "text/plain", "no event journal\n"),
+            None => respond(stream, 404, "text/plain", "no event journal\n")?,
         },
         "/traces" => match &state.sampler {
-            Some(s) => respond(&mut stream, 200, "application/json", &s.export_json()),
-            None => respond(&mut stream, 404, "text/plain", "no tail sampler\n"),
+            Some(s) => respond(stream, 200, "application/json", &s.export_json())?,
+            None => respond(stream, 404, "text/plain", "no tail sampler\n")?,
         },
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ObsState) -> std::io::Result<()> {
+    let req = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            return respond(&mut stream, 400, "text/plain", "bad request\n")
+        }
+        Err(e) => return Err(e),
+    };
+    if req.method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
+    }
+    if dispatch_obs(&mut stream, &req, state)? {
+        return Ok(());
+    }
+    match req.path.as_str() {
         "/" => respond(
             &mut stream,
             200,
@@ -262,7 +372,14 @@ fn handle_connection(mut stream: TcpStream, state: &ObsState) -> std::io::Result
 /// Default `/journal` tail length when `?n=` is absent.
 const DEFAULT_JOURNAL_TAIL: usize = 128;
 
-fn respond(
+/// Writes one `Connection: close` HTTP/1.1 response. Public so servers
+/// layered over [`read_request`]/[`dispatch_obs`] (the query service)
+/// answer with the exact same wire format.
+///
+/// # Errors
+///
+/// I/O errors writing to the stream.
+pub fn respond(
     stream: &mut TcpStream,
     code: u16,
     content_type: &str,
@@ -273,6 +390,8 @@ fn respond(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
         _ => "Internal Server Error",
     };
     let head = format!(

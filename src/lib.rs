@@ -47,6 +47,7 @@
 
 pub mod durable;
 pub mod scrub;
+pub mod serve;
 
 pub use uots_core as core;
 pub use uots_core::storage;

@@ -1,0 +1,958 @@
+//! The UOTS query service: an HTTP front-end over epoch-pinned snapshots.
+//!
+//! [`QueryService`] layers four POST endpoints on the dependency-free
+//! HTTP plumbing of [`uots_obs::serve`] (same wire format, same
+//! `Connection: close` discipline) and reuses the whole observability
+//! surface (`/metrics`, `/status`, `/journal`, `/traces`) verbatim via
+//! [`uots_obs::dispatch_obs`]:
+//!
+//! | Endpoint | Body | Answer |
+//! |---|---|---|
+//! | `POST /search`  | `{queries: [...], tenant?, algorithm?}` | per-query results, epoch-pinned |
+//! | `POST /topk`    | one query object | single result |
+//! | `POST /join`    | `{theta?, lambda?, ...}` | similarity self-join pairs |
+//! | `POST /ingest`  | `{insert: [...], retire: [...], publish?}` | new epoch |
+//! | `POST /admin/shutdown` | — | drains workers, frees the port |
+//!
+//! ## Query shape
+//!
+//! A query is a JSON object `{"locations": [node ids], "keywords":
+//! [keyword ids], "times": [seconds], "lambda": 0.5, "k": 1, "decay_km":
+//! 1.0, "decay_s": 1800.0}` — everything but `locations` optional. Bodies
+//! are parsed into the vendored serde [`Content`] tree and validated
+//! through [`UotsQuery::with_options`], so the service enforces exactly
+//! the engine's invariants (dedup, `MAX_LOCATIONS`, λ range, temporal
+//! consistency) and malformed requests answer `400` with the engine's
+//! own error text.
+//!
+//! ## Epoch pinning
+//!
+//! Every search batch runs through [`parallel::run_batch_epoch`]: one
+//! snapshot is resolved up front and the whole batch answers against it,
+//! so results are attributable to a single `epoch` (returned in the
+//! response) even while `/ingest` keeps publishing. Concurrent publishes
+//! never invalidate an in-flight batch.
+//!
+//! ## Overload: degrade, then shed — never hang
+//!
+//! Two nested admission rings, both sized in *queries* (not requests):
+//!
+//! 1. **Per-tenant soft ring** (`tenant_inflight`): a tenant exceeding
+//!    its inflight allowance keeps getting answers, but its queries run
+//!    under the degraded [`ExecutionBudget`] — the engine returns the
+//!    current top-k tagged [`Completeness::BestEffort`] with a certified
+//!    `bound_gap`. HTTP 200, `"degraded": true`.
+//! 2. **Global hard ring** (`max_inflight`): beyond it the request is
+//!    shed immediately with `429 Too Many Requests` and a JSON body
+//!    naming both numbers. The server never queues unboundedly and never
+//!    answers 5xx under load.
+//!
+//! The same rings govern `/join` (probe-level budget, subset-certified)
+//! and oversized bodies are cut off at [`MAX_BODY_BYTES`] with `413`.
+//!
+//! ## Planning
+//!
+//! Each batch is executed by [`Planner`] — the adaptive per-query
+//! algorithm dispatch of [`uots_core::planner`] — unless the operator
+//! forced an algorithm (`--force-algorithm`, [`ServiceConfig::force`])
+//! or the request asked for one (`"algorithm": "expansion"`; the
+//! operator's force wins). The response's `planned` array reports the
+//! decision and reason per query, recomputed against the pinned
+//! snapshot, so clients can see *why* an algorithm ran.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::{Content, Serialize};
+use uots_core::parallel::{self, BatchOptions, BatchPolicy};
+use uots_core::planner::{AlgorithmKind, Planner};
+use uots_core::{
+    CancellationToken, Completeness, CoreError, EpochManager, ExecutionBudget, QueryOptions,
+    RunControl, SearchContext, UotsQuery, Weights,
+};
+use uots_join::{ts_join_with, JoinConfig};
+use uots_network::NodeId;
+use uots_obs::{
+    dispatch_obs, read_request, respond, Counter, Histogram, HttpRequest, MetricsRegistry, ObsState,
+};
+use uots_text::{KeywordId, KeywordSet};
+use uots_trajectory::{Trajectory, TrajectoryId};
+
+use crate::durable::DurableIngest;
+
+/// How the service admits, degrades and sheds work.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// HTTP worker threads (each owns a cloned listener handle).
+    pub http_threads: usize,
+    /// Rayon threads per search batch.
+    pub batch_threads: usize,
+    /// Admission bound: requests carrying more queries than this are
+    /// rejected by the batch executor with `429`.
+    pub max_batch: usize,
+    /// Global hard ring: total queries in flight before shedding.
+    pub max_inflight: usize,
+    /// Per-tenant soft ring: queries in flight per tenant before the
+    /// degraded budget kicks in.
+    pub tenant_inflight: usize,
+    /// The budget applied to degraded queries (tightened axis-wise
+    /// against whatever the query asked for).
+    pub degraded_budget: ExecutionBudget,
+    /// Operator-forced algorithm (`--force-algorithm`); overrides both
+    /// the planner and any per-request `"algorithm"` field.
+    pub force: Option<AlgorithmKind>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            http_threads: 4,
+            batch_threads: 0,
+            max_batch: 1024,
+            max_inflight: 4096,
+            tenant_inflight: 64,
+            degraded_budget: ExecutionBudget::default()
+                .with_deadline_ms(50)
+                .with_max_visited(512)
+                .with_max_settled(20_000),
+            force: None,
+        }
+    }
+}
+
+/// Service metric handles (all registered on the shared registry, so
+/// `/metrics` exports them alongside the engine's).
+struct ServiceMetrics {
+    requests: Counter,
+    errors: Counter,
+    shed: Counter,
+    degraded: Counter,
+    latency_us: Histogram,
+}
+
+impl ServiceMetrics {
+    fn new(registry: &MetricsRegistry) -> ServiceMetrics {
+        ServiceMetrics {
+            requests: registry.counter("uots_serve_requests_total", "HTTP requests accepted"),
+            errors: registry.counter("uots_serve_errors_total", "Requests answered 4xx"),
+            shed: registry.counter(
+                "uots_serve_shed_total",
+                "Requests shed by the global inflight ring (429)",
+            ),
+            degraded: registry.counter(
+                "uots_serve_degraded_total",
+                "Requests degraded to a best-effort budget by the tenant ring",
+            ),
+            latency_us: registry.histogram(
+                "uots_serve_request_microseconds",
+                "End-to-end request service time",
+            ),
+        }
+    }
+}
+
+/// The state the service answers from: a live [`EpochManager`]
+/// (volatile ingest) or the WAL-backed [`DurableIngest`] facade. Both
+/// hand out epoch-pinned snapshots; only `/ingest` differs.
+enum Backend {
+    Volatile(Arc<EpochManager>),
+    Durable(Box<Mutex<DurableIngest>>),
+}
+
+impl Backend {
+    /// The current published snapshot. The durable lock is held only for
+    /// the `Arc` clone, never across query execution, so searches and
+    /// ingest proceed concurrently.
+    fn snapshot(&self) -> Arc<uots_core::EpochSnapshot> {
+        match self {
+            Backend::Volatile(m) => m.snapshot(),
+            Backend::Durable(d) => d.lock().expect("durable facade poisoned").snapshot(),
+        }
+    }
+}
+
+/// Shared state behind every worker thread.
+struct Shared {
+    backend: Backend,
+    cfg: ServiceConfig,
+    obs: ObsState,
+    metrics: ServiceMetrics,
+    ctx: SearchContext,
+    inflight: AtomicUsize,
+    tenants: Mutex<HashMap<String, Arc<AtomicUsize>>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Shared {
+    /// Reserves `n` query slots. `Err(())` means the global hard ring is
+    /// full and the request must be shed; `Ok((guard, degraded))` carries
+    /// whether the tenant crossed its soft ring.
+    fn admit(self: &Arc<Self>, tenant: &str, n: usize) -> Result<(AdmissionGuard, bool), ()> {
+        let prev = self.inflight.fetch_add(n, Ordering::SeqCst);
+        if prev + n > self.cfg.max_inflight {
+            self.inflight.fetch_sub(n, Ordering::SeqCst);
+            return Err(());
+        }
+        let counter = {
+            let mut map = self.tenants.lock().expect("tenant map poisoned");
+            Arc::clone(map.entry(tenant.to_string()).or_default())
+        };
+        let tprev = counter.fetch_add(n, Ordering::SeqCst);
+        let degraded = tprev + n > self.cfg.tenant_inflight;
+        Ok((
+            AdmissionGuard {
+                shared: Arc::clone(self),
+                tenant: counter,
+                n,
+            },
+            degraded,
+        ))
+    }
+}
+
+struct AdmissionGuard {
+    shared: Arc<Shared>,
+    tenant: Arc<AtomicUsize>,
+    n: usize,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(self.n, Ordering::SeqCst);
+        self.tenant.fetch_sub(self.n, Ordering::SeqCst);
+    }
+}
+
+/// A running query service. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops every worker and releases the
+/// port.
+pub struct QueryService {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handles: Vec<thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl QueryService {
+    /// Starts the service over a live [`EpochManager`] (volatile ingest:
+    /// mutations apply to the manager without a WAL).
+    ///
+    /// # Errors
+    ///
+    /// Binding the listener.
+    pub fn start(
+        addr: &str,
+        manager: Arc<EpochManager>,
+        registry: MetricsRegistry,
+        obs: ObsState,
+        cfg: ServiceConfig,
+    ) -> io::Result<QueryService> {
+        Self::start_inner(addr, Backend::Volatile(manager), registry, obs, cfg)
+    }
+
+    /// Starts the service over a [`DurableIngest`]: `/ingest` goes through
+    /// the WAL-backed path (acked writes survive crashes), queries read
+    /// the facade's published snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Binding the listener.
+    pub fn start_durable(
+        addr: &str,
+        durable: DurableIngest,
+        registry: MetricsRegistry,
+        obs: ObsState,
+        cfg: ServiceConfig,
+    ) -> io::Result<QueryService> {
+        Self::start_inner(
+            addr,
+            Backend::Durable(Box::new(Mutex::new(durable))),
+            registry,
+            obs,
+            cfg,
+        )
+    }
+
+    fn start_inner(
+        addr: &str,
+        backend: Backend,
+        registry: MetricsRegistry,
+        obs: ObsState,
+        cfg: ServiceConfig,
+    ) -> io::Result<QueryService> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = ServiceMetrics::new(&registry);
+        let shared = Arc::new(Shared {
+            backend,
+            cfg: cfg.clone(),
+            obs,
+            metrics,
+            ctx: SearchContext::new(),
+            inflight: AtomicUsize::new(0),
+            tenants: Mutex::new(HashMap::new()),
+            stop: Arc::clone(&stop),
+        });
+        let workers = cfg.http_threads.max(1);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("uots-serve-{i}"))
+                    .spawn(move || worker_loop(listener, shared, stop))
+                    .expect("spawn http worker"),
+            );
+        }
+        Ok(QueryService {
+            local_addr,
+            stop,
+            handles,
+            shared,
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn current_epoch(&self) -> u64 {
+        self.shared.backend.snapshot().epoch()
+    }
+
+    /// `true` once an operator requested shutdown (`POST
+    /// /admin/shutdown`) or [`shutdown`](Self::shutdown) ran.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops every worker and joins them. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let start = Instant::now();
+                shared.metrics.requests.inc();
+                if let Err(e) = handle_connection(&mut stream, &shared) {
+                    // Client went away mid-response; nothing to answer.
+                    let _ = e;
+                }
+                shared
+                    .metrics
+                    .latency_us
+                    .record(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    let req = match read_request(stream) {
+        Ok(req) => req,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            shared.metrics.errors.inc();
+            // `read_request` refuses bodies past MAX_BODY_BYTES up front.
+            return if e.to_string().contains("too large") {
+                respond(
+                    stream,
+                    413,
+                    "application/json",
+                    "{\"error\":\"body too large\"}\n",
+                )
+            } else {
+                respond(stream, 400, "text/plain", "bad request\n")
+            };
+        }
+        Err(e) => return Err(e),
+    };
+    match req.method.as_str() {
+        "GET" => {
+            if dispatch_obs(stream, &req, &shared.obs)? {
+                return Ok(());
+            }
+            match req.path.as_str() {
+                "/" => respond(
+                    stream,
+                    200,
+                    "text/plain",
+                    "uots-serve: POST /search /topk /join /ingest /admin/shutdown; \
+                     GET /metrics /status /journal /traces\n",
+                ),
+                _ => {
+                    shared.metrics.errors.inc();
+                    respond(stream, 404, "text/plain", "not found\n")
+                }
+            }
+        }
+        "POST" => match req.path.as_str() {
+            "/search" => handle_search(stream, &req, shared, false),
+            "/topk" => handle_search(stream, &req, shared, true),
+            "/join" => handle_join(stream, &req, shared),
+            "/ingest" => handle_ingest(stream, &req, shared),
+            "/admin/shutdown" => {
+                shared.stop.store(true, Ordering::SeqCst);
+                respond(stream, 200, "application/json", "{\"stopping\":true}\n")
+            }
+            _ => {
+                shared.metrics.errors.inc();
+                respond(stream, 404, "text/plain", "not found\n")
+            }
+        },
+        _ => {
+            shared.metrics.errors.inc();
+            respond(stream, 405, "text/plain", "method not allowed\n")
+        }
+    }
+}
+
+// ---------- JSON helpers over the vendored `Content` tree ----------
+
+fn body_content(req: &HttpRequest) -> Result<Content, String> {
+    if req.body.is_empty() {
+        return Ok(Content::Map(Vec::new()));
+    }
+    serde_json::from_slice::<Content>(&req.body).map_err(|e| e.to_string())
+}
+
+fn content_f64(c: &Content) -> Option<f64> {
+    match *c {
+        Content::I64(v) => Some(v as f64),
+        Content::U64(v) => Some(v as f64),
+        Content::F64(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn content_usize(c: &Content) -> Option<usize> {
+    match *c {
+        Content::I64(v) if v >= 0 => Some(v as usize),
+        Content::U64(v) => usize::try_from(v).ok(),
+        _ => None,
+    }
+}
+
+fn field_f64(map: &Content, key: &str, default: f64) -> Result<f64, String> {
+    match map.get(key) {
+        None | Some(Content::Null) => Ok(default),
+        Some(c) => content_f64(c).ok_or_else(|| format!("`{key}` must be a number")),
+    }
+}
+
+fn field_usize(map: &Content, key: &str, default: usize) -> Result<usize, String> {
+    match map.get(key) {
+        None | Some(Content::Null) => Ok(default),
+        Some(c) => {
+            content_usize(c).ok_or_else(|| format!("`{key}` must be a non-negative integer"))
+        }
+    }
+}
+
+fn field_str<'a>(map: &'a Content, key: &str) -> Option<&'a str> {
+    match map.get(key) {
+        Some(Content::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn field_ids(map: &Content, key: &str) -> Result<Vec<u32>, String> {
+    match map.get(key) {
+        None | Some(Content::Null) => Ok(Vec::new()),
+        Some(Content::Seq(items)) => items
+            .iter()
+            .map(|c| {
+                content_usize(c)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| format!("`{key}` entries must be u32 ids"))
+            })
+            .collect(),
+        Some(_) => Err(format!("`{key}` must be an array of ids")),
+    }
+}
+
+/// Parses one query object (see the module docs for the shape) and
+/// validates it through the engine's own constructor.
+fn parse_query(c: &Content) -> Result<UotsQuery, String> {
+    let locations: Vec<NodeId> = field_ids(c, "locations")?.into_iter().map(NodeId).collect();
+    let keywords = KeywordSet::from_ids(field_ids(c, "keywords")?.into_iter().map(KeywordId));
+    let times = match c.get("times") {
+        None | Some(Content::Null) => Vec::new(),
+        Some(Content::Seq(items)) => items
+            .iter()
+            .map(|t| content_f64(t).ok_or_else(|| "`times` entries must be numbers".to_string()))
+            .collect::<Result<Vec<f64>, String>>()?,
+        Some(_) => return Err("`times` must be an array of seconds".to_string()),
+    };
+    let lambda = field_f64(c, "lambda", 0.5)?;
+    let weights = Weights::lambda(lambda).map_err(|e| e.to_string())?;
+    let options = QueryOptions {
+        weights,
+        k: field_usize(c, "k", 1)?,
+        decay_km: field_f64(c, "decay_km", 1.0)?,
+        decay_s: field_f64(c, "decay_s", 1_800.0)?,
+        ..QueryOptions::default()
+    };
+    UotsQuery::with_options(locations, keywords, times, options).map_err(|e| e.to_string())
+}
+
+/// Axis-wise minimum of a query's own budget and the degraded cap.
+fn tighten(own: ExecutionBudget, cap: ExecutionBudget) -> ExecutionBudget {
+    fn min_opt<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+        match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (x, None) | (None, x) => x,
+        }
+    }
+    ExecutionBudget {
+        max_wall: min_opt(own.max_wall, cap.max_wall),
+        max_visited: min_opt(own.max_visited, cap.max_visited),
+        max_settled: min_opt(own.max_settled, cap.max_settled),
+    }
+}
+
+fn json_error(stream: &mut TcpStream, code: u16, msg: &str) -> io::Result<()> {
+    let body = serde_json::to_string(&Content::Map(vec![(
+        "error".to_string(),
+        Content::Str(msg.to_string()),
+    )]))
+    .expect("error body renders");
+    respond(stream, code, "application/json", &body)
+}
+
+// ---------- /search and /topk ----------
+
+fn handle_search(
+    stream: &mut TcpStream,
+    req: &HttpRequest,
+    shared: &Arc<Shared>,
+    single: bool,
+) -> io::Result<()> {
+    let body = match body_content(req) {
+        Ok(b) => b,
+        Err(e) => {
+            shared.metrics.errors.inc();
+            return json_error(stream, 400, &e);
+        }
+    };
+    let query_objects: Vec<&Content> = if single {
+        vec![&body]
+    } else {
+        match body.get("queries") {
+            Some(Content::Seq(items)) if !items.is_empty() => items.iter().collect(),
+            _ => {
+                shared.metrics.errors.inc();
+                return json_error(stream, 400, "`queries` must be a non-empty array");
+            }
+        }
+    };
+    let mut queries = Vec::with_capacity(query_objects.len());
+    for (i, qc) in query_objects.iter().enumerate() {
+        match parse_query(qc) {
+            Ok(q) => queries.push(q),
+            Err(e) => {
+                shared.metrics.errors.inc();
+                return json_error(stream, 400, &format!("query {i}: {e}"));
+            }
+        }
+    }
+
+    let tenant = field_str(&body, "tenant").unwrap_or("default").to_string();
+    let (guard, degraded) = match shared.admit(&tenant, queries.len()) {
+        Ok(ok) => ok,
+        Err(()) => {
+            shared.metrics.shed.inc();
+            return json_error(
+                stream,
+                429,
+                &format!(
+                    "overloaded: {} queries in flight (capacity {})",
+                    shared.inflight.load(Ordering::SeqCst),
+                    shared.cfg.max_inflight
+                ),
+            );
+        }
+    };
+    if degraded {
+        shared.metrics.degraded.inc();
+        let cap = shared.cfg.degraded_budget;
+        for q in &mut queries {
+            let mut opts = q.options().clone();
+            opts.budget = tighten(opts.budget, cap);
+            *q = q
+                .reoptioned(opts)
+                .expect("re-optioning an already-validated query");
+        }
+    }
+
+    // Request-level algorithm override; the operator's force wins.
+    let planner = match (shared.cfg.force, field_str(&body, "algorithm")) {
+        (Some(kind), _) => Planner::forced(kind),
+        (None, Some(name)) => match AlgorithmKind::parse(name) {
+            Some(kind) => Planner::forced(kind),
+            None => {
+                drop(guard);
+                shared.metrics.errors.inc();
+                return json_error(stream, 400, &format!("unknown algorithm `{name}`"));
+            }
+        },
+        (None, None) => Planner::new(),
+    };
+
+    let opts = BatchOptions {
+        policy: BatchPolicy::Partial,
+        deadline: None,
+        max_batch: Some(shared.cfg.max_batch),
+        threads: shared.cfg.batch_threads,
+    };
+    let token = CancellationToken::new();
+    // Pin one snapshot for the whole batch (the `Arc` keeps it alive even
+    // while `/ingest` publishes), exactly like `parallel::run_batch_epoch`.
+    let snapshot = shared.backend.snapshot();
+    let outcome = {
+        let db = snapshot.database();
+        parallel::run_batch_ctx(&db, &planner, &queries, &opts, &token, &shared.ctx)
+    };
+    drop(guard);
+
+    let results = match outcome {
+        Ok(batch) => batch,
+        Err(CoreError::Overloaded {
+            submitted,
+            capacity,
+        }) => {
+            shared.metrics.shed.inc();
+            return json_error(
+                stream,
+                429,
+                &format!("batch of {submitted} exceeds admission bound {capacity}"),
+            );
+        }
+        Err(e) => {
+            shared.metrics.errors.inc();
+            return json_error(stream, 400, &e.to_string());
+        }
+    };
+
+    // Report the plan per query, recomputed against the pinned snapshot
+    // (decide() is deterministic and cheap).
+    let db = snapshot.database();
+    let planned: Vec<Content> = queries
+        .iter()
+        .map(|q| {
+            let d = planner.decide(&db, q);
+            Content::Map(vec![
+                (
+                    "algorithm".to_string(),
+                    Content::Str(d.kind.name().to_string()),
+                ),
+                ("reason".to_string(), Content::Str(d.reason.to_string())),
+            ])
+        })
+        .collect();
+
+    let rendered: Vec<Content> = results
+        .iter()
+        .map(|r| match r {
+            Ok(qr) => qr.serialize(),
+            Err(e) => Content::Map(vec![("error".to_string(), Content::Str(e.to_string()))]),
+        })
+        .collect();
+    let mut top = vec![
+        ("epoch".to_string(), Content::U64(snapshot.epoch())),
+        ("degraded".to_string(), Content::Bool(degraded)),
+        ("planned".to_string(), Content::Seq(planned)),
+    ];
+    if single {
+        top.push((
+            "result".to_string(),
+            rendered.into_iter().next().unwrap_or(Content::Null),
+        ));
+    } else {
+        top.push(("results".to_string(), Content::Seq(rendered)));
+    }
+    let body = serde_json::to_string(&Content::Map(top)).expect("response renders");
+    respond(stream, 200, "application/json", &body)
+}
+
+// ---------- /join ----------
+
+fn handle_join(stream: &mut TcpStream, req: &HttpRequest, shared: &Arc<Shared>) -> io::Result<()> {
+    let body = match body_content(req) {
+        Ok(b) => b,
+        Err(e) => {
+            shared.metrics.errors.inc();
+            return json_error(stream, 400, &e);
+        }
+    };
+    let defaults = JoinConfig::default();
+    let cfg = JoinConfig {
+        theta: match field_f64(&body, "theta", defaults.theta) {
+            Ok(v) => v,
+            Err(e) => {
+                shared.metrics.errors.inc();
+                return json_error(stream, 400, &e);
+            }
+        },
+        lambda: match field_f64(&body, "lambda", defaults.lambda) {
+            Ok(v) => v,
+            Err(e) => {
+                shared.metrics.errors.inc();
+                return json_error(stream, 400, &e);
+            }
+        },
+        decay_km: field_f64(&body, "decay_km", defaults.decay_km).unwrap_or(defaults.decay_km),
+        decay_s: field_f64(&body, "decay_s", defaults.decay_s).unwrap_or(defaults.decay_s),
+        ..defaults
+    };
+    let tenant = field_str(&body, "tenant").unwrap_or("default").to_string();
+    let snapshot = shared.backend.snapshot();
+    // A join is a whole-dataset scan; weigh it as one tenant-ring slot
+    // per live trajectory probe, capped to keep the arithmetic sane.
+    let weight = snapshot.live().num_live().min(shared.cfg.tenant_inflight);
+    let (guard, degraded) = match shared.admit(&tenant, weight.max(1)) {
+        Ok(ok) => ok,
+        Err(()) => {
+            shared.metrics.shed.inc();
+            return json_error(stream, 429, "overloaded: join shed by the inflight ring");
+        }
+    };
+    let budget = if degraded {
+        shared.metrics.degraded.inc();
+        shared.cfg.degraded_budget
+    } else {
+        ExecutionBudget::UNLIMITED
+    };
+
+    let db = snapshot.database();
+    let Some(ts_index) = db.timestamp_index else {
+        drop(guard);
+        shared.metrics.errors.inc();
+        return json_error(stream, 400, "snapshot has no timestamp index");
+    };
+    let outcome = ts_join_with(
+        snapshot.network(),
+        snapshot.store(),
+        db.vertex_index,
+        ts_index,
+        &cfg,
+        shared.cfg.batch_threads,
+        &budget,
+        &RunControl::unbounded(),
+    );
+    drop(guard);
+
+    let join = match outcome {
+        Ok(j) => j,
+        Err(e) => {
+            shared.metrics.errors.inc();
+            return json_error(stream, 400, &e.to_string());
+        }
+    };
+    let pairs: Vec<Content> = join.pairs.iter().map(|p| p.serialize()).collect();
+    let body = serde_json::to_string(&Content::Map(vec![
+        ("epoch".to_string(), Content::U64(snapshot.epoch())),
+        ("degraded".to_string(), Content::Bool(degraded)),
+        ("pairs".to_string(), Content::Seq(pairs)),
+        (
+            "visited_trajectories".to_string(),
+            Content::U64(join.visited_trajectories as u64),
+        ),
+        ("completeness".to_string(), join.completeness.serialize()),
+        (
+            "runtime_ms".to_string(),
+            Content::F64(join.runtime.as_secs_f64() * 1e3),
+        ),
+    ]))
+    .expect("join response renders");
+    respond(stream, 200, "application/json", &body)
+}
+
+// ---------- /ingest ----------
+
+fn handle_ingest(
+    stream: &mut TcpStream,
+    req: &HttpRequest,
+    shared: &Arc<Shared>,
+) -> io::Result<()> {
+    let body = match body_content(req) {
+        Ok(b) => b,
+        Err(e) => {
+            shared.metrics.errors.inc();
+            return json_error(stream, 400, &e);
+        }
+    };
+    let inserts: Vec<Trajectory> = match body.get("insert") {
+        None | Some(Content::Null) => Vec::new(),
+        Some(Content::Seq(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for (i, c) in items.iter().enumerate() {
+                match <Trajectory as serde::Deserialize>::deserialize(c) {
+                    Ok(t) => out.push(t),
+                    Err(e) => {
+                        shared.metrics.errors.inc();
+                        return json_error(stream, 400, &format!("insert {i}: {e}"));
+                    }
+                }
+            }
+            out
+        }
+        Some(_) => {
+            shared.metrics.errors.inc();
+            return json_error(stream, 400, "`insert` must be an array of trajectories");
+        }
+    };
+    let retires: Vec<TrajectoryId> = match field_ids(&body, "retire") {
+        Ok(ids) => ids.into_iter().map(TrajectoryId).collect(),
+        Err(e) => {
+            shared.metrics.errors.inc();
+            return json_error(stream, 400, &e);
+        }
+    };
+    let publish = !matches!(body.get("publish"), Some(Content::Bool(false)));
+
+    let mut assigned: Vec<u64> = Vec::with_capacity(inserts.len());
+    let mut retired = 0u64;
+    let epoch = if let Backend::Durable(durable) = &shared.backend {
+        let mut durable = durable.lock().expect("durable facade poisoned");
+        for t in inserts {
+            match durable.ingest(t) {
+                Ok(id) => assigned.push(u64::from(id.0)),
+                Err(e) => {
+                    shared.metrics.errors.inc();
+                    return json_error(stream, 400, &e.to_string());
+                }
+            }
+        }
+        for id in retires {
+            match durable.retire(id) {
+                Ok(true) => retired += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    shared.metrics.errors.inc();
+                    return json_error(stream, 400, &e.to_string());
+                }
+            }
+        }
+        if publish {
+            match durable.publish() {
+                Ok(snap) => snap.epoch(),
+                Err(e) => {
+                    shared.metrics.errors.inc();
+                    return json_error(stream, 400, &e.to_string());
+                }
+            }
+        } else {
+            durable.snapshot().epoch()
+        }
+    } else {
+        let Backend::Volatile(manager) = &shared.backend else {
+            unreachable!("backend is volatile here");
+        };
+        for t in inserts {
+            assigned.push(u64::from(manager.ingest(t).0));
+        }
+        for id in retires {
+            if manager.retire(id) {
+                retired += 1;
+            }
+        }
+        if publish {
+            manager.publish().epoch()
+        } else {
+            manager.snapshot().epoch()
+        }
+    };
+
+    let body = serde_json::to_string(&Content::Map(vec![
+        ("epoch".to_string(), Content::U64(epoch)),
+        (
+            "inserted".to_string(),
+            Content::Seq(assigned.into_iter().map(Content::U64).collect()),
+        ),
+        ("retired".to_string(), Content::U64(retired)),
+        ("published".to_string(), Content::Bool(publish)),
+    ]))
+    .expect("ingest response renders");
+    respond(stream, 200, "application/json", &body)
+}
+
+/// Result completeness digest used by clients and the load generator:
+/// `Exact` or the certified `bound_gap`.
+pub fn completeness_tag(c: &Completeness) -> &'static str {
+    match c {
+        Completeness::Exact => "exact",
+        Completeness::BestEffort { .. } => "best-effort",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_parsing_validates_through_the_engine() {
+        let c: Content =
+            serde_json::from_str(r#"{"locations":[1,2],"keywords":[0],"lambda":0.3,"k":4}"#)
+                .unwrap();
+        let q = parse_query(&c).unwrap();
+        assert_eq!(q.locations().len(), 2);
+        assert_eq!(q.options().k, 4);
+        assert!((q.options().weights.spatial - 0.3).abs() < 1e-12);
+
+        // Engine invariants reach the client as parse errors.
+        let bad: Content = serde_json::from_str(r#"{"locations":[],"keywords":[0]}"#).unwrap();
+        assert!(parse_query(&bad).is_err());
+        let bad_lambda: Content =
+            serde_json::from_str(r#"{"locations":[1],"keywords":[],"lambda":1.5}"#).unwrap();
+        assert!(parse_query(&bad_lambda).is_err());
+    }
+
+    #[test]
+    fn tighten_takes_the_axiswise_minimum() {
+        let own = ExecutionBudget::default().with_max_visited(100);
+        let cap = ExecutionBudget::default()
+            .with_deadline_ms(50)
+            .with_max_visited(512);
+        let t = tighten(own, cap);
+        assert_eq!(t.max_visited, Some(100));
+        assert_eq!(t.max_wall, Some(Duration::from_millis(50)));
+        assert_eq!(t.max_settled, None);
+    }
+}

@@ -103,6 +103,64 @@ proptest! {
         }
     }
 
+    /// The bitset→galloping switchover at exactly [`MAX_BITSET_BITS`]
+    /// vocabulary bits: widths 1023 and 1024 must select the bitset
+    /// (1024 bits = 16 whole words), width 1025 the galloping fallback,
+    /// and all three must reproduce the `KeywordSet` oracle exactly —
+    /// counts and similarity bits — with the boundary bit (`width − 1`)
+    /// forced live on both sides of every comparison.
+    #[test]
+    fn switchover_boundary_widths_pin_both_modes_to_the_oracle(
+        delta in 0usize..3, // width = 1023 + delta
+        raw_sets in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 0..32), 1..12),
+        raw_query in proptest::collection::vec(any::<u32>(), 0..32),
+    ) {
+        let width = MAX_BITSET_BITS - 1 + delta; // 1023 | 1024 | 1025
+        let top = (width - 1) as u32;
+        // every set carries the boundary bit plus ids folded into the
+        // width, concentrated near both word boundaries (0..64 and the
+        // last partial word) to stress the masking arithmetic
+        let fold = |i: u32| match i % 3 {
+            0 => i % 64,
+            1 => top.saturating_sub(i % 64),
+            _ => i % width as u32,
+        };
+        let sets: Vec<KeywordSet> = raw_sets
+            .iter()
+            .map(|ids| {
+                let mut v: Vec<u32> = ids.iter().map(|&i| fold(i)).collect();
+                v.push(top);
+                kw_set(&v)
+            })
+            .collect();
+        let mut qids: Vec<u32> = raw_query.iter().map(|&i| fold(i)).collect();
+        qids.push(top);
+        let query = kw_set(&qids);
+        let blocks = KeywordBlocks::from_sets(sets.iter(), width);
+        prop_assert_eq!(blocks.width(), width);
+        prop_assert_eq!(
+            blocks.is_bitset(),
+            width <= MAX_BITSET_BITS,
+            "mode at width {} must flip exactly past {}", width, MAX_BITSET_BITS
+        );
+        let q = blocks.prepare(&query);
+        for (i, s) in sets.iter().enumerate() {
+            let tid = TrajectoryId(i as u32);
+            let (inter, a_len, b_len) = blocks.counts(&q, tid, s);
+            prop_assert_eq!(inter, query.intersection_len(s), "width {} row {}", width, i);
+            prop_assert_eq!((a_len, b_len), (query.len(), s.len()));
+            prop_assert!(inter >= 1, "boundary bit {} must intersect", top);
+            for m in MEASURES {
+                prop_assert_eq!(
+                    blocks.textual(m, &q, tid, s).to_bits(),
+                    m.similarity(&query, s).to_bits(),
+                    "{:?} width {} row {}", m, width, i
+                );
+            }
+        }
+    }
+
     /// The galloping kernel alone agrees with the sorted-merge oracle on
     /// arbitrary id slices (the fallback mode's only nontrivial part).
     #[test]

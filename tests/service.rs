@@ -1,0 +1,434 @@
+//! End-to-end tests of the query service: concurrent HTTP answers must
+//! be bit-identical to direct engine calls against the same epoch,
+//! overload must degrade to certified best-effort (or shed with 429) —
+//! never a 5xx, never a hang — and `/ingest` must publish epochs that
+//! subsequent searches observe.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Content, Serialize};
+use uots::core::planner::Planner;
+use uots::obs::{MetricsRegistry, ObsState};
+use uots::prelude::*;
+use uots::serve::{QueryService, ServiceConfig};
+use uots::{workload, Dataset, DatasetConfig, EpochManager, KeywordSet, QueryOptions, UotsQuery};
+use uots_core::algorithms::Algorithm;
+use uots_text::KeywordId;
+use uots_trajectory::{Sample, Trajectory};
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let code: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (code, body)
+}
+
+fn as_u64(c: Option<&Content>) -> Option<u64> {
+    match c {
+        Some(Content::U64(v)) => Some(*v),
+        Some(Content::I64(v)) if *v >= 0 => Some(*v as u64),
+        _ => None,
+    }
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Content) {
+    let (code, text) = http(addr, "POST", path, body);
+    let content = serde_json::from_str::<Content>(&text)
+        .unwrap_or_else(|e| panic!("non-JSON body for {path} ({code}): {e}\n{text}"));
+    (code, content)
+}
+
+fn start_service(trips: usize, seed: u64, cfg: ServiceConfig) -> (QueryService, Dataset) {
+    let ds = Dataset::build(&DatasetConfig::small(trips, seed)).expect("dataset");
+    let registry = MetricsRegistry::new();
+    let manager = EpochManager::with_metrics(
+        Arc::new(ds.network.clone()),
+        ds.store.clone(),
+        ds.vocab.len(),
+        &registry,
+    );
+    let obs = ObsState::new().with_registry(registry.clone());
+    let service = QueryService::start("127.0.0.1:0", Arc::new(manager), registry, obs, cfg)
+        .expect("bind service");
+    (service, ds)
+}
+
+/// One query's JSON for the wire, from a workload spec.
+fn query_json(locations: &[NodeId], keywords: &[KeywordId], lambda: f64, k: usize) -> String {
+    let locs: Vec<String> = locations.iter().map(|n| n.0.to_string()).collect();
+    let kws: Vec<String> = keywords.iter().map(|k| k.0.to_string()).collect();
+    format!(
+        r#"{{"locations":[{}],"keywords":[{}],"lambda":{lambda},"k":{k}}}"#,
+        locs.join(","),
+        kws.join(",")
+    )
+}
+
+/// Canonicalizes the integer representation: the JSON parser yields
+/// `I64` for anything in `i64` range while direct `Serialize` yields
+/// `U64` for unsigned sources. The *values* must still match bit-exactly
+/// (floats keep their full mantissa through the writer's round-trip
+/// format).
+fn normalized(c: &Content) -> Content {
+    match c {
+        Content::U64(v) if *v <= i64::MAX as u64 => Content::I64(*v as i64),
+        Content::Seq(items) => Content::Seq(items.iter().map(normalized).collect()),
+        Content::Map(entries) => Content::Map(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), normalized(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// The `matches` subtree of a direct engine run, as serialized `Content`
+/// — the bit-exact expectation for the HTTP answer.
+fn direct_matches(ds: &Dataset, q: &UotsQuery) -> Content {
+    let db = uots::db(ds);
+    let result = Planner::new().run(&db, q).expect("direct run");
+    normalized(result.serialize().get("matches").expect("matches field"))
+}
+
+#[test]
+fn concurrent_http_results_are_bit_identical_to_direct_engine_calls() {
+    let (service, ds) = start_service(150, 7, ServiceConfig::default());
+    let addr = service.local_addr();
+    let specs = workload::generate(
+        &ds,
+        &workload::WorkloadConfig {
+            num_queries: 8,
+            ..Default::default()
+        },
+    );
+    let cases: Vec<(String, UotsQuery)> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let k = 1 + i % 4;
+            let json = query_json(&s.locations, s.keywords.ids(), 0.5, k);
+            let q = UotsQuery::with_options(
+                s.locations,
+                s.keywords,
+                Vec::new(),
+                QueryOptions {
+                    k,
+                    ..QueryOptions::default()
+                },
+            )
+            .unwrap();
+            (json, q)
+        })
+        .collect();
+
+    // Fire every case from its own thread, twice over, against /search
+    // (batch of one) and /topk (bare query object).
+    let cases = Arc::new(cases);
+    let ds = Arc::new(ds);
+    let mut handles = Vec::new();
+    for round in 0..2 {
+        for (i, (json, q)) in cases.iter().enumerate() {
+            let json = json.clone();
+            let q = q.clone();
+            let ds = Arc::clone(&ds);
+            handles.push(std::thread::spawn(move || {
+                let want = direct_matches(&ds, &q);
+                if round == 0 {
+                    let (code, body) = post(addr, "/search", &format!(r#"{{"queries":[{json}]}}"#));
+                    assert_eq!(code, 200, "case {i}: {body:?}");
+                    let results = body.get("results").expect("results").as_seq().unwrap();
+                    let got = results[0].get("matches").expect("matches");
+                    assert_eq!(&want, got, "case {i}: /search diverged from direct call");
+                } else {
+                    let (code, body) = post(addr, "/topk", &json);
+                    assert_eq!(code, 200, "case {i}: {body:?}");
+                    let got = body
+                        .get("result")
+                        .expect("result")
+                        .get("matches")
+                        .expect("matches");
+                    assert_eq!(&want, got, "case {i}: /topk diverged from direct call");
+                }
+            }));
+        }
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    // The response also reports the plan; on this service nothing is
+    // degraded and the epoch is the seed epoch.
+    let (json, _) = &cases[0];
+    let (code, body) = post(addr, "/search", &format!(r#"{{"queries":[{json}]}}"#));
+    assert_eq!(code, 200);
+    assert_eq!(body.get("degraded"), Some(&Content::Bool(false)));
+    assert!(body.get("epoch").is_some());
+    let planned = body.get("planned").unwrap().as_seq().unwrap();
+    assert!(planned[0].get("algorithm").is_some());
+    assert!(planned[0].get("reason").is_some());
+}
+
+#[test]
+fn request_level_force_matches_the_planner_through_http() {
+    let (service, ds) = start_service(120, 11, ServiceConfig::default());
+    let addr = service.local_addr();
+    let spec = workload::generate(&ds, &workload::WorkloadConfig::default())
+        .into_iter()
+        .next()
+        .unwrap();
+    let json = query_json(&spec.locations, spec.keywords.ids(), 0.5, 3);
+    let (code, planner_body) = post(addr, "/search", &format!(r#"{{"queries":[{json}]}}"#));
+    assert_eq!(code, 200);
+    let want = planner_body.get("results").unwrap().as_seq().unwrap()[0]
+        .get("matches")
+        .unwrap()
+        .clone();
+    for algo in ["brute-force", "text-first", "iknn-baseline", "expansion"] {
+        let (code, body) = post(
+            addr,
+            "/search",
+            &format!(r#"{{"algorithm":"{algo}","queries":[{json}]}}"#),
+        );
+        assert_eq!(code, 200, "forced {algo}");
+        let got = body.get("results").unwrap().as_seq().unwrap()[0]
+            .get("matches")
+            .unwrap();
+        assert_eq!(&want, got, "forced {algo} diverged over HTTP");
+        let planned = body.get("planned").unwrap().as_seq().unwrap();
+        assert_eq!(
+            planned[0].get("algorithm"),
+            Some(&Content::Str(algo.to_string()))
+        );
+        assert_eq!(
+            planned[0].get("reason"),
+            Some(&Content::Str("forced".to_string()))
+        );
+    }
+    let (code, body) = post(addr, "/search", r#"{"algorithm":"nope","queries":[{}]}"#);
+    assert_eq!(code, 400, "{body:?}");
+}
+
+#[test]
+fn overload_degrades_to_certified_best_effort_and_never_5xx() {
+    // Tenant soft ring at zero: every request runs under the degraded
+    // budget. One visited trajectory is far below what these queries
+    // need, so completeness must certify the gap.
+    let cfg = ServiceConfig {
+        tenant_inflight: 0,
+        degraded_budget: uots::ExecutionBudget::default().with_max_visited(1),
+        ..ServiceConfig::default()
+    };
+    let (service, ds) = start_service(200, 23, cfg);
+    let addr = service.local_addr();
+    let specs = workload::generate(
+        &ds,
+        &workload::WorkloadConfig {
+            num_queries: 6,
+            ..Default::default()
+        },
+    );
+    let mut best_effort = 0;
+    for s in specs {
+        let json = query_json(&s.locations, s.keywords.ids(), 0.5, 3);
+        let (code, body) = post(addr, "/search", &format!(r#"{{"queries":[{json}]}}"#));
+        assert_eq!(code, 200, "degraded requests still answer 200: {body:?}");
+        assert_eq!(body.get("degraded"), Some(&Content::Bool(true)));
+        let completeness = body.get("results").unwrap().as_seq().unwrap()[0]
+            .get("completeness")
+            .expect("completeness certificate");
+        // `Exact` serializes as a bare string, `BestEffort` as a map
+        // carrying the certified bound gap.
+        match completeness {
+            Content::Str(s) => assert_eq!(s, "Exact"),
+            other => {
+                let rendered = serde_json::to_string(other).unwrap();
+                assert!(
+                    rendered.contains("BestEffort") && rendered.contains("bound_gap"),
+                    "unexpected completeness: {rendered}"
+                );
+                best_effort += 1;
+            }
+        }
+    }
+    assert!(
+        best_effort > 0,
+        "a 1-visited-trajectory budget must interrupt at least one query"
+    );
+}
+
+#[test]
+fn hard_overload_sheds_with_429_never_hangs() {
+    let cfg = ServiceConfig {
+        max_inflight: 1,
+        tenant_inflight: 1000,
+        ..ServiceConfig::default()
+    };
+    let (service, ds) = start_service(150, 31, cfg);
+    let addr = service.local_addr();
+    let spec = workload::generate(&ds, &workload::WorkloadConfig::default())
+        .into_iter()
+        .next()
+        .unwrap();
+    // Each request carries 4 queries against a 1-slot ring, fired from 12
+    // threads: whatever interleaving happens, every response must be 200
+    // or a JSON 429 — and all must arrive (no hang, no 5xx).
+    let json = query_json(&spec.locations, spec.keywords.ids(), 0.5, 2);
+    let body = format!(r#"{{"queries":[{json},{json},{json},{json}]}}"#);
+    let mut handles = Vec::new();
+    for _ in 0..12 {
+        let body = body.clone();
+        handles.push(std::thread::spawn(move || post(addr, "/search", &body)));
+    }
+    let mut shed = 0;
+    for h in handles {
+        let (code, content) = h.join().expect("client thread");
+        assert!(
+            code == 200 || code == 429,
+            "overload must answer 200 or 429, got {code}: {content:?}"
+        );
+        if code == 429 {
+            assert!(content.get("error").is_some(), "429 carries a JSON error");
+            shed += 1;
+        }
+    }
+    assert!(shed > 0, "a 1-slot ring under 12×4 queries must shed");
+}
+
+#[test]
+fn ingest_publishes_epochs_visible_to_search() {
+    let (service, ds) = start_service(100, 13, ServiceConfig::default());
+    let addr = service.local_addr();
+    let epoch0 = service.current_epoch();
+
+    // A trajectory with a brand-new rare keyword, sitting exactly on the
+    // queried vertex: it must win a k=1 text-heavy search after ingest.
+    let marker = KeywordId(u32::try_from(ds.vocab.len()).unwrap() - 1);
+    let node = NodeId(0);
+    let t = Trajectory::new(
+        vec![
+            Sample { node, time: 60.0 },
+            Sample {
+                node: NodeId(1),
+                time: 120.0,
+            },
+        ],
+        KeywordSet::from_ids([marker]),
+    )
+    .expect("valid trajectory");
+    let ingest_body = serde_json::to_string(&Content::Map(vec![
+        ("insert".to_string(), Content::Seq(vec![t.serialize()])),
+        ("retire".to_string(), Content::Seq(vec![Content::U64(0)])),
+    ]))
+    .unwrap();
+    let (code, reply) = post(addr, "/ingest", &ingest_body);
+    assert_eq!(code, 200, "{reply:?}");
+    let epoch1 = as_u64(reply.get("epoch")).expect("epoch in reply");
+    assert!(epoch1 > epoch0, "publish must advance the epoch");
+    assert_eq!(as_u64(reply.get("retired")), Some(1));
+    let inserted = reply.get("inserted").unwrap().as_seq().unwrap();
+    assert_eq!(inserted.len(), 1);
+    let new_id = as_u64(Some(&inserted[0])).expect("inserted id");
+
+    let query = format!(
+        r#"{{"locations":[{}],"keywords":[{}],"lambda":0.2,"k":1}}"#,
+        node.0, marker.0
+    );
+    let (code, body) = post(addr, "/topk", &query);
+    assert_eq!(code, 200, "{body:?}");
+    assert_eq!(
+        as_u64(body.get("epoch")),
+        Some(epoch1),
+        "search must observe the published epoch"
+    );
+    let matches = body
+        .get("result")
+        .unwrap()
+        .get("matches")
+        .unwrap()
+        .as_seq()
+        .unwrap();
+    let top = serde_json::to_string(&matches[0]).unwrap();
+    assert!(
+        top.contains(&format!("{new_id}")),
+        "ingested trajectory must win its own query: {top}"
+    );
+}
+
+#[test]
+fn observability_and_error_paths_surface_over_http() {
+    let (service, _ds) = start_service(80, 3, ServiceConfig::default());
+    let addr = service.local_addr();
+
+    // A couple of requests so the counters move.
+    let (code, _) = http(addr, "POST", "/search", "{not json");
+    assert_eq!(code, 400);
+    let (code, _) = http(addr, "POST", "/search", r#"{"queries":[]}"#);
+    assert_eq!(code, 400);
+    let (code, _) = http(addr, "POST", "/nope", "{}");
+    assert_eq!(code, 404);
+    let (code, _) = http(addr, "PUT", "/search", "{}");
+    assert_eq!(code, 405);
+    let (code, _) = http(addr, "POST", "/join", r#"{"theta":"high"}"#);
+    assert_eq!(code, 400);
+
+    let (code, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(code, 200);
+    uots::obs::validate_prometheus_text(&metrics).expect("valid exposition");
+    assert!(
+        metrics.contains("uots_serve_requests_total"),
+        "service counters exported"
+    );
+    assert!(
+        metrics.contains("uots_serve_errors_total"),
+        "error counter exported"
+    );
+
+    let (code, index) = http(addr, "GET", "/", "");
+    assert_eq!(code, 200);
+    assert!(index.contains("/search"));
+}
+
+#[test]
+fn join_endpoint_answers_with_pairs_and_certificate() {
+    let (service, _ds) = start_service(60, 17, ServiceConfig::default());
+    let addr = service.local_addr();
+    let (code, body) = post(addr, "/join", r#"{"theta":0.9,"lambda":0.5}"#);
+    assert_eq!(code, 200, "{body:?}");
+    assert!(body.get("pairs").unwrap().as_seq().is_some());
+    assert!(body.get("completeness").is_some());
+    assert!(body.get("epoch").is_some());
+}
+
+#[test]
+fn admin_shutdown_drains_the_workers() {
+    let (mut service, _ds) = start_service(60, 19, ServiceConfig::default());
+    let addr = service.local_addr();
+    let (code, body) = post(addr, "/admin/shutdown", "");
+    assert_eq!(code, 200, "{body:?}");
+    assert_eq!(body.get("stopping"), Some(&Content::Bool(true)));
+    service.shutdown();
+    assert!(service.is_stopped());
+}

@@ -131,6 +131,15 @@ impl Serialize for Content {
     }
 }
 
+// And it deserializes as itself, so format backends can hand the raw tree
+// back to callers that want to inspect optional keys before committing to
+// a concrete type (e.g. hand-rolled request parsing).
+impl Deserialize for Content {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize(&self) -> Content {
         Content::Bool(*self)
